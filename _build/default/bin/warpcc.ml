@@ -1,0 +1,263 @@
+(* warpcc — command-line driver for the Warp parallel compiler.
+
+     warpcc compile prog.w2 [-O2] [--dump-ir] [--dump-asm] [-o dir]
+         Run the four compiler phases over a W2 module and write one
+         download module (.wobj) plus one I/O driver (.drv) per section.
+
+     warpcc run prog.w2 --entry main --args 1,2 [--input-x 1.0,2.0]
+         Compile and execute an entry function on the cycle-accurate
+         cell simulator (or the whole array with --array).
+
+     warpcc simulate prog.w2 [--processors N]
+         Replay sequential and parallel compilation of the module on the
+         simulated 1989 workstation network and report the speedup and
+         overhead decomposition of the paper.
+*)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let or_compile_error f =
+  try Ok (f ()) with
+  | Driver.Compile.Compile_error msg -> Error (`Msg msg)
+  | Sys_error msg -> Error (`Msg msg)
+
+(* --- compile --- *)
+
+let compile_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"W2 source module")
+  in
+  let level =
+    Arg.(value & opt int 2 & info [ "O"; "opt-level" ] ~docv:"LEVEL"
+           ~doc:"Optimization level (0-3)")
+  in
+  let dump_ir =
+    Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the optimized IR of every function")
+  in
+  let dump_asm =
+    Arg.(value & flag & info [ "dump-asm" ] ~doc:"Print the scheduled wide code")
+  in
+  let out_dir =
+    Arg.(value & opt string "." & info [ "o"; "output" ] ~docv:"DIR"
+           ~doc:"Directory for .wobj and .drv outputs")
+  in
+  let action file level dump_ir dump_asm out_dir =
+    or_compile_error (fun () ->
+        let source = read_file file in
+        (if dump_ir then begin
+           let m = W2.Parser.module_of_string ~file source in
+           W2.Semcheck.check_module_exn m;
+           List.iter
+             (fun sec ->
+               List.iter
+                 (fun f ->
+                   ignore (Midend.Opt.optimize ~level f);
+                   print_string (Midend.Ir.func_to_string f))
+                 sec.Midend.Ir.funcs)
+             (Midend.Lower.lower_module m)
+         end);
+        let mw = Driver.Compile.compile_source ~level ~file source in
+        List.iter
+          (fun (sw : Driver.Compile.section_work) ->
+            let base = Filename.concat out_dir (mw.Driver.Compile.mw_name ^ "." ^ sw.Driver.Compile.sw_name) in
+            let obj = base ^ ".wobj" in
+            let drv = base ^ ".drv" in
+            let oc = open_out_bin obj in
+            output_string oc (Warp.Asm.encode sw.Driver.Compile.sw_image);
+            close_out oc;
+            let oc = open_out drv in
+            output_string oc (Warp.Iodriver.to_string sw.Driver.Compile.sw_driver);
+            close_out oc;
+            (if dump_asm then
+               Array.iter
+                 (fun f -> print_string (Warp.Mcode.mfunc_to_string f))
+                 sw.Driver.Compile.sw_image.Warp.Mcode.funcs);
+            (match Warp.Verify.image sw.Driver.Compile.sw_image with
+            | [] -> ()
+            | violations ->
+              List.iter
+                (fun v -> prerr_endline ("verifier: " ^ Warp.Verify.violation_to_string v))
+                violations;
+              raise (Driver.Compile.Compile_error "generated code failed verification"));
+            Printf.printf "section %-12s %4d wides %6d bytes -> %s\n"
+              sw.Driver.Compile.sw_name
+              (Warp.Mcode.image_wide_count sw.Driver.Compile.sw_image)
+              sw.Driver.Compile.sw_image_bytes obj)
+          mw.Driver.Compile.mw_sections;
+        List.iter
+          (fun (fw : Driver.Compile.func_work) ->
+            Printf.printf
+              "  %-16s %4d loc  ir=%-5d opt-work=%-8d sched-work=%-8d wides=%-5d%s\n"
+              fw.Driver.Compile.fw_name fw.Driver.Compile.fw_loc
+              fw.Driver.Compile.fw_ir_instrs fw.Driver.Compile.fw_opt_work
+              fw.Driver.Compile.fw_sched_work fw.Driver.Compile.fw_wides
+              (if fw.Driver.Compile.fw_pipelined > 0 then "  [software-pipelined]" else ""))
+          (Driver.Compile.all_funcs mw))
+  in
+  let term = Term.(term_result (const action $ file $ level $ dump_ir $ dump_asm $ out_dir)) in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a W2 module to Warp download modules") term
+
+(* --- check --- *)
+
+let check_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"W2 source module")
+  in
+  let action file =
+    or_compile_error (fun () ->
+        let source = read_file file in
+        let m = W2.Parser.module_of_string ~file source in
+        match W2.Semcheck.check_module m with
+        | [] ->
+          Printf.printf "%s: %d section(s), %d function(s), %d line(s) — ok\n"
+            m.W2.Ast.mname
+            (List.length m.W2.Ast.sections)
+            (W2.Ast.func_count m)
+            (W2.Pretty.source_lines source)
+        | errors ->
+          List.iter (fun e -> prerr_endline (W2.Semcheck.error_to_string e)) errors;
+          exit 1)
+  in
+  let term = Term.(term_result (const action $ file)) in
+  Cmd.v (Cmd.info "check" ~doc:"Run phase 1 only (parse and semantic check)") term
+
+(* --- run --- *)
+
+let parse_values s =
+  if s = "" then []
+  else
+    String.split_on_char ',' s
+    |> List.map (fun tok ->
+           let tok = String.trim tok in
+           match int_of_string_opt tok with
+           | Some n -> Midend.Ir_interp.Vi n
+           | None -> Midend.Ir_interp.Vf (float_of_string tok))
+
+let run_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"W2 source module")
+  in
+  let entry =
+    Arg.(required & opt (some string) None & info [ "entry" ] ~docv:"NAME"
+           ~doc:"Entry function")
+  in
+  let args_str =
+    Arg.(value & opt string "" & info [ "args" ] ~docv:"V,V,..."
+           ~doc:"Comma-separated arguments (ints or floats)")
+  in
+  let input_x =
+    Arg.(value & opt string "" & info [ "input-x" ] ~docv:"V,V,..."
+           ~doc:"Values fed to the X channel")
+  in
+  let array =
+    Arg.(value & flag & info [ "array" ] ~doc:"Run on the whole cell array (X flows host -> cell0 -> ... -> host)")
+  in
+  let level =
+    Arg.(value & opt int 2 & info [ "O"; "opt-level" ] ~docv:"LEVEL" ~doc:"Optimization level")
+  in
+  let action file entry args_str input_x array level =
+    or_compile_error (fun () ->
+        let mw = Driver.Compile.compile_source ~level ~file (read_file file) in
+        let sw =
+          match
+            List.find_opt
+              (fun (sw : Driver.Compile.section_work) ->
+                List.exists
+                  (fun fw -> fw.Driver.Compile.fw_name = entry)
+                  sw.Driver.Compile.sw_funcs)
+              mw.Driver.Compile.mw_sections
+          with
+          | Some sw -> sw
+          | None -> raise (Driver.Compile.Compile_error ("no function " ^ entry))
+        in
+        let image = sw.Driver.Compile.sw_image in
+        let args = parse_values args_str in
+        let inputs = parse_values input_x in
+        if array then begin
+          let result =
+            Warp.Arraysim.run image ~name:entry ~args:(fun _ -> args) ~input_x:inputs ()
+          in
+          Printf.printf "cycles: %d\n" result.Warp.Arraysim.cycles;
+          Array.iteri
+            (fun i r ->
+              Printf.printf "cell %d returned: %s\n" i
+                (match r with
+                | Some v -> Midend.Ir_interp.value_to_string v
+                | None -> "(nothing)"))
+            result.Warp.Arraysim.returns;
+          List.iter
+            (fun v -> Printf.printf "host X <- %s\n" (Midend.Ir_interp.value_to_string v))
+            result.Warp.Arraysim.host_x
+        end
+        else begin
+          let ports, outputs = Warp.Cellsim.script_ports ~input_x:inputs ~input_y:[] in
+          let result, cycles = Warp.Cellsim.run ~ports image ~name:entry ~args in
+          Printf.printf "cycles: %d\n" cycles;
+          (match result with
+          | Some v -> Printf.printf "result: %s\n" (Midend.Ir_interp.value_to_string v)
+          | None -> print_endline "result: (nothing)");
+          let out_x, out_y = outputs () in
+          List.iter
+            (fun v -> Printf.printf "X -> %s\n" (Midend.Ir_interp.value_to_string v))
+            out_x;
+          List.iter
+            (fun v -> Printf.printf "Y -> %s\n" (Midend.Ir_interp.value_to_string v))
+            out_y
+        end)
+  in
+  let term =
+    Term.(term_result (const action $ file $ entry $ args_str $ input_x $ array $ level))
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Compile and execute on the cycle simulator") term
+
+(* --- simulate --- *)
+
+let simulate_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"W2 source module")
+  in
+  let processors =
+    Arg.(value & opt (some int) None & info [ "processors"; "p" ] ~docv:"N"
+           ~doc:"Workstations for function masters (default: one per function)")
+  in
+  let level =
+    Arg.(value & opt int 2 & info [ "O"; "opt-level" ] ~docv:"LEVEL" ~doc:"Optimization level")
+  in
+  let action file processors level =
+    or_compile_error (fun () ->
+        let mw = Driver.Compile.compile_source ~level ~file (read_file file) in
+        let c = Parallel_cc.Experiment.measure ?processors mw in
+        let open Parallel_cc in
+        Printf.printf "module %s: %d function(s), %d line(s)\n"
+          mw.Driver.Compile.mw_name
+          (List.length (Driver.Compile.all_funcs mw))
+          mw.Driver.Compile.mw_loc;
+        Printf.printf "sequential elapsed : %8.1f s\n" c.Timings.seq.Timings.elapsed;
+        Printf.printf "parallel elapsed   : %8.1f s  (%d processors)\n"
+          c.Timings.par.Timings.elapsed c.Timings.processors;
+        Printf.printf "speedup            : %8.2f\n" c.Timings.speedup;
+        Printf.printf "total overhead     : %8.1f s (%.1f%% of parallel elapsed)\n"
+          c.Timings.total_overhead c.Timings.rel_total_overhead;
+        Printf.printf "  implementation   : %8.1f s\n" c.Timings.impl_overhead;
+        Printf.printf "  system           : %8.1f s (%.1f%%)\n" c.Timings.sys_overhead
+          c.Timings.rel_sys_overhead;
+        Printf.printf "per-station CPU (s): %s\n"
+          (String.concat ", "
+             (List.map (Printf.sprintf "%.0f") c.Timings.par.Timings.cpu_per_station)))
+  in
+  let term = Term.(term_result (const action $ file $ processors $ level)) in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Replay sequential vs parallel compilation on the simulated network")
+    term
+
+let () =
+  let doc = "parallel compiler for a Warp-like systolic array" in
+  let info = Cmd.info "warpcc" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ check_cmd; compile_cmd; run_cmd; simulate_cmd ]))

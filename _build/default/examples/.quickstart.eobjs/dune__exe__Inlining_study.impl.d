@@ -1,0 +1,1 @@
+examples/inlining_study.ml: Experiment Parallel_cc Printf Stats Timings

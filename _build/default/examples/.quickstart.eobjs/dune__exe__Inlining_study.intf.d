@@ -1,0 +1,1 @@
+examples/inlining_study.mli:

@@ -1,0 +1,1 @@
+examples/parallel_compile.ml: Config Experiment List Parallel_cc Parrun Plan Printf Stats Timings W2

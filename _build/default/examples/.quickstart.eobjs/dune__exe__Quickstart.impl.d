@@ -1,0 +1,1 @@
+examples/quickstart.ml: Driver List Midend Printf String W2 Warp

@@ -1,0 +1,1 @@
+examples/systolic_pipeline.ml: Driver List Midend Printf Stats Warp

@@ -1,0 +1,1 @@
+examples/user_program.ml: Driver Experiment List Parallel_cc Plan Printf Stats String Timings

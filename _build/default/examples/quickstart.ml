@@ -1,0 +1,92 @@
+(* Quickstart: compile a W2 module through all four phases and execute
+   the generated code on the cycle-accurate cell simulator.
+
+     dune exec examples/quickstart.exe
+*)
+
+let source =
+  {|
+module quickstart
+  section sec1 cells 1
+  function weight(x: float) : float
+  begin
+    return x * 0.75 + 0.5;
+  end
+  function smooth(n: int) : float
+    var i : int;
+    var acc : float;
+    var window : array[8] of float;
+  begin
+    for i := 0 to 7 do
+      window[i] := float(i) * 0.25;
+    end;
+    acc := 0.0;
+    for i := 0 to 7 do
+      acc := acc + weight(window[i]);
+    end;
+    return acc / float(n);
+  end
+  end
+end
+|}
+
+let () =
+  (* Phase 1: parse and check. *)
+  let m = W2.Parser.module_of_string ~file:"quickstart.w2" source in
+  (match W2.Semcheck.check_module m with
+  | [] -> print_endline "phase 1: parsed and checked"
+  | errors ->
+    List.iter (fun e -> prerr_endline (W2.Semcheck.error_to_string e)) errors;
+    exit 1);
+
+  (* Phases 2-4 with work accounting: the driver runs lowering, the
+     optimizer, software pipelining + code generation, assembly and
+     linking. *)
+  let mw = Driver.Compile.compile_source ~file:"quickstart.w2" source in
+  List.iter
+    (fun (fw : Driver.Compile.func_work) ->
+      Printf.printf
+        "phase 2+3: %-8s %3d lines -> %4d IR instrs, %4d wide instrs%s\n"
+        fw.Driver.Compile.fw_name fw.Driver.Compile.fw_loc
+        fw.Driver.Compile.fw_ir_instrs fw.Driver.Compile.fw_wides
+        (if fw.Driver.Compile.fw_pipelined > 0 then " (software-pipelined)" else ""))
+    (Driver.Compile.all_funcs mw);
+  let sw = List.hd mw.Driver.Compile.mw_sections in
+  Printf.printf "phase 4: download module is %d bytes\n\n"
+    sw.Driver.Compile.sw_image_bytes;
+
+  (* A peek at the generated wide code. *)
+  let image = sw.Driver.Compile.sw_image in
+  (match Warp.Mcode.find_func image "weight" with
+  | Some f -> print_string (Warp.Mcode.mfunc_to_string f)
+  | None -> ());
+  print_newline ();
+
+  (* Execute on the cycle simulator and cross-check against the
+     reference interpreter. *)
+  let compiled, cycles =
+    Warp.Cellsim.run image ~name:"smooth" ~args:[ Midend.Ir_interp.Vi 2 ]
+  in
+  let reference =
+    W2.Interp.run_function (List.hd m.W2.Ast.sections) ~name:"smooth"
+      ~args:[ W2.Interp.Vint 2 ]
+  in
+  (match (compiled, reference) with
+  | Some (Midend.Ir_interp.Vf got), Some (W2.Interp.Vfloat want) ->
+    Printf.printf "cell simulator: smooth(2) = %.6f in %d cycles\n" got cycles;
+    Printf.printf "interpreter   : smooth(2) = %.6f\n" want;
+    if abs_float (got -. want) < 1e-9 then print_endline "MATCH"
+    else begin
+      print_endline "MISMATCH";
+      exit 1
+    end
+  | _ ->
+    prerr_endline "unexpected results";
+    exit 1);
+
+  (* And the assembler round trip. *)
+  let encoded = Warp.Asm.encode image in
+  let decoded = Warp.Asm.decode encoded in
+  Printf.printf "assembler round trip: %s (%d bytes)\n"
+    (if decoded = image then "ok" else "BROKEN")
+    (String.length encoded)

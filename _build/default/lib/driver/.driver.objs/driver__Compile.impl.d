@@ -1,0 +1,1 @@
+lib/driver/compile.ml: Hashtbl List Midend Option Printf String W2 Warp

@@ -1,0 +1,1 @@
+lib/driver/compile.mli: Hashtbl Midend W2 Warp

@@ -1,0 +1,1 @@
+lib/driver/cost.mli: Compile

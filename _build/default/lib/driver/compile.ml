@@ -1,0 +1,139 @@
+(* The four-phase compiler pipeline (section 3.2 of the paper), with
+   work-unit accounting.
+
+   Running the real compiler yields deterministic work counts per phase
+   and per function; [Cost] converts them into simulated 1989 seconds.
+   Phase 1 (parse + semantic check) and phase 4 (assembly, linking, I/O
+   drivers) are module/section-level; phases 2 (flowgraph + optimizer)
+   and 3 (software pipelining + code generation) are the per-function
+   work that the parallel compiler distributes. *)
+
+exception Compile_error of string
+
+type func_work = {
+  fw_name : string;
+  fw_section : string;
+  fw_loc : int; (* source lines: the paper's size metric *)
+  fw_tokens : int; (* tokens of this function's own source text *)
+  fw_ast_nodes : int;
+  fw_ir_instrs : int; (* after lowering, before optimization *)
+  fw_opt_work : int; (* phase 2 work units *)
+  fw_sched_work : int; (* phase 3 work units *)
+  fw_wides : int; (* code size in wide instructions *)
+  fw_pipelined : int;
+  fw_spilled : int;
+}
+
+type section_work = {
+  sw_name : string;
+  sw_funcs : func_work list;
+  sw_image : Warp.Mcode.image;
+  sw_image_bytes : int;
+  sw_driver : Warp.Iodriver.t;
+}
+
+type module_work = {
+  mw_name : string;
+  mw_loc : int;
+  mw_tokens : int; (* lexed tokens of the whole module: phase 1 *)
+  mw_sections : section_work list;
+}
+
+let count_tokens source = List.length (W2.Lexer.tokenize source)
+
+let ast_nodes (f : W2.Ast.func) =
+  W2.Ast.stmt_count f.W2.Ast.body + List.length f.W2.Ast.locals
+  + List.length f.W2.Ast.params
+
+(* Phases 2 and 3 for one function. *)
+let compile_function ?(level = 2) ~func_rets ~section (f : W2.Ast.func) :
+    func_work * Warp.Mcode.mfunc =
+  let ir = Midend.Lower.lower_function ~func_rets f in
+  let fw_ir_instrs = Midend.Ir.instr_count ir in
+  let stats = Midend.Opt.optimize ~level ir in
+  let compiled = Warp.Codegen.compile_function ir in
+  let work =
+    {
+      fw_name = f.W2.Ast.fname;
+      fw_section = section;
+      fw_loc = W2.Pretty.func_loc f;
+      fw_tokens = count_tokens (W2.Pretty.func_to_string f);
+      fw_ast_nodes = ast_nodes f;
+      fw_ir_instrs;
+      fw_opt_work = stats.Midend.Opt.work;
+      fw_sched_work = compiled.Warp.Codegen.sched_work;
+      fw_wides = compiled.Warp.Codegen.wide_count;
+      fw_pipelined = compiled.Warp.Codegen.pipelined;
+      fw_spilled = compiled.Warp.Codegen.spilled;
+    }
+  in
+  (work, compiled.Warp.Codegen.mfunc)
+
+let func_rets_of (sec : W2.Ast.section) =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun (f : W2.Ast.func) ->
+      Hashtbl.replace table f.W2.Ast.fname
+        (Option.map
+           (function
+             | W2.Ast.Tint -> Midend.Ir.Int
+             | W2.Ast.Tfloat -> Midend.Ir.Float
+             | W2.Ast.Tbool -> Midend.Ir.Bool
+             | W2.Ast.Tarray _ -> raise (Compile_error "array return type"))
+           f.W2.Ast.ret))
+    sec.W2.Ast.funcs;
+  table
+
+(* Phases 2-4 for one section. *)
+let compile_section ?(level = 2) (sec : W2.Ast.section) : section_work =
+  let func_rets = func_rets_of sec in
+  let results =
+    List.map (compile_function ~level ~func_rets ~section:sec.W2.Ast.sname) sec.W2.Ast.funcs
+  in
+  let image =
+    Warp.Link.link ~section:sec.W2.Ast.sname ~cells:sec.W2.Ast.cells
+      (List.map snd results)
+  in
+  let driver = Warp.Iodriver.generate image in
+  {
+    sw_name = sec.W2.Ast.sname;
+    sw_funcs = List.map fst results;
+    sw_image = image;
+    sw_image_bytes = Warp.Asm.encoded_size image;
+    sw_driver = driver;
+  }
+
+(* The whole compiler, from source text.  Raises [Compile_error] on
+   phase-1 failure (the master aborts, as in the paper). *)
+let compile_source ?(level = 2) ?(file = "<module>") (source : string) : module_work =
+  let tokens = count_tokens source in
+  let m =
+    try W2.Parser.module_of_string ~file source with
+    | W2.Parser.Error (msg, loc) ->
+      raise (Compile_error (Printf.sprintf "%s: %s" (W2.Loc.to_string loc) msg))
+    | W2.Lexer.Error (msg, loc) ->
+      raise (Compile_error (Printf.sprintf "%s: %s" (W2.Loc.to_string loc) msg))
+  in
+  (match W2.Semcheck.check_module m with
+  | [] -> ()
+  | errors ->
+    raise
+      (Compile_error
+         (String.concat "\n" (List.map W2.Semcheck.error_to_string errors))));
+  {
+    mw_name = m.W2.Ast.mname;
+    mw_loc = W2.Pretty.source_lines source;
+    mw_tokens = tokens;
+    mw_sections = List.map (compile_section ~level) m.W2.Ast.sections;
+  }
+
+(* Convenience: compile an AST (pretty-printing it first so that the
+   token count reflects a real source file). *)
+let compile_module ?(level = 2) (m : W2.Ast.modul) : module_work =
+  compile_source ~level (W2.Pretty.module_to_string m)
+
+let all_funcs (mw : module_work) : func_work list =
+  List.concat_map (fun s -> s.sw_funcs) mw.mw_sections
+
+let total_image_bytes (mw : module_work) : int =
+  List.fold_left (fun acc s -> acc + s.sw_image_bytes) 0 mw.mw_sections

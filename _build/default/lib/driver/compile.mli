@@ -1,0 +1,70 @@
+(** The four-phase compiler pipeline (paper, section 3.2) with
+    work-unit accounting.
+
+    Running the real compiler yields deterministic work counts per
+    phase and per function; {!Cost} converts them into simulated 1989
+    seconds.  Phase 1 (parse + semantic check) and phase 4 (assembly,
+    linking, I/O drivers) are module/section-level; phases 2 (flowgraph
+    + optimizer) and 3 (software pipelining + code generation) are the
+    per-function work the parallel compiler distributes. *)
+
+exception Compile_error of string
+(** Phase-1 failure: the master aborts the compilation. *)
+
+type func_work = {
+  fw_name : string;
+  fw_section : string;
+  fw_loc : int; (** source lines — the paper's size metric *)
+  fw_tokens : int; (** tokens of this function's own source text *)
+  fw_ast_nodes : int;
+  fw_ir_instrs : int; (** after lowering, before optimization *)
+  fw_opt_work : int; (** phase-2 work units *)
+  fw_sched_work : int; (** phase-3 work units *)
+  fw_wides : int; (** code size in wide instructions *)
+  fw_pipelined : int; (** loops software-pipelined *)
+  fw_spilled : int;
+}
+
+type section_work = {
+  sw_name : string;
+  sw_funcs : func_work list;
+  sw_image : Warp.Mcode.image;
+  sw_image_bytes : int;
+  sw_driver : Warp.Iodriver.t;
+}
+
+type module_work = {
+  mw_name : string;
+  mw_loc : int;
+  mw_tokens : int; (** lexed tokens of the whole module: phase 1 *)
+  mw_sections : section_work list;
+}
+
+val count_tokens : string -> int
+
+val func_rets_of :
+  W2.Ast.section -> (string, Midend.Ir.ty option) Hashtbl.t
+(** Return types of a section's functions — the context
+    {!Midend.Lower.lower_function} needs. *)
+
+val compile_function :
+  ?level:int ->
+  func_rets:(string, Midend.Ir.ty option) Hashtbl.t ->
+  section:string ->
+  W2.Ast.func ->
+  func_work * Warp.Mcode.mfunc
+(** Phases 2 and 3 for one (checked) function. *)
+
+val compile_section : ?level:int -> W2.Ast.section -> section_work
+(** Phases 2-4 for one section. *)
+
+val compile_source : ?level:int -> ?file:string -> string -> module_work
+(** The whole compiler, from source text.
+    @raise Compile_error on phase-1 failure. *)
+
+val compile_module : ?level:int -> W2.Ast.modul -> module_work
+(** Convenience: pretty-print the AST so the token count reflects a
+    real source file, then {!compile_source}. *)
+
+val all_funcs : module_work -> func_work list
+val total_image_bytes : module_work -> int

@@ -1,0 +1,1 @@
+lib/ir/constfold.ml: Array Ir List

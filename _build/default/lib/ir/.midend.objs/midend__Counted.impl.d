@@ -1,0 +1,1 @@
+lib/ir/counted.ml: Array Cfg Ir List Loops

@@ -1,0 +1,1 @@
+lib/ir/counted.mli: Ir Loops

@@ -1,0 +1,1 @@
+lib/ir/gcp.ml: Array Cfg Dom Hashtbl Ir List

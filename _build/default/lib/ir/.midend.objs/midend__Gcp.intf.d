@@ -1,0 +1,1 @@
+lib/ir/gcp.mli: Ir

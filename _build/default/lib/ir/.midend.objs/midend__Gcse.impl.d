@@ -1,0 +1,1 @@
+lib/ir/gcse.ml: Array Cfg Dom Hashtbl Ir List

@@ -1,0 +1,1 @@
+lib/ir/gcse.mli: Ir

@@ -1,0 +1,1 @@
+lib/ir/ifconv.ml: Array Cfg Hashtbl Ir List

@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Array Buffer List Printf String W2

@@ -1,0 +1,1 @@
+lib/ir/ir_interp.ml: Array Hashtbl Ir List Printf W2

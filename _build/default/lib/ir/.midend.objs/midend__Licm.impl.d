@@ -1,0 +1,1 @@
+lib/ir/licm.ml: Array Cfg Hashtbl Ir List Liveness Loops Option

@@ -1,0 +1,1 @@
+lib/ir/liveness.ml: Array Cfg Int Ir List Set

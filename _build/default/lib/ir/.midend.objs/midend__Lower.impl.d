@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Array Hashtbl Ir List Option W2

@@ -1,0 +1,1 @@
+lib/ir/lower.mli: Hashtbl Ir W2

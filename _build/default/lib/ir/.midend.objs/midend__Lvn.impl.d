@@ -1,0 +1,1 @@
+lib/ir/lvn.ml: Array Hashtbl Ir List Option

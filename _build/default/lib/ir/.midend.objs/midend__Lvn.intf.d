@@ -1,0 +1,1 @@
+lib/ir/lvn.mli: Ir

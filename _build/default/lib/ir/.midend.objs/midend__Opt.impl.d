@@ -1,0 +1,1 @@
+lib/ir/opt.ml: Cfg Constfold Dce Gcp Gcse Ifconv Ir Licm List Lvn Printf Strength Unroll

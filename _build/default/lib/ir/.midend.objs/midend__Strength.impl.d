@@ -1,0 +1,1 @@
+lib/ir/strength.ml: Array Hashtbl Ir Licm List Loops

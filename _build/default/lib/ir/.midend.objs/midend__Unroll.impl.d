@@ -1,0 +1,1 @@
+lib/ir/unroll.ml: Array Cfg Ir List Loops

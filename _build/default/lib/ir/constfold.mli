@@ -1,0 +1,11 @@
+(** Constant folding and algebraic simplification (part of the "local
+    optimization" of phase 2).
+
+    Folds operations on immediates, applies identities exact for the
+    represented values ([x*1], [x/1], [x+0], [x-0]; [x*0] only for
+    integers), and turns branches on constants into jumps.  Division
+    and mod by a constant zero are never folded: they keep their
+    runtime-error semantics. *)
+
+val run : Ir.func -> int
+(** One folding sweep; returns the number of rewrites. *)

@@ -1,0 +1,95 @@
+(* Recognizer for canonical counted loops — the shape produced by
+   lowering a [for] loop:
+
+     pre:  ... v := lo ...            jump h
+     h:    c := icmp.le v, limit      branch c, bb, exit
+     bb:   <body, v := v + 1 once>    jump h
+
+   with loop body {h, bb} and the comparison register used nowhere else.
+   Both the unroller and the software pipeliner key on this shape; the
+   bounds are reported when they are compile-time constants. *)
+
+module Iset = Loops.Iset
+
+type t = {
+  header : int;
+  body_block : int;
+  exit : int;
+  preheader : int;
+  var : Ir.reg;
+  cmp_reg : Ir.reg;
+  lo : int option; (* constant initial value, if recognizable *)
+  hi : int option; (* constant bound, if recognizable *)
+}
+
+let trip t =
+  match (t.lo, t.hi) with
+  | Some lo, Some hi -> Some (max 0 (hi - lo + 1))
+  | _ -> None
+
+let last_def_in (b : Ir.block) r =
+  List.fold_left
+    (fun acc instr -> if Ir.def_of instr = Some r then Some instr else acc)
+    None b.instrs
+
+let cmp_reg_used_elsewhere (f : Ir.func) ~header c =
+  let used = ref false in
+  Array.iteri
+    (fun i (b : Ir.block) ->
+      List.iter
+        (fun instr -> if List.mem c (Ir.uses_of instr) then used := true)
+        b.instrs;
+      if i <> header && List.mem c (Ir.term_uses b.term) then used := true)
+    f.blocks;
+  !used
+
+let recognize (f : Ir.func) (l : Loops.loop) : t option =
+  match Iset.elements l.body with
+  | [ a; b ] -> (
+    let h = l.header in
+    let bb = if a = h then b else a in
+    let header_block = f.blocks.(h) in
+    let body_block = f.blocks.(bb) in
+    let preds = Cfg.predecessors f in
+    match (header_block.instrs, header_block.term, body_block.term) with
+    | ( [ Ir.Bin (Ir.Icmp Ir.Cle, c, Ir.Reg v, lim_op) ],
+        Ir.Branch (Ir.Reg c', bt, exit),
+        Ir.Jump back )
+      when c = c' && bt = bb && back = h
+           && (not (Iset.mem exit l.body))
+           && preds.(bb) = [ h ]
+           && not (cmp_reg_used_elsewhere f ~header:h c) -> (
+      let v_defs = List.filter (fun i -> Ir.def_of i = Some v) body_block.instrs in
+      let step_ok =
+        match v_defs with
+        | [ Ir.Bin (Ir.Iadd, _, Ir.Reg v', Ir.Imm_int 1) ] -> v' = v
+        | _ -> false
+      in
+      if not step_ok then None
+      else
+        match List.filter (fun p -> not (Iset.mem p l.body)) preds.(h) with
+        | [ pre ] ->
+          let pre_block = f.blocks.(pre) in
+          let lo =
+            match last_def_in pre_block v with
+            | Some (Ir.Mov (_, Ir.Imm_int lo)) -> Some lo
+            | _ -> None
+          in
+          let hi =
+            match lim_op with
+            | Ir.Imm_int hi -> Some hi
+            | Ir.Reg limit ->
+              let defined_in_loop =
+                List.exists (fun i -> Ir.def_of i = Some limit) body_block.instrs
+              in
+              if defined_in_loop then None
+              else (
+                match last_def_in pre_block limit with
+                | Some (Ir.Mov (_, Ir.Imm_int hi)) -> Some hi
+                | _ -> None)
+            | Ir.Imm_float _ -> None
+          in
+          Some { header = h; body_block = bb; exit; preheader = pre; var = v; cmp_reg = c; lo; hi }
+        | _ -> None)
+    | _ -> None)
+  | _ -> None

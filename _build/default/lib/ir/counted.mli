@@ -1,0 +1,28 @@
+(** Recognizer for canonical counted loops — the shape {!Lower}
+    produces for a [for] loop:
+
+    {v
+    pre:  ... v := lo ...            jump h
+    h:    c := icmp.le v, limit      branch c, bb, exit
+    bb:   <body, v := v + 1 once>    jump h
+    v}
+
+    with loop body [{h, bb}] and the comparison register used nowhere
+    else.  Both the unroller and the software pipeliner key on this
+    shape. *)
+
+type t = {
+  header : int;
+  body_block : int;
+  exit : int;
+  preheader : int;
+  var : Ir.reg; (** the induction variable *)
+  cmp_reg : Ir.reg; (** the guard condition (dead outside the branch) *)
+  lo : int option; (** constant initial value, when recognizable *)
+  hi : int option; (** constant bound, when recognizable *)
+}
+
+val trip : t -> int option
+(** [max 0 (hi - lo + 1)] when both bounds are constant. *)
+
+val recognize : Ir.func -> Loops.loop -> t option

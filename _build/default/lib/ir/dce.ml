@@ -1,0 +1,28 @@
+(* Global dead-code elimination based on liveness.
+
+   A pure instruction whose destination is dead immediately after it is
+   removed.  Stores, calls, sends and receives always stay (calls can
+   carry channel traffic; a receive consumes queue data even if the
+   value is unused). *)
+
+let run (f : Ir.func) : int =
+  let removed = ref 0 in
+  let liveness = Liveness.compute f in
+  Array.iteri
+    (fun i (b : Ir.block) ->
+      let after = Liveness.per_instr liveness f i in
+      let keep = ref [] in
+      List.iteri
+        (fun k instr ->
+          let dead =
+            (not (Ir.has_side_effect instr))
+            &&
+            match Ir.def_of instr with
+            | Some d -> not (Liveness.Rset.mem d after.(k))
+            | None -> false
+          in
+          if dead then incr removed else keep := instr :: !keep)
+        b.instrs;
+      f.blocks.(i) <- { b with Ir.instrs = List.rev !keep })
+    f.blocks;
+  !removed

@@ -1,0 +1,9 @@
+(** Global dead-code elimination based on liveness.
+
+    A pure instruction whose destination is dead immediately after it
+    is removed.  Stores, calls, sends and receives always stay (calls
+    can carry channel traffic; a receive consumes queue data even if
+    the value is unused). *)
+
+val run : Ir.func -> int
+(** Returns the number of instructions removed. *)

@@ -1,0 +1,6 @@
+(** Global constant propagation for single-definition registers: a
+    register defined exactly once, by a move of an immediate, is
+    replaced by that immediate at every dominated use. *)
+
+val run : Ir.func -> int
+(** Returns the number of operands rewritten. *)

@@ -1,0 +1,8 @@
+(** Global common-subexpression elimination (single-definition variant):
+    a pure, non-trapping, memory-free expression whose destination and
+    register operands all have unique, dominating definitions can
+    replace every dominated re-computation of the same expression by a
+    move.  Complements the block-local value numbering of {!Lvn}. *)
+
+val run : Ir.func -> int
+(** Returns the number of re-computations eliminated. *)

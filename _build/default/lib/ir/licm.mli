@@ -1,0 +1,15 @@
+(** Loop-invariant code motion.
+
+    Hoists pure, non-trapping instructions with loop-invariant operands
+    to the loop preheader, provided the destination is defined exactly
+    once in the loop and is not live into the header or into any exit
+    target (so the zero-trip path never observes the speculated
+    value).  Loads additionally require the array to be store-free in
+    the loop. *)
+
+val ensure_preheader : Ir.func -> Loops.loop -> int
+(** Find or create the unique outside block that jumps to the header;
+    returns its index.  (Shared with {!Strength}.) *)
+
+val run : Ir.func -> int
+(** Hoist across all loops to a fixpoint; returns the hoist count. *)

@@ -1,0 +1,85 @@
+(* Backward liveness dataflow over virtual registers.  Drives dead-code
+   elimination, the loop-invariant safety checks and, in the back end,
+   live-interval construction for register allocation. *)
+
+module Rset = Set.Make (Int)
+
+type t = {
+  live_in : Rset.t array;
+  live_out : Rset.t array;
+}
+
+(* use/def of a whole block, computed backwards. *)
+let block_use_def (b : Ir.block) =
+  let use = ref Rset.empty and def = ref Rset.empty in
+  let step_instr instr =
+    (* Backward: a def kills earlier uses... but we scan forward, so an
+       upward-exposed use is one not preceded by a def. *)
+    List.iter
+      (fun r -> if not (Rset.mem r !def) then use := Rset.add r !use)
+      (Ir.uses_of instr);
+    match Ir.def_of instr with
+    | Some d -> def := Rset.add d !def
+    | None -> ()
+  in
+  List.iter step_instr b.instrs;
+  List.iter
+    (fun r -> if not (Rset.mem r !def) then use := Rset.add r !use)
+    (Ir.term_uses b.term);
+  (!use, !def)
+
+let compute (f : Ir.func) : t =
+  let n = Array.length f.blocks in
+  let use = Array.make n Rset.empty and def = Array.make n Rset.empty in
+  Array.iteri
+    (fun i b ->
+      let u, d = block_use_def b in
+      use.(i) <- u;
+      def.(i) <- d)
+    f.blocks;
+  let live_in = Array.make n Rset.empty in
+  let live_out = Array.make n Rset.empty in
+  let succs = Cfg.successors f in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* Iterate in reverse block order as a cheap approximation of
+       postorder; convergence does not depend on it. *)
+    for i = n - 1 downto 0 do
+      let out =
+        List.fold_left
+          (fun acc s -> Rset.union acc live_in.(s))
+          Rset.empty succs.(i)
+      in
+      let inn = Rset.union use.(i) (Rset.diff out def.(i)) in
+      if not (Rset.equal out live_out.(i) && Rset.equal inn live_in.(i)) then begin
+        live_out.(i) <- out;
+        live_in.(i) <- inn;
+        changed := true
+      end
+    done
+  done;
+  { live_in; live_out }
+
+(* Liveness at each instruction boundary within a block:
+   [per_instr liveness f i] returns an array where slot [k] is the set of
+   registers live immediately *after* instruction [k] of block [i]
+   (slot [length instrs] would be the block's live-out; the terminator's
+   uses are already included in the last slot). *)
+let per_instr t (f : Ir.func) i =
+  let b = f.blocks.(i) in
+  let instrs = Array.of_list b.instrs in
+  let n = Array.length instrs in
+  let after = Array.make n Rset.empty in
+  let live = ref (Rset.union t.live_out.(i) (Rset.of_list (Ir.term_uses b.term))) in
+  (* [live_out] already contains the terminator uses via block use sets
+     only when they flow out; add them explicitly to be safe. *)
+  for k = n - 1 downto 0 do
+    after.(k) <- !live;
+    let instr = instrs.(k) in
+    (match Ir.def_of instr with
+    | Some d -> live := Rset.remove d !live
+    | None -> ());
+    List.iter (fun r -> live := Rset.add r !live) (Ir.uses_of instr)
+  done;
+  after

@@ -1,0 +1,17 @@
+(** Backward liveness dataflow over virtual registers.  Drives
+    dead-code elimination, the loop-invariant safety checks and, in the
+    back end, live-interval construction for register allocation. *)
+
+module Rset : Set.S with type elt = int
+
+type t = {
+  live_in : Rset.t array; (** registers live at each block entry *)
+  live_out : Rset.t array; (** registers live at each block exit *)
+}
+
+val compute : Ir.func -> t
+
+val per_instr : t -> Ir.func -> int -> Rset.t array
+(** [per_instr t f b] — slot [k] is the set of registers live
+    immediately {e after} instruction [k] of block [b] (terminator uses
+    included). *)

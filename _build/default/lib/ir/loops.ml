@@ -1,0 +1,105 @@
+(* Natural-loop detection from back edges.
+
+   A back edge is an edge n -> h where h dominates n; the natural loop of
+   that edge is h plus every block that can reach n without passing
+   through h.  Loops keep the header, the body set, the latch blocks and
+   the exit edges; [innermost] filters loops containing no other loop. *)
+
+module Iset = Set.Make (Int)
+
+type loop = {
+  header : int;
+  body : Iset.t; (* includes the header *)
+  latches : int list; (* sources of the back edges *)
+  exits : (int * int) list; (* (from-block-in-loop, to-block-outside) *)
+}
+
+let natural_loop (f : Ir.func) preds ~header ~latch =
+  let body = ref (Iset.of_list [ header; latch ]) in
+  let rec pull n =
+    if n <> header then
+      List.iter
+        (fun p ->
+          if not (Iset.mem p !body) then begin
+            body := Iset.add p !body;
+            pull p
+          end)
+        preds.(n)
+  in
+  pull latch;
+  let exits = ref [] in
+  Iset.iter
+    (fun b ->
+      List.iter
+        (fun s -> if not (Iset.mem s !body) then exits := (b, s) :: !exits)
+        (Ir.successors f.blocks.(b).term))
+    !body;
+  { header; body = !body; latches = [ latch ]; exits = !exits }
+
+let find (f : Ir.func) : loop list =
+  let dom = Dom.compute f in
+  let preds = Cfg.predecessors f in
+  let reachable = Cfg.reachable f in
+  let raw = ref [] in
+  Array.iteri
+    (fun n (b : Ir.block) ->
+      if reachable.(n) then
+        List.iter
+          (fun h -> if Dom.dominates dom h n then raw := (h, n) :: !raw)
+          (Ir.successors b.term))
+    f.blocks;
+  (* Merge loops sharing a header. *)
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (h, n) ->
+      let l = natural_loop f preds ~header:h ~latch:n in
+      match Hashtbl.find_opt tbl h with
+      | None -> Hashtbl.replace tbl h l
+      | Some prev ->
+        Hashtbl.replace tbl h
+          {
+            header = h;
+            body = Iset.union prev.body l.body;
+            latches = l.latches @ prev.latches;
+            exits = [];
+          })
+    !raw;
+  (* Recompute exits after merging. *)
+  let loops =
+    Hashtbl.fold
+      (fun _ l acc ->
+        let exits = ref [] in
+        Iset.iter
+          (fun b ->
+            List.iter
+              (fun s -> if not (Iset.mem s l.body) then exits := (b, s) :: !exits)
+              (Ir.successors f.blocks.(b).term))
+          l.body;
+        { l with exits = !exits } :: acc)
+      tbl []
+  in
+  (* Sort by body size so that inner loops come first. *)
+  List.sort (fun a b -> compare (Iset.cardinal a.body) (Iset.cardinal b.body)) loops
+
+let innermost (loops : loop list) : loop list =
+  List.filter
+    (fun l ->
+      not
+        (List.exists
+           (fun other ->
+             other.header <> l.header
+             && Iset.subset other.body l.body)
+           loops))
+    loops
+
+(* Maximum loop-nesting depth of the function: how many loop bodies
+   contain each block, maximised.  Feeds the cost model (deeper nests
+   make phases 2 and 3 work harder) and the scheduling heuristics. *)
+let nesting_depth (f : Ir.func) : int =
+  let loops = find f in
+  let n = Array.length f.blocks in
+  let depth = Array.make n 0 in
+  List.iter
+    (fun l -> Iset.iter (fun b -> depth.(b) <- depth.(b) + 1) l.body)
+    loops;
+  Array.fold_left max 0 depth

@@ -1,0 +1,25 @@
+(** Natural-loop detection from back edges.
+
+    A back edge is an edge [n -> h] where [h] dominates [n]; the
+    natural loop of that edge is [h] plus every block that can reach
+    [n] without passing through [h].  Loops sharing a header are
+    merged. *)
+
+module Iset : Set.S with type elt = int
+
+type loop = {
+  header : int;
+  body : Iset.t; (** includes the header *)
+  latches : int list; (** sources of the back edges *)
+  exits : (int * int) list; (** (block in loop, target outside) *)
+}
+
+val find : Ir.func -> loop list
+(** All natural loops, smaller bodies first. *)
+
+val innermost : loop list -> loop list
+(** Loops containing no other loop. *)
+
+val nesting_depth : Ir.func -> int
+(** Maximum number of loops containing any one block — an input to the
+    compilation cost model and scheduling heuristics. *)

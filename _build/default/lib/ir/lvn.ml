@@ -1,0 +1,224 @@
+(* Local value numbering: the "local optimization" half of phase 2.
+
+   Within each basic block, operands are canonicalized to the current
+   representative of their value number (which performs local copy and
+   constant propagation), and redundant pure computations — including
+   loads with no intervening store to the same array — are replaced by
+   moves from the register already holding the value (local CSE).
+
+   Calls define fresh values but do *not* invalidate array loads: the
+   language has no aliasing, so a callee can never write the caller's
+   arrays. *)
+
+type key =
+  | Kbin of Ir.binop * int * int
+  | Kun of Ir.unop * int
+  | Ksel of int * int * int
+  | Kload of string * int * int (* array, index vn, memory generation *)
+  | Kimm_int of int
+  | Kimm_float of float
+
+let commutative = function
+  | Ir.Iadd | Ir.Imul | Ir.Fadd | Ir.Fmul | Ir.Band | Ir.Bor | Ir.Imin
+  | Ir.Imax | Ir.Fmin | Ir.Fmax
+  | Ir.Icmp (Ir.Ceq | Ir.Cne)
+  | Ir.Fcmp (Ir.Ceq | Ir.Cne) ->
+    true
+  | Ir.Isub | Ir.Idiv | Ir.Imod | Ir.Fsub | Ir.Fdiv
+  | Ir.Icmp (Ir.Clt | Ir.Cle | Ir.Cgt | Ir.Cge)
+  | Ir.Fcmp (Ir.Clt | Ir.Cle | Ir.Cgt | Ir.Cge) ->
+    false
+
+type state = {
+  mutable next_vn : int;
+  reg_vn : (Ir.reg, int) Hashtbl.t; (* current value number of a register *)
+  expr_vn : (key, int) Hashtbl.t; (* value number of an expression *)
+  rep : (int, Ir.operand) Hashtbl.t; (* representative operand of a vn *)
+  mem_gen : (string, int) Hashtbl.t; (* store generation per array *)
+}
+
+let fresh st =
+  let v = st.next_vn in
+  st.next_vn <- v + 1;
+  v
+
+let vn_of_reg st r =
+  match Hashtbl.find_opt st.reg_vn r with
+  | Some v -> v
+  | None ->
+    let v = fresh st in
+    Hashtbl.replace st.reg_vn r v;
+    Hashtbl.replace st.rep v (Ir.Reg r);
+    v
+
+let vn_of_operand st = function
+  | Ir.Reg r -> vn_of_reg st r
+  | Ir.Imm_int n -> (
+    let k = Kimm_int n in
+    match Hashtbl.find_opt st.expr_vn k with
+    | Some v -> v
+    | None ->
+      let v = fresh st in
+      Hashtbl.replace st.expr_vn k v;
+      Hashtbl.replace st.rep v (Ir.Imm_int n);
+      v)
+  | Ir.Imm_float f -> (
+    let k = Kimm_float f in
+    match Hashtbl.find_opt st.expr_vn k with
+    | Some v -> v
+    | None ->
+      let v = fresh st in
+      Hashtbl.replace st.expr_vn k v;
+      Hashtbl.replace st.rep v (Ir.Imm_float f);
+      v)
+
+(* The representative of [vn], if it is still valid: an immediate always
+   is; a register only while its current vn is unchanged. *)
+let valid_rep st vn =
+  match Hashtbl.find_opt st.rep vn with
+  | Some (Ir.Reg r) ->
+    if Hashtbl.find_opt st.reg_vn r = Some vn then Some (Ir.Reg r) else None
+  | Some imm -> Some imm
+  | None -> None
+
+let canon st changed operand =
+  let vn = vn_of_operand st operand in
+  match valid_rep st vn with
+  | Some rep when rep <> operand ->
+    incr changed;
+    rep
+  | Some _ | None -> operand
+
+let define st d vn =
+  Hashtbl.replace st.reg_vn d vn;
+  (* Prefer register representatives only if none exists (an immediate
+     representative is strictly better). *)
+  match Hashtbl.find_opt st.rep vn with
+  | Some (Ir.Reg r) when Hashtbl.find_opt st.reg_vn r <> Some vn ->
+    Hashtbl.replace st.rep vn (Ir.Reg d)
+  | None -> Hashtbl.replace st.rep vn (Ir.Reg d)
+  | Some _ -> ()
+
+let define_fresh st d =
+  let v = fresh st in
+  Hashtbl.replace st.reg_vn d v;
+  Hashtbl.replace st.rep v (Ir.Reg d)
+
+let gen_of st arr =
+  match Hashtbl.find_opt st.mem_gen arr with Some g -> g | None -> 0
+
+let run_block st (b : Ir.block) changed =
+  let instrs =
+    List.map
+      (fun instr ->
+        match instr with
+        | Ir.Bin (op, d, x, y) -> (
+          let x = canon st changed x and y = canon st changed y in
+          let vx = vn_of_operand st x and vy = vn_of_operand st y in
+          let vx, vy =
+            if commutative op && vx > vy then (vy, vx) else (vx, vy)
+          in
+          let k = Kbin (op, vx, vy) in
+          match Option.bind (Hashtbl.find_opt st.expr_vn k) (valid_rep st) with
+          | Some rep ->
+            incr changed;
+            let vn = Hashtbl.find st.expr_vn k in
+            define st d vn;
+            Ir.Mov (d, rep)
+          | None ->
+            let vn = fresh st in
+            Hashtbl.replace st.expr_vn k vn;
+            Hashtbl.replace st.reg_vn d vn;
+            Hashtbl.replace st.rep vn (Ir.Reg d);
+            Ir.Bin (op, d, x, y))
+        | Ir.Un (op, d, x) -> (
+          let x = canon st changed x in
+          let k = Kun (op, vn_of_operand st x) in
+          match Option.bind (Hashtbl.find_opt st.expr_vn k) (valid_rep st) with
+          | Some rep ->
+            incr changed;
+            let vn = Hashtbl.find st.expr_vn k in
+            define st d vn;
+            Ir.Mov (d, rep)
+          | None ->
+            let vn = fresh st in
+            Hashtbl.replace st.expr_vn k vn;
+            Hashtbl.replace st.reg_vn d vn;
+            Hashtbl.replace st.rep vn (Ir.Reg d);
+            Ir.Un (op, d, x))
+        | Ir.Mov (d, x) ->
+          let x = canon st changed x in
+          let vn = vn_of_operand st x in
+          define st d vn;
+          Ir.Mov (d, x)
+        | Ir.Sel (d, c, a, b) -> (
+          let c = canon st changed c
+          and a = canon st changed a
+          and b = canon st changed b in
+          let k = Ksel (vn_of_operand st c, vn_of_operand st a, vn_of_operand st b) in
+          match Option.bind (Hashtbl.find_opt st.expr_vn k) (valid_rep st) with
+          | Some rep ->
+            incr changed;
+            let vn = Hashtbl.find st.expr_vn k in
+            define st d vn;
+            Ir.Mov (d, rep)
+          | None ->
+            let vn = fresh st in
+            Hashtbl.replace st.expr_vn k vn;
+            Hashtbl.replace st.reg_vn d vn;
+            Hashtbl.replace st.rep vn (Ir.Reg d);
+            Ir.Sel (d, c, a, b))
+        | Ir.Load (d, arr, idx) -> (
+          let idx = canon st changed idx in
+          let k = Kload (arr, vn_of_operand st idx, gen_of st arr) in
+          match Option.bind (Hashtbl.find_opt st.expr_vn k) (valid_rep st) with
+          | Some rep ->
+            incr changed;
+            let vn = Hashtbl.find st.expr_vn k in
+            define st d vn;
+            Ir.Mov (d, rep)
+          | None ->
+            let vn = fresh st in
+            Hashtbl.replace st.expr_vn k vn;
+            Hashtbl.replace st.reg_vn d vn;
+            Hashtbl.replace st.rep vn (Ir.Reg d);
+            Ir.Load (d, arr, idx))
+        | Ir.Store (arr, idx, v) ->
+          let idx = canon st changed idx and v = canon st changed v in
+          Hashtbl.replace st.mem_gen arr (gen_of st arr + 1);
+          Ir.Store (arr, idx, v)
+        | Ir.Call (d, name, args) ->
+          let args = List.map (canon st changed) args in
+          Option.iter (define_fresh st) d;
+          Ir.Call (d, name, args)
+        | Ir.Send (c, v) -> Ir.Send (c, canon st changed v)
+        | Ir.Recv (c, d) ->
+          define_fresh st d;
+          Ir.Recv (c, d))
+      b.instrs
+  in
+  let term =
+    match b.term with
+    | Ir.Branch (c, t, e) -> Ir.Branch (canon st changed c, t, e)
+    | Ir.Ret (Some v) -> Ir.Ret (Some (canon st changed v))
+    | (Ir.Jump _ | Ir.Ret None) as t -> t
+  in
+  { Ir.instrs; term }
+
+(* One sweep over all blocks; local state is reset per block. *)
+let run (f : Ir.func) : int =
+  let changed = ref 0 in
+  Array.iteri
+    (fun i b ->
+      let st =
+        {
+          next_vn = 0;
+          reg_vn = Hashtbl.create 64;
+          expr_vn = Hashtbl.create 64;
+          rep = Hashtbl.create 64;
+          mem_gen = Hashtbl.create 4;
+        }
+      in
+      f.blocks.(i) <- run_block st b changed)
+    f.blocks;
+  !changed

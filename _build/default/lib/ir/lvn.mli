@@ -1,0 +1,11 @@
+(** Local value numbering — the local CSE / copy- and constant-
+    propagation half of phase 2's "local optimization".
+
+    Within each basic block, operands are canonicalized to the current
+    representative of their value number and redundant pure
+    computations — including loads with no intervening store to the
+    same array — become moves.  Calls define fresh values but do not
+    invalidate array loads: the language has no aliasing. *)
+
+val run : Ir.func -> int
+(** One sweep over all blocks; returns the number of rewrites. *)

@@ -1,0 +1,8 @@
+(** Induction-variable strength reduction: [d := v * c] inside a loop,
+    where [v] is a basic induction variable and [c] a constant, becomes
+    a move from a register updated incrementally by [step * c] — a
+    per-iteration add instead of a multiply (which the Warp ALU makes
+    worthwhile). *)
+
+val run : Ir.func -> int
+(** Returns the number of multiplications reduced. *)

@@ -1,0 +1,1 @@
+lib/netsim/des.ml: Array Effect Option

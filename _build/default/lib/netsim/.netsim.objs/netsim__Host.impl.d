@@ -1,0 +1,1 @@
+lib/netsim/host.ml: Array Des List Net Queue Sync

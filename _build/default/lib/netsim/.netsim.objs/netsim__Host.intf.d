@@ -1,0 +1,1 @@
+lib/netsim/host.mli: Des Net Queue Sync

@@ -1,0 +1,1 @@
+lib/netsim/sync.ml: Des Queue

@@ -1,0 +1,1 @@
+lib/netsim/sync.mli: Des Queue

@@ -1,0 +1,79 @@
+(* Workstations and the cluster.
+
+   A workstation has one CPU (FCFS) and a fixed amount of physical
+   memory; processes register their working sets so that CPU work can
+   be slowed down by a caller-supplied factor reflecting paging and
+   garbage collection (the cost model lives with the compiler driver —
+   the host only tracks residency).
+
+   The cluster is the pool of workstations the section masters draw
+   from (first-come-first-served, per section 3.3). *)
+
+type workstation = {
+  ws_id : int;
+  cpu : Sync.resource;
+  mem_mb : float;
+  mutable resident_mb : float;
+  mutable busy_seconds : float; (* accumulated CPU time: the paper's
+                                   per-processor "CPU time" metric *)
+}
+
+let workstation ~id ~mem_mb =
+  { ws_id = id; cpu = Sync.resource 1; mem_mb; resident_mb = 0.0; busy_seconds = 0.0 }
+
+(* Occupancy ratio used by paging models. *)
+let memory_pressure ws = ws.resident_mb /. ws.mem_mb
+
+let add_resident ws mb = ws.resident_mb <- ws.resident_mb +. mb
+let remove_resident ws mb = ws.resident_mb <- max 0.0 (ws.resident_mb -. mb)
+
+(* Run [seconds] of nominal CPU work on [ws].  The work is executed in
+   slices; before each slice [factor] is consulted (e.g. paging or GC
+   overhead given current residency), so the effective time adapts as
+   other processes come and go. *)
+let compute ?(slice = 1.0) sim ws ~factor ~seconds =
+  if seconds < 0.0 then invalid_arg "Host.compute: negative work";
+  let remaining = ref seconds in
+  while !remaining > 0.0 do
+    let nominal = min slice !remaining in
+    let f = max 1.0 (factor ws) in
+    let actual = nominal *. f in
+    Sync.use sim ws.cpu actual;
+    ws.busy_seconds <- ws.busy_seconds +. actual;
+    remaining := !remaining -. nominal
+  done
+
+type cluster = {
+  stations : workstation array;
+  ether : Net.ethernet;
+  fs : Net.fileserver;
+  free : int Queue.t; (* workstation pool, FCFS *)
+  pool_waiters : (int -> unit) Queue.t;
+}
+
+let cluster ?(mem_mb = 16.0) ?ether ?fs ~stations () =
+  let ether = match ether with Some e -> e | None -> Net.ethernet () in
+  let fs = match fs with Some f -> f | None -> Net.fileserver () in
+  let ws = Array.init stations (fun id -> workstation ~id ~mem_mb) in
+  let free = Queue.create () in
+  Array.iter (fun w -> Queue.push w.ws_id free) ws;
+  { stations = ws; ether; fs; free; pool_waiters = Queue.create () }
+
+(* Claim a free workstation (FCFS), blocking while none is available —
+   the paper's first-come-first-served task distribution. *)
+let claim (c : cluster) : workstation =
+  match Queue.take_opt c.free with
+  | Some id -> c.stations.(id)
+  | None ->
+    let id = Des.suspend (fun wake -> Queue.push wake c.pool_waiters) in
+    c.stations.(id)
+
+let release_station (c : cluster) (ws : workstation) =
+  match Queue.take_opt c.pool_waiters with
+  | Some wake -> wake ws.ws_id
+  | None -> Queue.push ws.ws_id c.free
+
+(* Aggregate CPU seconds per station (only stations that worked). *)
+let cpu_times (c : cluster) : float list =
+  Array.to_list c.stations
+  |> List.filter_map (fun w -> if w.busy_seconds > 0.0 then Some w.busy_seconds else None)

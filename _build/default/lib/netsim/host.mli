@@ -1,0 +1,63 @@
+(** Workstations and the cluster pool.
+
+    A workstation has one CPU (FCFS) and a fixed amount of physical
+    memory; processes register their working sets so that CPU work can
+    be slowed down by a caller-supplied factor reflecting paging and
+    garbage collection (the cost model lives with the compiler driver —
+    the host only tracks residency). *)
+
+type workstation = {
+  ws_id : int;
+  cpu : Sync.resource;
+  mem_mb : float;
+  mutable resident_mb : float;
+  mutable busy_seconds : float;
+      (** accumulated CPU time: the paper's per-processor "CPU time" *)
+}
+
+val workstation : id:int -> mem_mb:float -> workstation
+
+val memory_pressure : workstation -> float
+(** Residency divided by physical memory (1.0 = full). *)
+
+val add_resident : workstation -> float -> unit
+val remove_resident : workstation -> float -> unit
+
+val compute :
+  ?slice:float ->
+  Des.t ->
+  workstation ->
+  factor:(workstation -> float) ->
+  seconds:float ->
+  unit
+(** Run [seconds] of nominal CPU work.  The work executes in slices;
+    before each slice [factor] is consulted (e.g. the GC/paging model
+    given current residency), so the effective time adapts as other
+    processes come and go.  @raise Invalid_argument on negative work. *)
+
+type cluster = {
+  stations : workstation array;
+  ether : Net.ethernet;
+  fs : Net.fileserver;
+  free : int Queue.t;
+  pool_waiters : (int -> unit) Queue.t;
+}
+(** The workstation pool the section masters draw from, with the shared
+    Ethernet and file server. *)
+
+val cluster :
+  ?mem_mb:float ->
+  ?ether:Net.ethernet ->
+  ?fs:Net.fileserver ->
+  stations:int ->
+  unit ->
+  cluster
+
+val claim : cluster -> workstation
+(** Take a free workstation, blocking FCFS while none is available —
+    the paper's first-come-first-served task distribution. *)
+
+val release_station : cluster -> workstation -> unit
+
+val cpu_times : cluster -> float list
+(** Busy seconds of every station that did any work. *)

@@ -1,0 +1,72 @@
+(* Network models: a shared Ethernet segment and an NFS-style file
+   server — the host environment of section 3.3 of the paper (diskless
+   workstations sharing one file system over a 10 Mbit/s Ethernet).
+
+   Ethernet transfers proceed in chunks; each chunk's effective rate is
+   divided by a contention factor that grows with the number of
+   concurrent transfers (collisions and exponential backoff).  The file
+   server is a FCFS disk with a per-request seek time. *)
+
+type ethernet = {
+  bytes_per_sec : float;
+  contention_alpha : float; (* extra cost per concurrent transfer *)
+  chunk_bytes : float;
+  mutable active : int;
+  mutable total_bytes : float;
+  mutable transfers : int;
+}
+
+let ethernet ?(bytes_per_sec = 1.25e6) ?(contention_alpha = 0.6)
+    ?(chunk_bytes = 16384.0) () =
+  { bytes_per_sec; contention_alpha; chunk_bytes; active = 0; total_bytes = 0.0; transfers = 0 }
+
+(* Move [bytes] over the segment; blocks the calling process for the
+   (contention-dependent) transfer time. *)
+let transfer sim (e : ethernet) ~bytes =
+  if bytes < 0.0 then invalid_arg "Net.transfer: negative size";
+  ignore sim;
+  e.active <- e.active + 1;
+  e.transfers <- e.transfers + 1;
+  e.total_bytes <- e.total_bytes +. bytes;
+  let remaining = ref bytes in
+  while !remaining > 0.0 do
+    let chunk = min e.chunk_bytes !remaining in
+    let factor = 1.0 +. (e.contention_alpha *. float_of_int (e.active - 1)) in
+    Des.delay (chunk /. e.bytes_per_sec *. factor);
+    remaining := !remaining -. chunk
+  done;
+  e.active <- e.active - 1
+
+type fileserver = {
+  disk : Sync.resource;
+  seek_seconds : float;
+  disk_bytes_per_sec : float;
+  mutable requests : int;
+  mutable bytes_served : float;
+}
+
+let fileserver ?(seek_seconds = 0.025) ?(disk_bytes_per_sec = 2.0e6) () =
+  {
+    disk = Sync.resource 1;
+    seek_seconds;
+    disk_bytes_per_sec;
+    requests = 0;
+    bytes_served = 0.0;
+  }
+
+(* One file-server disk operation (read or write) of [bytes]. *)
+let disk_io sim (fs : fileserver) ~bytes =
+  fs.requests <- fs.requests + 1;
+  fs.bytes_served <- fs.bytes_served +. bytes;
+  Sync.use sim fs.disk (fs.seek_seconds +. (bytes /. fs.disk_bytes_per_sec))
+
+(* Fetch a file from the server to a diskless client: disk read, then
+   the transfer over the shared segment. *)
+let fetch sim (fs : fileserver) (e : ethernet) ~bytes =
+  disk_io sim fs ~bytes;
+  transfer sim e ~bytes
+
+(* Store a file from a client onto the server. *)
+let store sim (fs : fileserver) (e : ethernet) ~bytes =
+  transfer sim e ~bytes;
+  disk_io sim fs ~bytes

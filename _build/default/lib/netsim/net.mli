@@ -1,0 +1,48 @@
+(** Network models: a shared Ethernet segment and an NFS-style file
+    server — the host environment of the paper's section 3.3 (diskless
+    workstations sharing one file system over a 10 Mbit/s Ethernet). *)
+
+type ethernet = {
+  bytes_per_sec : float;
+  contention_alpha : float; (** extra cost per concurrent transfer *)
+  chunk_bytes : float;
+  mutable active : int; (** transfers currently in flight *)
+  mutable total_bytes : float;
+  mutable transfers : int;
+}
+(** A shared segment.  Transfers proceed chunk by chunk; each chunk's
+    effective rate is divided by [1 + alpha * (active - 1)] (collisions
+    and exponential backoff). *)
+
+val ethernet :
+  ?bytes_per_sec:float ->
+  ?contention_alpha:float ->
+  ?chunk_bytes:float ->
+  unit ->
+  ethernet
+(** Defaults: 1.25 MB/s (10 Mbit/s), alpha 0.6, 16 KiB chunks. *)
+
+val transfer : Des.t -> ethernet -> bytes:float -> unit
+(** Move [bytes] over the segment, blocking the calling process for the
+    contention-dependent transfer time. *)
+
+type fileserver = {
+  disk : Sync.resource;
+  seek_seconds : float;
+  disk_bytes_per_sec : float;
+  mutable requests : int;
+  mutable bytes_served : float;
+}
+(** One FCFS disk with a per-request seek. *)
+
+val fileserver :
+  ?seek_seconds:float -> ?disk_bytes_per_sec:float -> unit -> fileserver
+
+val disk_io : Des.t -> fileserver -> bytes:float -> unit
+(** One disk operation (queued FCFS behind other requests). *)
+
+val fetch : Des.t -> fileserver -> ethernet -> bytes:float -> unit
+(** Read a file from the server to a diskless client: disk, then wire. *)
+
+val store : Des.t -> fileserver -> ethernet -> bytes:float -> unit
+(** Write a file from a client onto the server: wire, then disk. *)

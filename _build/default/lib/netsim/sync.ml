@@ -1,0 +1,98 @@
+(* Synchronization primitives on top of the DES engine: mailboxes
+   (message queues), counting semaphores / FCFS resources, and join
+   counters.  These model UNIX message-based synchronization between
+   the master processes of the parallel compiler. *)
+
+(* --- mailbox: unbounded message queue --- *)
+
+type 'a mailbox = {
+  messages : 'a Queue.t;
+  waiters : ('a -> unit) Queue.t;
+}
+
+let mailbox () = { messages = Queue.create (); waiters = Queue.create () }
+
+let send (mb : 'a mailbox) (v : 'a) =
+  match Queue.take_opt mb.waiters with
+  | Some wake -> wake v
+  | None -> Queue.push v mb.messages
+
+(* Blocks until a message is available. *)
+let recv (mb : 'a mailbox) : 'a =
+  match Queue.take_opt mb.messages with
+  | Some v -> v
+  | None -> Des.suspend (fun wake -> Queue.push wake mb.waiters)
+
+(* --- FCFS resource with [capacity] servers --- *)
+
+type resource = {
+  capacity : int;
+  mutable in_use : int;
+  queue : (unit -> unit) Queue.t;
+  (* instrumentation *)
+  mutable total_wait : float;
+  mutable total_service : float;
+  mutable served : int;
+}
+
+let resource capacity =
+  if capacity < 1 then invalid_arg "Sync.resource: capacity must be positive";
+  {
+    capacity;
+    in_use = 0;
+    queue = Queue.create ();
+    total_wait = 0.0;
+    total_service = 0.0;
+    served = 0;
+  }
+
+let acquire sim (r : resource) =
+  if r.in_use < r.capacity then r.in_use <- r.in_use + 1
+  else begin
+    let t0 = Des.now sim in
+    Des.suspend (fun wake -> Queue.push (fun () -> wake ()) r.queue);
+    r.total_wait <- r.total_wait +. (Des.now sim -. t0)
+  end
+
+let release (r : resource) =
+  match Queue.take_opt r.queue with
+  | Some wake -> wake () (* hand the slot over directly *)
+  | None -> r.in_use <- r.in_use - 1
+
+(* Hold the resource for [amount] simulated seconds. *)
+let use sim (r : resource) amount =
+  acquire sim r;
+  Des.delay amount;
+  r.total_service <- r.total_service +. amount;
+  r.served <- r.served + 1;
+  release r
+
+(* --- join counter: wait until [expected] signals have arrived --- *)
+
+type join = {
+  mutable expected : int;
+  mutable arrived : int;
+  mutable waiter : (unit -> unit) option;
+}
+
+let join expected =
+  if expected < 0 then invalid_arg "Sync.join: negative count";
+  { expected; arrived = 0; waiter = None }
+
+let signal (j : join) =
+  j.arrived <- j.arrived + 1;
+  if j.arrived >= j.expected then
+    match j.waiter with
+    | Some wake ->
+      j.waiter <- None;
+      wake ()
+    | None -> ()
+
+(* Blocks until all signals have arrived (returns immediately if they
+   already have).  Single waiter, like a UNIX parent waiting for its
+   children. *)
+let wait (j : join) =
+  if j.arrived < j.expected then
+    Des.suspend (fun wake ->
+        assert (j.waiter = None);
+        j.waiter <- Some (fun () -> wake ()))

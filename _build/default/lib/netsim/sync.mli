@@ -1,0 +1,59 @@
+(** Synchronization primitives on top of the DES engine: mailboxes
+    (message queues), FCFS resources, and join counters.  These model
+    the UNIX message-based synchronization between the master processes
+    of the parallel compiler (paper, section 3.3). *)
+
+(** {1 Mailboxes} *)
+
+type 'a mailbox
+(** An unbounded FIFO message queue with blocking receive. *)
+
+val mailbox : unit -> 'a mailbox
+
+val send : 'a mailbox -> 'a -> unit
+(** Deliver a message; wakes one waiting receiver, never blocks. *)
+
+val recv : 'a mailbox -> 'a
+(** Take the oldest message, blocking the calling process while the
+    mailbox is empty. *)
+
+(** {1 FCFS resources} *)
+
+type resource = {
+  capacity : int;
+  mutable in_use : int;
+  queue : (unit -> unit) Queue.t;
+  mutable total_wait : float; (** accumulated queueing time *)
+  mutable total_service : float; (** accumulated service time *)
+  mutable served : int; (** completed [use] calls *)
+}
+(** A server pool with [capacity] slots and a FIFO wait queue. *)
+
+val resource : int -> resource
+(** @raise Invalid_argument when the capacity is not positive. *)
+
+val acquire : Des.t -> resource -> unit
+(** Take a slot, blocking FCFS while all slots are busy. *)
+
+val release : resource -> unit
+(** Free a slot (handing it directly to the oldest waiter, if any). *)
+
+val use : Des.t -> resource -> float -> unit
+(** [use sim r seconds] = acquire, hold for [seconds] of virtual time,
+    release; updates the instrumentation counters. *)
+
+(** {1 Join counters} *)
+
+type join
+(** A parent-waits-for-children barrier: created with an expected
+    count, released when that many {!signal}s have arrived. *)
+
+val join : int -> join
+(** @raise Invalid_argument on a negative count. *)
+
+val signal : join -> unit
+(** One child is done. *)
+
+val wait : join -> unit
+(** Block the (single) waiting process until all signals have arrived;
+    returns immediately if they already have. *)

@@ -1,0 +1,1 @@
+lib/parallel_cc/domains.ml: Array Atomic Condition Domain Driver List Mutex Option Queue String Sys W2 Warp

@@ -1,0 +1,1 @@
+lib/parallel_cc/domains.mli: W2 Warp

@@ -1,0 +1,1 @@
+lib/parallel_cc/experiment.ml: Config Driver Hashtbl List Makerun Parrun Plan Printf Seqrun Stats String Timings W2

@@ -1,0 +1,1 @@
+lib/parallel_cc/experiment.mli: Config Driver Makerun Timings W2

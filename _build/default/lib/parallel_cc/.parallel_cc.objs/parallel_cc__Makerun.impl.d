@@ -1,0 +1,1 @@
+lib/parallel_cc/makerun.ml: Config Driver List Netsim Parrun Plan Seqrun

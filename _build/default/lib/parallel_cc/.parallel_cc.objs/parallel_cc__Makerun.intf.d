@@ -1,0 +1,1 @@
+lib/parallel_cc/makerun.mli: Config Driver

@@ -1,0 +1,1 @@
+lib/parallel_cc/parrun.ml: Config Driver List Netsim Plan Seqrun Timings

@@ -1,0 +1,1 @@
+lib/parallel_cc/parrun.mli: Config Driver Netsim Plan Timings

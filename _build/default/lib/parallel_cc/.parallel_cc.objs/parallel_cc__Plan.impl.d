@@ -1,0 +1,1 @@
+lib/parallel_cc/plan.ml: Array Driver Float List

@@ -1,0 +1,1 @@
+lib/parallel_cc/seqrun.ml: Config Driver List Netsim Timings

@@ -1,0 +1,1 @@
+lib/parallel_cc/seqrun.mli: Config Driver Netsim Timings

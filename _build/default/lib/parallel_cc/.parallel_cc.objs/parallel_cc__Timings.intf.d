@@ -1,0 +1,1 @@
+lib/parallel_cc/timings.mli:

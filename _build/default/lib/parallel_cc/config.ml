@@ -1,0 +1,70 @@
+(* Configuration of one simulated compilation run: the cost model, the
+   cluster, and the toggles used by the ablation benchmarks. *)
+
+type t = {
+  cost : Driver.Cost.model;
+  stations : int; (* workstation pool size (including the master's) *)
+  memory_model : bool; (* GC/paging slowdowns (ablation: off = 1.0) *)
+  core_download : bool; (* Lisp core image fetched over the network *)
+  ideal_network : bool; (* no Ethernet contention, instant file server *)
+  fine_grained : bool; (* split phases 2 and 3 into separate tasks *)
+  opt_level : int;
+  noise_seed : int; (* 0 = no measurement noise *)
+  noise_amplitude : float; (* +/- fraction on CPU times *)
+}
+
+let default =
+  {
+    cost = Driver.Cost.default;
+    stations = 16;
+    memory_model = true;
+    core_download = true;
+    ideal_network = false;
+    fine_grained = false;
+    opt_level = 2;
+    noise_seed = 0;
+    noise_amplitude = 0.04;
+  }
+
+(* Deterministic multiplicative noise, mirroring the paper's repeated
+   measurements (individual runs deviate a few percent; section 4.2). *)
+let noise (cfg : t) : int -> float =
+  if cfg.noise_seed = 0 then fun _ -> 1.0
+  else begin
+    let state = ref (cfg.noise_seed land 0x3FFFFFFF) in
+    fun _salt ->
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      let u = float_of_int !state /. 1073741824.0 in
+      1.0 +. (cfg.noise_amplitude *. ((2.0 *. u) -. 1.0))
+  end
+
+let cluster (cfg : t) : Netsim.Host.cluster =
+  let ether =
+    if cfg.ideal_network then
+      Netsim.Net.ethernet ~bytes_per_sec:1e12 ~contention_alpha:0.0 ()
+    else Netsim.Net.ethernet ()
+  in
+  let fs =
+    if cfg.ideal_network then
+      Netsim.Net.fileserver ~seek_seconds:0.0 ~disk_bytes_per_sec:1e12 ()
+    else Netsim.Net.fileserver ()
+  in
+  Netsim.Host.cluster ~mem_mb:cfg.cost.Driver.Cost.workstation_mb ~ether ~fs
+    ~stations:cfg.stations ()
+
+(* Memory-pressure slowdown for a station, honouring the ablation.  The
+   paging term is coupled to the whole cluster: diskless stations page
+   through the shared file server. *)
+let cluster_slowdown (cfg : t) (cluster : Netsim.Host.cluster)
+    (ws : Netsim.Host.workstation) =
+  if not cfg.memory_model then 1.0
+  else begin
+    let pagers =
+      Array.fold_left
+        (fun acc w -> if Netsim.Host.memory_pressure w > 1.0 then acc + 1 else acc)
+        0 cluster.Netsim.Host.stations
+    in
+    Driver.Cost.slowdown cfg.cost
+      ~pressure:(Netsim.Host.memory_pressure ws)
+      ~pagers
+  end

@@ -1,0 +1,28 @@
+(** Configuration of one simulated compilation run: the cost model, the
+    cluster, and the toggles used by the ablation benchmarks. *)
+
+type t = {
+  cost : Driver.Cost.model;
+  stations : int; (** workstation pool size, master's included *)
+  memory_model : bool; (** GC/paging slowdowns (ablation: off = 1.0) *)
+  core_download : bool; (** Lisp core image fetched over the network *)
+  ideal_network : bool; (** no contention, instant file server *)
+  fine_grained : bool; (** split phases 2 and 3 into separate tasks *)
+  opt_level : int;
+  noise_seed : int; (** 0 = no measurement noise *)
+  noise_amplitude : float; (** +/- fraction on CPU times *)
+}
+
+val default : t
+
+val noise : t -> int -> float
+(** Deterministic multiplicative noise stream, mirroring the paper's
+    repeated measurements (§4.2); the argument salts the sequence. *)
+
+val cluster : t -> Netsim.Host.cluster
+(** A fresh cluster per the configuration. *)
+
+val cluster_slowdown : t -> Netsim.Host.cluster -> Netsim.Host.workstation -> float
+(** Memory-pressure slowdown of one station, honouring the ablation
+    toggles; the paging term is coupled to the whole cluster (diskless
+    stations page through the shared file server). *)

@@ -1,0 +1,20 @@
+(** Real multicore execution of the master / section-master /
+    function-master hierarchy using OCaml domains.
+
+    The discrete-event simulation reproduces the paper's measurements
+    on a period-accurate host; this driver demonstrates that the same
+    orchestration runs the {e actual} compiler in parallel on today's
+    hardware: one domain per function master, FCFS over a bounded pool,
+    sections independent, phases 1 and 4 sequential — the structure of
+    the paper's figure 2. *)
+
+type result = {
+  images : (string * Warp.Mcode.image) list; (** per section *)
+  functions_compiled : int;
+  wall_seconds : float;
+}
+
+val compile_parallel :
+  ?workers:int -> ?level:int -> W2.Ast.modul -> result
+(** Compile with up to [workers] function masters running as domains.
+    @raise Driver.Compile.Compile_error on phase-1 failure. *)

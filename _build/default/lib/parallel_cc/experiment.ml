@@ -1,0 +1,266 @@
+(* Drivers for every experiment in the paper's evaluation (section 4).
+
+   Each driver compiles the test programs with the real compiler (work
+   measurement), then plays the sequential and parallel compilations on
+   the simulated 1989 host, repeating each measurement with the noise
+   model and averaging — the paper's protocol (section 4.2). *)
+
+type point = {
+  n_functions : int;
+  comparison : Timings.comparison;
+}
+
+(* --- compilation cache: measuring work is deterministic, do it once --- *)
+
+let cache : (string, Driver.Compile.module_work) Hashtbl.t = Hashtbl.create 32
+
+let s_program_work ?(level = 2) ~size ~count () : Driver.Compile.module_work =
+  let key = Printf.sprintf "s:%s:%d:%d" (W2.Gen.size_name size) count level in
+  match Hashtbl.find_opt cache key with
+  | Some mw -> mw
+  | None ->
+    let mw = Driver.Compile.compile_module ~level (W2.Gen.s_program ~size ~count ()) in
+    Hashtbl.replace cache key mw;
+    mw
+
+let user_program_work ?(level = 2) () : Driver.Compile.module_work =
+  let key = Printf.sprintf "user:%d" level in
+  match Hashtbl.find_opt cache key with
+  | Some mw -> mw
+  | None ->
+    let mw = Driver.Compile.compile_module ~level (W2.Gen.user_program ()) in
+    Hashtbl.replace cache key mw;
+    mw
+
+(* --- one measurement (sequential vs parallel), repeated and averaged --- *)
+
+let repetitions = 3
+
+let average xs = Stats.mean xs
+
+let measure ?(cfg = Config.default) ?processors (mw : Driver.Compile.module_work) :
+    Timings.comparison =
+  (* [processors] is the number of workstations available to function
+     masters; with fewer processors than tasks, tasks queue FCFS. *)
+  let plan, n_fm =
+    match processors with
+    | None ->
+      let plan = Plan.one_per_station mw in
+      (plan, Plan.task_count plan)
+    | Some p ->
+      let plan = Plan.grouped mw ~processors:p in
+      (plan, p)
+  in
+  let runs =
+    List.init repetitions (fun i ->
+        let seed = 1 + (1000 * i) + (17 * n_fm) in
+        let cfg_run = { cfg with Config.noise_seed = seed } in
+        let seq =
+          Seqrun.run { cfg_run with Config.stations = 1 } mw
+        in
+        let par =
+          (Parrun.run
+             { cfg_run with Config.stations = n_fm + 1 }
+             mw plan)
+            .Parrun.run
+        in
+        (seq, par))
+  in
+  let avg_run (projection : (Timings.run * Timings.run) -> Timings.run) =
+    let sample = projection (List.hd runs) in
+    {
+      sample with
+      Timings.elapsed = average (List.map (fun r -> (projection r).Timings.elapsed) runs);
+      master_cpu = average (List.map (fun r -> (projection r).Timings.master_cpu) runs);
+      section_cpu = average (List.map (fun r -> (projection r).Timings.section_cpu) runs);
+      extra_parse_cpu =
+        average (List.map (fun r -> (projection r).Timings.extra_parse_cpu) runs);
+    }
+  in
+  let seq = avg_run fst and par = avg_run snd in
+  Timings.compare_runs ~processors:n_fm ~seq ~par
+
+(* --- the paper's experiments --- *)
+
+let function_counts = [ 1; 2; 4; 8 ]
+
+(* Figures 3, 4, 5, 12, 13: total execution times (elapsed and
+   per-processor CPU, sequential vs parallel) for one function size. *)
+let size_series ?(cfg = Config.default) (size : W2.Gen.size) : point list =
+  List.map
+    (fun count ->
+      let mw = s_program_work ~level:cfg.Config.opt_level ~size ~count () in
+      { n_functions = count; comparison = measure ~cfg mw })
+    function_counts
+
+(* Figures 6 and 7: speedup for every size and function count. *)
+let speedup_matrix ?(cfg = Config.default) () : (W2.Gen.size * point list) list =
+  List.map (fun size -> (size, size_series ~cfg size)) W2.Gen.all_sizes
+
+(* Figures 8-10 and 14-16 reuse the size series: overheads are already
+   part of each comparison. *)
+
+(* Figure 11: the mechanical-engineering user program (three sections
+   of three functions), compiled on 2, 3, 5 and 9 processors with the
+   load-balancing heuristic. *)
+let user_program ?(cfg = Config.default) () : point list =
+  let mw = user_program_work ~level:cfg.Config.opt_level () in
+  List.map
+    (fun p ->
+      let total_functions = List.length (Driver.Compile.all_funcs mw) in
+      let comparison =
+        if p >= total_functions then measure ~cfg mw
+        else measure ~cfg ~processors:p mw
+      in
+      { n_functions = p; comparison })
+    [ 2; 3; 5; 9 ]
+
+(* Section 4.2.2 (comparison with Katseff's parallel assembler):
+   saturation — elapsed time of the 8-function program as the
+   workstation pool grows; past 8 stations nothing improves. *)
+let saturation ?(cfg = Config.default) ?(size = W2.Gen.Medium) () :
+    (int * float) list =
+  let mw = s_program_work ~level:cfg.Config.opt_level ~size ~count:8 () in
+  let plan = Plan.one_per_station mw in
+  List.map
+    (fun stations ->
+      let cfg_run = { cfg with Config.stations = stations + 1; noise_seed = 7 } in
+      let par = (Parrun.run cfg_run mw plan).Parrun.run in
+      (stations, par.Timings.elapsed))
+    [ 1; 2; 3; 4; 5; 6; 8; 10; 12 ]
+
+(* --- ablations (DESIGN.md section 5) --- *)
+
+type ablation = {
+  ab_name : string;
+  ab_cfg : Config.t;
+}
+
+let ablations =
+  [
+    { ab_name = "baseline"; ab_cfg = Config.default };
+    { ab_name = "no-memory-model"; ab_cfg = { Config.default with Config.memory_model = false } };
+    { ab_name = "no-core-download"; ab_cfg = { Config.default with Config.core_download = false } };
+    { ab_name = "ideal-network"; ab_cfg = { Config.default with Config.ideal_network = true } };
+  ]
+
+(* --- section 5.1: procedure inlining as grain coarsening --- *)
+
+type inlining_study = {
+  baseline : Timings.comparison;
+  inlined : Timings.comparison;
+  baseline_functions : int;
+  inlined_functions : int;
+  calls_inlined : int;
+}
+
+(* Compile the many-small-functions program as-is, then again after
+   inlining the helpers into their drivers (pruning helpers that are no
+   longer called).  The paper's claim: "the increase in size of each
+   function operated upon will also improve the speedup obtained by the
+   parallel compiler". *)
+let run_inlining_study ?(cfg = Config.default) () : inlining_study =
+  let m = W2.Gen.helper_program () in
+  let baseline_mw = Driver.Compile.compile_module ~level:cfg.Config.opt_level m in
+  let expanded, stats = W2.Inline.expand_module m in
+  let roots =
+    List.concat_map
+      (fun (sec : W2.Ast.section) ->
+        List.filter_map
+          (fun (f : W2.Ast.func) ->
+            if String.length f.W2.Ast.fname >= 6
+               && String.sub f.W2.Ast.fname 0 6 = "driver"
+            then Some f.W2.Ast.fname
+            else None)
+          sec.W2.Ast.funcs)
+      expanded.W2.Ast.sections
+  in
+  let pruned =
+    {
+      expanded with
+      W2.Ast.sections =
+        List.map (W2.Inline.prune_section ~roots) expanded.W2.Ast.sections;
+    }
+  in
+  let inlined_mw = Driver.Compile.compile_module ~level:cfg.Config.opt_level pruned in
+  {
+    baseline = measure ~cfg baseline_mw;
+    inlined = measure ~cfg inlined_mw;
+    baseline_functions = List.length (Driver.Compile.all_funcs baseline_mw);
+    inlined_functions = List.length (Driver.Compile.all_funcs inlined_mw);
+    calls_inlined = stats.W2.Inline.inlined;
+  }
+
+(* --- section 3.4: parallel make coexistence --- *)
+
+(* A small "system": several independent modules of mixed sizes, like a
+   makefile with independent targets. *)
+let make_modules ?(level = 2) () : Driver.Compile.module_work list =
+  List.map
+    (fun (size, count, tag) ->
+      let key = Printf.sprintf "make:%s:%d:%d" (W2.Gen.size_name size) count level in
+      match Hashtbl.find_opt cache key with
+      | Some mw -> mw
+      | None ->
+        let m = W2.Gen.s_program ~name:tag ~size ~count () in
+        let mw = Driver.Compile.compile_module ~level m in
+        Hashtbl.replace cache key mw;
+        mw)
+    [
+      (W2.Gen.Medium, 3, "libA");
+      (W2.Gen.Small, 4, "libB");
+      (W2.Gen.Medium, 2, "libC");
+      (W2.Gen.Large, 1, "app");
+    ]
+
+(* Compare the four build strategies of [Makerun] on the mixed system. *)
+let run_make_study ?(cfg = Config.default) ?(stations = 10) () :
+    Makerun.result list =
+  let modules = make_modules ~level:cfg.Config.opt_level () in
+  Makerun.run_all { cfg with Config.noise_seed = 5 } ~stations modules
+
+(* --- section 5: finer-grain parallelism (phase pipelining) --- *)
+
+type grain_point = {
+  gp_stations : int;
+  coarse : float; (* elapsed, phases 2+3 fused (the paper's design) *)
+  fine : float; (* elapsed, phases 2 and 3 as separate tasks *)
+}
+
+(* Throughput of the two granularities as the pool shrinks below the
+   task count: fine grain pipelines phase-2 and phase-3 stages of
+   different functions through the pool, at the price of extra Lisp
+   startups and IR shipping. *)
+let run_grain_study ?(cfg = Config.default) ?(size = W2.Gen.Medium) ?(count = 8) ()
+    : grain_point list =
+  let mw = s_program_work ~level:cfg.Config.opt_level ~size ~count () in
+  let plan = Plan.one_per_station mw in
+  List.map
+    (fun stations ->
+      let elapsed fine_grained =
+        let cfg_run =
+          { cfg with Config.stations; fine_grained; noise_seed = 9 }
+        in
+        (Parrun.run cfg_run mw plan).Parrun.run.Timings.elapsed
+      in
+      { gp_stations = stations; coarse = elapsed false; fine = elapsed true })
+    [ 3; 5; 9 ]
+
+(* --- section 6: how far does this scale? --- *)
+
+(* "For the style of parallelism exploited by this compiler, on the
+   order of 8 to 16 processors can be used comfortably.  For our domain
+   of application programs, extending the number of processors beyond
+   this range is unlikely to yield any additional speedup." *)
+let run_scaling_study ?(cfg = Config.default) ?(size = W2.Gen.Large)
+    ?max_stations () : point list =
+  List.map
+    (fun count ->
+      let mw = s_program_work ~level:cfg.Config.opt_level ~size ~count () in
+      let comparison =
+        match max_stations with
+        | Some cap when count > cap -> measure ~cfg ~processors:cap mw
+        | Some _ | None -> measure ~cfg mw
+      in
+      { n_functions = count; comparison })
+    [ 1; 2; 4; 8; 12; 16; 24; 32 ]

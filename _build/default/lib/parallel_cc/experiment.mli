@@ -1,0 +1,91 @@
+(** Drivers for every experiment in the paper's evaluation (section 4)
+    plus the extension studies.
+
+    Each driver compiles the test programs with the real compiler (work
+    measurement, cached — it is deterministic), then plays sequential
+    and parallel compilation on the simulated 1989 host, repeating each
+    measurement under the noise model and averaging (the paper's
+    protocol, section 4.2). *)
+
+type point = { n_functions : int; comparison : Timings.comparison }
+
+val s_program_work :
+  ?level:int -> size:W2.Gen.size -> count:int -> unit -> Driver.Compile.module_work
+(** The compiled-and-measured S_n program (cached). *)
+
+val user_program_work : ?level:int -> unit -> Driver.Compile.module_work
+
+val repetitions : int
+(** Measurements averaged per point (3). *)
+
+val measure :
+  ?cfg:Config.t -> ?processors:int -> Driver.Compile.module_work ->
+  Timings.comparison
+(** One sequential-versus-parallel comparison.  Without [processors]:
+    one function master per workstation.  With [processors]: the
+    grouped plan of section 4.3 on a pool of that size (tasks queue
+    FCFS when they outnumber stations). *)
+
+val function_counts : int list
+(** The paper's x axis: 1, 2, 4, 8. *)
+
+val size_series : ?cfg:Config.t -> W2.Gen.size -> point list
+(** Figures 3-5/12-13 (times) and the rows of 6-10/14-16. *)
+
+val speedup_matrix : ?cfg:Config.t -> unit -> (W2.Gen.size * point list) list
+(** Figures 6 and 7. *)
+
+val user_program : ?cfg:Config.t -> unit -> point list
+(** Figure 11: 2, 3, 5 and 9 processors on the section-4.3 program. *)
+
+val saturation :
+  ?cfg:Config.t -> ?size:W2.Gen.size -> unit -> (int * float) list
+(** Section 4.2.2: parallel elapsed time versus pool size for S_8. *)
+
+(** {1 Ablations (DESIGN.md section 5)} *)
+
+type ablation = { ab_name : string; ab_cfg : Config.t }
+
+val ablations : ablation list
+(** baseline / no-memory-model / no-core-download / ideal-network. *)
+
+(** {1 Section 5.1: procedure inlining} *)
+
+type inlining_study = {
+  baseline : Timings.comparison;
+  inlined : Timings.comparison;
+  baseline_functions : int;
+  inlined_functions : int;
+  calls_inlined : int;
+}
+
+val run_inlining_study : ?cfg:Config.t -> unit -> inlining_study
+(** The many-small-functions program, compiled as written and after
+    inlining + pruning. *)
+
+(** {1 Section 3.4: parallel make coexistence} *)
+
+val make_modules : ?level:int -> unit -> Driver.Compile.module_work list
+(** A mixed 4-module "system" (independent makefile targets). *)
+
+val run_make_study : ?cfg:Config.t -> ?stations:int -> unit -> Makerun.result list
+
+(** {1 Section 5: finer-grain parallelism} *)
+
+type grain_point = {
+  gp_stations : int;
+  coarse : float; (** elapsed, phases 2+3 fused (the paper's design) *)
+  fine : float; (** elapsed, phases 2 and 3 as separate tasks *)
+}
+
+val run_grain_study :
+  ?cfg:Config.t -> ?size:W2.Gen.size -> ?count:int -> unit -> grain_point list
+
+(** {1 Section 6: scaling limit} *)
+
+val run_scaling_study :
+  ?cfg:Config.t -> ?size:W2.Gen.size -> ?max_stations:int -> unit -> point list
+(** Speedup for 1..32 equal functions.  Without [max_stations], one
+    processor per function (efficiency decays past 8-16); with it, the
+    paper's environment ("the number of processors that can be used in
+    parallel is limited to 10-15", §3.3), where speedup plateaus. *)

@@ -1,0 +1,93 @@
+(* Parallel make versus the parallel compiler (section 3.4).
+
+   "While in parallel make several modules are compiled concurrently
+   with a sequential compiler, our system compiles a single module with
+   a parallel compiler. ... In practice, both approaches could coexist,
+   with the parallel compiler speeding up the individual translations,
+   and the parallel make system organizing the system generation
+   effort."
+
+   Four strategies over a system of several modules, sharing one
+   cluster:
+
+     sequential      one workstation compiles the modules in order
+     parallel make   one sequential compilation per module, all
+                     concurrent (Baalbergen's [1])
+     parallel cc     modules in order, each compiled by the parallel
+                     compiler (this paper)
+     combined        concurrent modules, each compiled in parallel *)
+
+type strategy = Sequential | Parallel_make | Parallel_cc | Combined
+
+let strategy_name = function
+  | Sequential -> "sequential"
+  | Parallel_make -> "parallel make"
+  | Parallel_cc -> "parallel compiler"
+  | Combined -> "make + parallel compiler"
+
+type result = {
+  strategy : strategy;
+  elapsed : float;
+  stations_used : int;
+}
+
+(* Run [modules] under [strategy] on a cluster of [stations].  Modules
+   are treated as independent (an empty makefile dependency list — the
+   favourable case for parallel make). *)
+let run (cfg : Config.t) ~stations (modules : Driver.Compile.module_work list)
+    (strategy : strategy) : result =
+  let cfg = { cfg with Config.stations } in
+  let sim = Netsim.Des.create () in
+  let cluster = Config.cluster cfg in
+  let noise = Config.noise cfg in
+  let finish = ref 0.0 in
+  let done_count = ref 0 in
+  let total = List.length modules in
+  let on_finish t =
+    incr done_count;
+    if !done_count = total then finish := t
+  in
+  let stats =
+    {
+      Parrun.master_cpu = 0.0;
+      section_cpu = 0.0;
+      extra_parse_cpu = 0.0;
+      placements = [];
+    }
+  in
+  let seq_body ~salt mw = Seqrun.compile_process cfg sim cluster ~noise ~salt mw in
+  let par_body ~salt mw =
+    Parrun.master_process cfg sim cluster ~noise ~salt mw
+      (Plan.one_per_station mw) ~stats
+  in
+  (match strategy with
+  | Sequential ->
+    (* One process runs the modules back to back. *)
+    Netsim.Des.spawn sim (fun () ->
+        List.iteri
+          (fun i mw -> seq_body ~salt:(1000 * i) mw ~on_finish ())
+          modules)
+  | Parallel_make ->
+    List.iteri
+      (fun i mw -> Netsim.Des.spawn sim (seq_body ~salt:(1000 * i) mw ~on_finish))
+      modules
+  | Parallel_cc ->
+    Netsim.Des.spawn sim (fun () ->
+        List.iteri
+          (fun i mw -> par_body ~salt:(1000 * i) mw ~on_finish ())
+          modules)
+  | Combined ->
+    List.iteri
+      (fun i mw -> Netsim.Des.spawn sim (par_body ~salt:(1000 * i) mw ~on_finish))
+      modules);
+  ignore (Netsim.Des.run sim);
+  {
+    strategy;
+    elapsed = !finish;
+    stations_used = List.length (Netsim.Host.cpu_times cluster);
+  }
+
+let run_all (cfg : Config.t) ~stations modules : result list =
+  List.map
+    (run cfg ~stations modules)
+    [ Sequential; Parallel_make; Parallel_cc; Combined ]

@@ -1,0 +1,24 @@
+(** Parallel make versus the parallel compiler (paper, section 3.4):
+    four build strategies for a system of independent modules sharing
+    one cluster. *)
+
+type strategy =
+  | Sequential (** one workstation, modules in order *)
+  | Parallel_make (** concurrent modules, sequential compiler each *)
+  | Parallel_cc (** modules in order, each compiled in parallel *)
+  | Combined (** concurrent modules, each compiled in parallel *)
+
+val strategy_name : strategy -> string
+
+type result = {
+  strategy : strategy;
+  elapsed : float;
+  stations_used : int;
+}
+
+val run :
+  Config.t -> stations:int -> Driver.Compile.module_work list -> strategy -> result
+
+val run_all :
+  Config.t -> stations:int -> Driver.Compile.module_work list -> result list
+(** All four strategies, in declaration order. *)

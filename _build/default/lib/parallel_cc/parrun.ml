@@ -1,0 +1,239 @@
+(* The parallel compiler on the simulated host (section 3.2).
+
+   Process hierarchy:
+     master        one C process + a Lisp process for phase 1 and the
+                   setup parse; spawns the section masters; performs
+                   phase 4 after they finish.
+     section       one C process per section, running on the master's
+     masters       workstation; start one function master per task,
+                   drawing workstations from the pool FCFS; combine
+                   results and diagnostics when their functions finish.
+     function      one Lisp process per task on its own workstation:
+     masters       core-image download, initialization, re-parse of its
+                   share of the source, then phases 2+3 for each of its
+                   functions, then output write-back.
+
+   The only communication is parent<->child messages (modelled by join
+   counters), as in the paper.
+
+   With [Config.fine_grained] set, each task is split into a phase-2
+   task and a phase-3 task connected by an IR file on the server (the
+   "finer grain parallelism" the paper's section 5 anticipates): the
+   phase-2 master releases its workstation before the phase-3 master
+   claims one, so stages of different tasks pipeline through a small
+   pool — at the price of a second Lisp startup and the IR shipping. *)
+
+let set_resident = Seqrun.set_resident
+
+type outcome = {
+  run : Timings.run;
+  station_of_task : (string * int) list; (* task head function -> station *)
+}
+
+type stats = {
+  mutable master_cpu : float;
+  mutable section_cpu : float;
+  mutable extra_parse_cpu : float;
+  mutable placements : (string * int) list;
+}
+
+(* The master process body; spawnable so that several modules can be
+   compiled concurrently on one cluster (the parallel-make study). *)
+let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
+    ~salt (mw : Driver.Compile.module_work) (plan : Plan.t) ~(stats : stats)
+    ~on_finish () =
+  let cost = cfg.Config.cost in
+  let fetch bytes =
+    Netsim.Net.fetch sim cluster.Netsim.Host.fs cluster.Netsim.Host.ether ~bytes
+  in
+  let store bytes =
+    Netsim.Net.store sim cluster.Netsim.Host.fs cluster.Netsim.Host.ether ~bytes
+  in
+  let ws_m = Netsim.Host.claim cluster in
+  let factor w = Config.cluster_slowdown cfg cluster w in
+  let compute_m seconds salt' =
+    Netsim.Host.compute sim ws_m ~factor ~seconds:(seconds *. noise (salt + salt'))
+  in
+  (* C master: cheap startup, then read the source. *)
+  Netsim.Des.delay cost.Driver.Cost.c_process_seconds;
+  fetch (Driver.Cost.source_bytes cost mw.Driver.Compile.mw_loc);
+  (* The master's Lisp process: phase 1 proper plus the extra
+     structure-discovering parse (the latter is implementation
+     overhead). *)
+  (if cfg.Config.core_download then fetch cost.Driver.Cost.lisp_core_bytes);
+  let ast_mb =
+    cost.Driver.Cost.ast_mb_per_loc *. float_of_int mw.Driver.Compile.mw_loc
+  in
+  set_resident ws_m (cost.Driver.Cost.lisp_core_mb +. ast_mb);
+  compute_m cost.Driver.Cost.lisp_init_seconds 11;
+  compute_m (Driver.Cost.phase1_seconds cost mw) 12;
+  let setup = Driver.Cost.setup_parse_seconds cost mw *. noise (salt + 13) in
+  Netsim.Host.compute sim ws_m ~factor ~seconds:setup;
+  stats.master_cpu <- stats.master_cpu +. setup;
+  (* Scheduling: derive the task placement directives. *)
+  let sched = 0.1 *. float_of_int (Plan.task_count plan) *. noise (salt + 14) in
+  Netsim.Host.compute sim ws_m ~factor ~seconds:sched;
+  stats.master_cpu <- stats.master_cpu +. sched;
+  (* Fork the section masters. *)
+  let sections_done = Netsim.Sync.join (List.length plan.Plan.tasks_per_section) in
+  List.iteri
+    (fun si (section_name, tasks) ->
+      Netsim.Des.spawn sim (fun () ->
+          (* Section masters are C processes on the master's host. *)
+          Netsim.Des.delay cost.Driver.Cost.c_process_seconds;
+          let interpret =
+            0.05 *. float_of_int (List.length tasks) *. noise (salt + 20 + si)
+          in
+          Netsim.Host.compute sim ws_m ~factor ~seconds:interpret;
+          stats.section_cpu <- stats.section_cpu +. interpret;
+          let tasks_done = Netsim.Sync.join (List.length tasks) in
+          List.iteri
+            (fun ti (task : Plan.task) ->
+              (* Remote process creation is serialized in the forking
+                 parent (rsh-style), a real cost of UNIX process
+                 hierarchies the paper complains about. *)
+              Netsim.Des.delay cost.Driver.Cost.fm_fork_seconds;
+              Netsim.Des.spawn sim (fun () ->
+                  let compute_f w seconds salt' =
+                    Netsim.Host.compute sim w ~factor
+                      ~seconds:(seconds *. noise (salt + salt'))
+                  in
+                  (* --- the function master proper --- *)
+                  let ws = Netsim.Host.claim cluster in
+                  (match task.Plan.t_funcs with
+                  | fw :: _ ->
+                    stats.placements <-
+                      (fw.Driver.Compile.fw_name, ws.Netsim.Host.ws_id)
+                      :: stats.placements
+                  | [] -> ());
+                  (* Lisp startup: every function master downloads the
+                     core image and initializes. *)
+                  (if cfg.Config.core_download then
+                     fetch cost.Driver.Cost.lisp_core_bytes);
+                  set_resident ws cost.Driver.Cost.lisp_core_mb;
+                  compute_f ws cost.Driver.Cost.lisp_init_seconds (100 + ti);
+                  (* Read and re-parse its share of the source. *)
+                  let task_loc = Plan.task_loc task in
+                  fetch (Driver.Cost.source_bytes cost task_loc);
+                  let task_tokens =
+                    List.fold_left
+                      (fun acc fw -> acc + fw.Driver.Compile.fw_tokens)
+                      0 task.Plan.t_funcs
+                  in
+                  let reparse =
+                    cost.Driver.Cost.sec_per_token *. float_of_int task_tokens
+                    *. noise (salt + 200 + ti)
+                  in
+                  Netsim.Host.compute sim ws ~factor ~seconds:reparse;
+                  stats.extra_parse_cpu <- stats.extra_parse_cpu +. reparse;
+                  let out_wides =
+                    List.fold_left
+                      (fun acc fw -> acc + fw.Driver.Compile.fw_wides)
+                      0 task.Plan.t_funcs
+                  in
+                  let output_bytes =
+                    (16.0 *. float_of_int out_wides)
+                    +. cost.Driver.Cost.diagnostic_bytes
+                  in
+                  if not cfg.Config.fine_grained then begin
+                    (* Coarse grain (the paper): phases 2+3 together. *)
+                    List.iteri
+                      (fun fi (fw : Driver.Compile.func_work) ->
+                        set_resident ws (Driver.Cost.function_master_mb cost fw);
+                        compute_f ws
+                          (Driver.Cost.phase23_seconds cost fw)
+                          (300 + (31 * ti) + fi))
+                      task.Plan.t_funcs;
+                    store output_bytes;
+                    set_resident ws 0.0;
+                    Netsim.Host.release_station cluster ws;
+                    Netsim.Sync.signal tasks_done
+                  end
+                  else begin
+                    (* Fine grain: phase 2 here, then hand the IR to a
+                       phase-3 master on a (possibly different) pool
+                       station. *)
+                    List.iteri
+                      (fun fi (fw : Driver.Compile.func_work) ->
+                        set_resident ws (Driver.Cost.function_master_mb cost fw);
+                        compute_f ws
+                          (Driver.Cost.phase2_seconds cost fw)
+                          (300 + (31 * ti) + fi))
+                      task.Plan.t_funcs;
+                    let ir_bytes =
+                      List.fold_left
+                        (fun acc fw -> acc +. Driver.Cost.ir_bytes fw)
+                        0.0 task.Plan.t_funcs
+                    in
+                    store ir_bytes;
+                    set_resident ws 0.0;
+                    Netsim.Host.release_station cluster ws;
+                    (* Phase-3 master: a fresh Lisp on a pool station. *)
+                    let ws3 = Netsim.Host.claim cluster in
+                    (if cfg.Config.core_download then
+                       fetch cost.Driver.Cost.lisp_core_bytes);
+                    set_resident ws3 cost.Driver.Cost.lisp_core_mb;
+                    compute_f ws3 cost.Driver.Cost.lisp_init_seconds (400 + ti);
+                    fetch ir_bytes;
+                    List.iteri
+                      (fun fi (fw : Driver.Compile.func_work) ->
+                        set_resident ws3 (Driver.Cost.function_master_mb cost fw);
+                        compute_f ws3
+                          (Driver.Cost.phase3_seconds cost fw)
+                          (500 + (31 * ti) + fi))
+                      task.Plan.t_funcs;
+                    store output_bytes;
+                    set_resident ws3 0.0;
+                    Netsim.Host.release_station cluster ws3;
+                    Netsim.Sync.signal tasks_done
+                  end))
+            tasks;
+          Netsim.Sync.wait tasks_done;
+          (* Combine per-function results and diagnostics. *)
+          let sw =
+            List.find
+              (fun (s : Driver.Compile.section_work) ->
+                s.Driver.Compile.sw_name = section_name)
+              mw.Driver.Compile.mw_sections
+          in
+          let combine = Driver.Cost.combine_seconds sw *. noise (salt + 40 + si) in
+          Netsim.Host.compute sim ws_m ~factor ~seconds:combine;
+          stats.section_cpu <- stats.section_cpu +. combine;
+          Netsim.Sync.signal sections_done))
+    plan.Plan.tasks_per_section;
+  Netsim.Sync.wait sections_done;
+  (* Phase 4 back in the master's Lisp process. *)
+  set_resident ws_m
+    (cost.Driver.Cost.lisp_core_mb +. ast_mb
+    +. (cost.Driver.Cost.retained_mb_per_loc *. float_of_int mw.Driver.Compile.mw_loc));
+  compute_m (Driver.Cost.phase4_seconds cost mw) 50;
+  store (float_of_int (Driver.Compile.total_image_bytes mw));
+  set_resident ws_m 0.0;
+  Netsim.Host.release_station cluster ws_m;
+  on_finish (Netsim.Des.now sim)
+
+let run (cfg : Config.t) (mw : Driver.Compile.module_work) (plan : Plan.t) : outcome =
+  let sim = Netsim.Des.create () in
+  let cluster = Config.cluster cfg in
+  let noise = Config.noise cfg in
+  let finish = ref 0.0 in
+  let stats =
+    { master_cpu = 0.0; section_cpu = 0.0; extra_parse_cpu = 0.0; placements = [] }
+  in
+  Netsim.Des.spawn sim
+    (master_process cfg sim cluster ~noise ~salt:0 mw plan ~stats
+       ~on_finish:(fun t -> finish := t));
+  ignore (Netsim.Des.run sim);
+  let cpu = Netsim.Host.cpu_times cluster in
+  {
+    run =
+      {
+        Timings.elapsed = !finish;
+        cpu_per_station = cpu;
+        master_cpu = stats.master_cpu;
+        section_cpu = stats.section_cpu;
+        extra_parse_cpu = stats.extra_parse_cpu;
+        stations_used = List.length cpu;
+      };
+    station_of_task = List.rev stats.placements;
+  }

@@ -1,0 +1,39 @@
+(** The parallel compiler on the simulated host (paper, section 3.2):
+    master → section masters → function masters, with FCFS workstation
+    claiming, per-process Lisp startup, source re-parsing, result
+    combining and the sequential phases 1 and 4 in the master.
+
+    With {!Config.t.fine_grained} set, each task splits into a phase-2
+    and a phase-3 task connected by an IR file on the server — the
+    "finer grain parallelism" the paper's section 5 anticipates. *)
+
+type outcome = {
+  run : Timings.run;
+  station_of_task : (string * int) list;
+      (** head function of each task → workstation id *)
+}
+
+type stats = {
+  mutable master_cpu : float;
+  mutable section_cpu : float;
+  mutable extra_parse_cpu : float;
+  mutable placements : (string * int) list;
+}
+
+val master_process :
+  Config.t ->
+  Netsim.Des.t ->
+  Netsim.Host.cluster ->
+  noise:(int -> float) ->
+  salt:int ->
+  Driver.Compile.module_work ->
+  Plan.t ->
+  stats:stats ->
+  on_finish:(float -> unit) ->
+  unit ->
+  unit
+(** The spawnable master body; several can share a cluster (the
+    combined strategy of the parallel-make study). *)
+
+val run : Config.t -> Driver.Compile.module_work -> Plan.t -> outcome
+(** One parallel compilation on a fresh cluster. *)

@@ -1,0 +1,33 @@
+(** Partitioning and load balancing.
+
+    The master's setup parse yields the module structure; tasks are the
+    per-function phase-2/3 jobs.  Two placement policies: the paper's
+    default (first come, first served, one function master per
+    workstation) and the section-4.3 heuristic (estimate compile time
+    from lines of code and structure, pack longest-first onto the
+    available processors so several small functions share one function
+    master). *)
+
+type task = {
+  t_section : string;
+  t_funcs : Driver.Compile.func_work list; (** compiled together, in order *)
+}
+
+type t = {
+  tasks_per_section : (string * task list) list;
+  estimate_used : bool;
+}
+
+val estimate : Driver.Compile.func_work -> float
+(** The paper's compile-time proxy: lines of code weighted by
+    structure. *)
+
+val one_per_station : Driver.Compile.module_work -> t
+
+val grouped : Driver.Compile.module_work -> processors:int -> t
+(** Distribute ~[processors] function masters over the sections in
+    proportion to estimated work (at least one per section), packing
+    each section's functions longest-processing-time-first. *)
+
+val task_count : t -> int
+val task_loc : task -> int

@@ -1,0 +1,82 @@
+(* The sequential compiler on the simulated host: one workstation, one
+   Common-Lisp process doing all four phases in order.
+
+   Its Lisp heap holds the whole module — the parsed program, everything
+   retained from already-compiled functions, and the live data of the
+   function at hand — so memory pressure grows as compilation proceeds
+   (this is the swapping/GC behaviour the paper blames for the
+   sequential compiler's own system overhead).
+
+   [compile_process] is the spawnable body, reused by the parallel-make
+   study where several sequential compilations share the cluster. *)
+
+let set_resident ws mb =
+  Netsim.Host.remove_resident ws ws.Netsim.Host.resident_mb;
+  Netsim.Host.add_resident ws mb
+
+(* One sequential compilation of [mw]: claims a workstation, runs the
+   four phases, releases the station and reports its completion time.
+   [salt] decorrelates the noise of concurrent instances. *)
+let compile_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster)
+    ~noise ~salt (mw : Driver.Compile.module_work) ~on_finish () =
+  let cost = cfg.Config.cost in
+  let ws = Netsim.Host.claim cluster in
+  let factor w = Config.cluster_slowdown cfg cluster w in
+  let compute seconds salt' =
+    Netsim.Host.compute sim ws ~factor ~seconds:(seconds *. noise (salt + salt'))
+  in
+  (* Lisp startup: core image download plus initialization. *)
+  (if cfg.Config.core_download then
+     Netsim.Net.fetch sim cluster.Netsim.Host.fs cluster.Netsim.Host.ether
+       ~bytes:cost.Driver.Cost.lisp_core_bytes);
+  set_resident ws cost.Driver.Cost.lisp_core_mb;
+  compute cost.Driver.Cost.lisp_init_seconds 1;
+  (* Read the source from the file server. *)
+  Netsim.Net.fetch sim cluster.Netsim.Host.fs cluster.Netsim.Host.ether
+    ~bytes:(Driver.Cost.source_bytes cost mw.Driver.Compile.mw_loc);
+  (* Phase 1 over the whole module. *)
+  let ast_mb =
+    cost.Driver.Cost.ast_mb_per_loc *. float_of_int mw.Driver.Compile.mw_loc
+  in
+  set_resident ws (cost.Driver.Cost.lisp_core_mb +. ast_mb);
+  compute (Driver.Cost.phase1_seconds cost mw) 2;
+  (* Phases 2+3, function after function; the heap never shrinks. *)
+  let compiled_loc = ref 0 in
+  List.iter
+    (fun (sw : Driver.Compile.section_work) ->
+      List.iter
+        (fun (fw : Driver.Compile.func_work) ->
+          set_resident ws
+            (Driver.Cost.sequential_mb cost mw ~compiled_loc:!compiled_loc
+               ~current_loc:fw.Driver.Compile.fw_loc);
+          compute (Driver.Cost.phase23_seconds cost fw) (3 + !compiled_loc);
+          compiled_loc := !compiled_loc + fw.Driver.Compile.fw_loc)
+        sw.Driver.Compile.sw_funcs)
+    mw.Driver.Compile.mw_sections;
+  (* Phase 4: assembly, linking, drivers; then write the outputs. *)
+  set_resident ws
+    (Driver.Cost.sequential_mb cost mw ~compiled_loc:!compiled_loc ~current_loc:0);
+  compute (Driver.Cost.phase4_seconds cost mw) 99;
+  Netsim.Net.store sim cluster.Netsim.Host.fs cluster.Netsim.Host.ether
+    ~bytes:(float_of_int (Driver.Compile.total_image_bytes mw));
+  set_resident ws 0.0;
+  Netsim.Host.release_station cluster ws;
+  on_finish (Netsim.Des.now sim)
+
+let run (cfg : Config.t) (mw : Driver.Compile.module_work) : Timings.run =
+  let sim = Netsim.Des.create () in
+  let cluster = Config.cluster cfg in
+  let noise = Config.noise cfg in
+  let finish = ref 0.0 in
+  Netsim.Des.spawn sim
+    (compile_process cfg sim cluster ~noise ~salt:0 mw ~on_finish:(fun t ->
+         finish := t));
+  ignore (Netsim.Des.run sim);
+  {
+    Timings.elapsed = !finish;
+    cpu_per_station = Netsim.Host.cpu_times cluster;
+    master_cpu = 0.0;
+    section_cpu = 0.0;
+    extra_parse_cpu = 0.0;
+    stations_used = 1;
+  }

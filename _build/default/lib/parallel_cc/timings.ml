@@ -1,0 +1,58 @@
+(* Timing results of one (simulated) compilation run, and the overhead
+   decomposition of section 4.2.3.
+
+   Elapsed ("user") time is the wall-clock the user waits; CPU time is
+   reported per processor, as in the paper's figures.  The
+   implementation overhead is the extra work the parallel compiler does
+   compared to the sequential one: the master's setup parse and
+   scheduling, the section masters (startup, directive interpretation,
+   combining results and diagnostics), and the function masters'
+   re-parsing of their share of the source.  The system overhead is the
+   remainder of the total overhead — process startup, network and file
+   server load, GC and paging. *)
+
+type run = {
+  elapsed : float;
+  cpu_per_station : float list; (* busy seconds of each station used *)
+  master_cpu : float; (* setup parse + scheduling *)
+  section_cpu : float; (* section-master work *)
+  extra_parse_cpu : float; (* function masters re-parsing *)
+  stations_used : int;
+}
+
+type comparison = {
+  processors : int; (* function masters running in parallel *)
+  seq : run;
+  par : run;
+  speedup : float; (* sequential elapsed / parallel elapsed *)
+  total_overhead : float; (* parallel elapsed - ideal *)
+  impl_overhead : float;
+  sys_overhead : float;
+  rel_total_overhead : float; (* percent of parallel elapsed *)
+  rel_sys_overhead : float;
+}
+
+(* Ideal parallel time: perfect division of the sequential elapsed time
+   over the processors that carry function masters. *)
+let ideal_time ~(seq : run) ~processors =
+  seq.elapsed /. float_of_int (max 1 processors)
+
+let compare_runs ~processors ~(seq : run) ~(par : run) : comparison =
+  let ideal = ideal_time ~seq ~processors in
+  let total_overhead = par.elapsed -. ideal in
+  let impl_overhead = par.master_cpu +. par.section_cpu +. par.extra_parse_cpu in
+  let sys_overhead = total_overhead -. impl_overhead in
+  {
+    processors;
+    seq;
+    par;
+    speedup = Stats.speedup ~sequential:seq.elapsed ~parallel:par.elapsed;
+    total_overhead;
+    impl_overhead;
+    sys_overhead;
+    rel_total_overhead = Stats.percent_of ~part:total_overhead ~total:par.elapsed;
+    rel_sys_overhead = Stats.percent_of ~part:sys_overhead ~total:par.elapsed;
+  }
+
+let max_cpu (r : run) =
+  match r.cpu_per_station with [] -> 0.0 | l -> Stats.maximum l

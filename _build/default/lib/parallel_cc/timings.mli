@@ -1,0 +1,34 @@
+(** Timing results of one simulated compilation and the overhead
+    decomposition of the paper's section 4.2.3. *)
+
+type run = {
+  elapsed : float; (** wall-clock ("user") time *)
+  cpu_per_station : float list; (** busy seconds of each station used *)
+  master_cpu : float; (** setup parse + scheduling *)
+  section_cpu : float; (** section-master work *)
+  extra_parse_cpu : float; (** function masters re-parsing *)
+  stations_used : int;
+}
+
+type comparison = {
+  processors : int; (** stations available to function masters *)
+  seq : run;
+  par : run;
+  speedup : float;
+  total_overhead : float; (** parallel elapsed − ideal *)
+  impl_overhead : float;
+      (** master + section masters + re-parses (CPU) *)
+  sys_overhead : float; (** total − implementation *)
+  rel_total_overhead : float; (** percent of parallel elapsed *)
+  rel_sys_overhead : float;
+}
+
+val ideal_time : seq:run -> processors:int -> float
+(** Perfect division of the sequential elapsed time over the
+    processors carrying function masters. *)
+
+val compare_runs : processors:int -> seq:run -> par:run -> comparison
+
+val max_cpu : run -> float
+(** The busiest station's CPU seconds — the per-processor CPU time the
+    paper's figures report. *)

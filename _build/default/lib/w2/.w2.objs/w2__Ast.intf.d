@@ -1,0 +1,1 @@
+lib/w2/ast.mli: Loc

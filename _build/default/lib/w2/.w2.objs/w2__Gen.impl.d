@@ -1,0 +1,1 @@
+lib/w2/gen.ml: Ast Hashtbl List Loc Pretty Printf

@@ -1,0 +1,1 @@
+lib/w2/inline.ml: Ast Hashtbl List Loc Option Printf

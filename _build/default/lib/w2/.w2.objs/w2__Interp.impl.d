@@ -1,0 +1,1 @@
+lib/w2/interp.ml: Array Ast Hashtbl List Loc Option Printf Queue

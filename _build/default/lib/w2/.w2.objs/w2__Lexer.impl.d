@@ -1,0 +1,1 @@
+lib/w2/lexer.ml: List Loc Printf String Token

@@ -1,0 +1,1 @@
+lib/w2/lexer.mli: Loc Token

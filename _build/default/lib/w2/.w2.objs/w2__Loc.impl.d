@@ -1,0 +1,1 @@
+lib/w2/loc.ml: Format Printf String

@@ -1,0 +1,1 @@
+lib/w2/parser.ml: Ast Lexer List Loc Printf String Token

@@ -1,0 +1,1 @@
+lib/w2/parser.mli: Ast Loc

@@ -1,0 +1,1 @@
+lib/w2/pretty.ml: Ast Float Format List Printf String

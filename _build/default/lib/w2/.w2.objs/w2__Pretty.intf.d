@@ -1,0 +1,1 @@
+lib/w2/pretty.mli: Ast Format

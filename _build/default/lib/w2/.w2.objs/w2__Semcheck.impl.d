@@ -1,0 +1,1 @@
+lib/w2/semcheck.ml: Ast Hashtbl List Loc Printf

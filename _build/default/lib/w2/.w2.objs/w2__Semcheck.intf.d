@@ -1,0 +1,1 @@
+lib/w2/semcheck.mli: Ast Loc

@@ -1,0 +1,154 @@
+(* Abstract syntax of the W2-flavoured language.
+
+   The shape mirrors the source structure described in section 3.1 of the
+   paper: a module contains section programs (one per group of Warp
+   cells), a section contains one or more functions, and functions are
+   the unit of parallel compilation.  [send] and [receive] expose the
+   systolic X and Y channels that connect neighbouring cells. *)
+
+type ty = Tint | Tfloat | Tbool | Tarray of int * ty
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop = Neg | Not
+
+(* The two systolic data channels of a Warp cell.  A [receive] reads the
+   channel coming from the left neighbour; a [send] feeds the right
+   neighbour. *)
+type channel = Chan_x | Chan_y
+
+type expr = { e : expr_node; eloc : Loc.t }
+
+and expr_node =
+  | Int_lit of int
+  | Float_lit of float
+  | Bool_lit of bool
+  | Var of string
+  | Index of string * expr
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Call of string * expr list
+
+type lvalue = Lvar of string | Lindex of string * expr
+
+type stmt = { s : stmt_node; sloc : Loc.t }
+
+and stmt_node =
+  | Assign of lvalue * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of string * expr * expr * stmt list
+  | Send of channel * expr
+  | Receive of channel * lvalue
+  | Return of expr option
+  | Call_stmt of string * expr list
+
+type param = { pname : string; pty : ty; ploc : Loc.t }
+type decl = { dname : string; dty : ty; dloc : Loc.t }
+
+type func = {
+  fname : string;
+  params : param list;
+  ret : ty option;
+  locals : decl list;
+  body : stmt list;
+  floc : Loc.t;
+}
+
+type section = { sname : string; cells : int; funcs : func list; secloc : Loc.t }
+type modul = { mname : string; sections : section list; mloc : Loc.t }
+
+(* Names of the built-in functions understood by the checker, the
+   interpreter and the code generator. *)
+let builtins =
+  [
+    ("sqrt", ([ Tfloat ], Tfloat));
+    ("abs", ([ Tfloat ], Tfloat));
+    ("iabs", ([ Tint ], Tint));
+    ("min", ([ Tfloat; Tfloat ], Tfloat));
+    ("max", ([ Tfloat; Tfloat ], Tfloat));
+    ("imin", ([ Tint; Tint ], Tint));
+    ("imax", ([ Tint; Tint ], Tint));
+    ("float", ([ Tint ], Tfloat));
+    ("trunc", ([ Tfloat ], Tint));
+  ]
+
+let is_builtin name = List.mem_assoc name builtins
+
+let rec ty_to_string = function
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tbool -> "bool"
+  | Tarray (n, t) -> Printf.sprintf "array[%d] of %s" n (ty_to_string t)
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "mod"
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "and"
+  | Or -> "or"
+
+let channel_to_string = function Chan_x -> "X" | Chan_y -> "Y"
+
+(* Structural metrics used by the load-balancing heuristic of section 4.3
+   ("a combination of lines of code and loop nesting can serve as
+   approximation of the compilation time"). *)
+
+let rec stmt_count stmts =
+  let node s =
+    match s.s with
+    | Assign _ | Send _ | Receive _ | Return _ | Call_stmt _ -> 1
+    | If (_, t, e) -> 1 + stmt_count t + stmt_count e
+    | While (_, b) -> 1 + stmt_count b
+    | For (_, _, _, b) -> 1 + stmt_count b
+  in
+  List.fold_left (fun acc s -> acc + node s) 0 stmts
+
+let rec max_loop_nesting stmts =
+  let node s =
+    match s.s with
+    | Assign _ | Send _ | Receive _ | Return _ | Call_stmt _ -> 0
+    | If (_, t, e) -> max (max_loop_nesting t) (max_loop_nesting e)
+    | While (_, b) | For (_, _, _, b) -> 1 + max_loop_nesting b
+  in
+  List.fold_left (fun acc s -> max acc (node s)) 0 stmts
+
+(* Approximate source lines of a function: declarations plus statements
+   plus the header/footer lines the pretty printer emits.  The generator
+   targets this metric when synthesising the f_tiny..f_huge programs. *)
+let func_lines f = 2 + List.length f.locals + stmt_count f.body
+
+let section_lines sec =
+  List.fold_left (fun acc f -> acc + func_lines f) 2 sec.funcs
+
+let module_lines m =
+  List.fold_left (fun acc s -> acc + section_lines s) 2 m.sections
+
+let func_count m =
+  List.fold_left (fun acc s -> acc + List.length s.funcs) 0 m.sections
+
+let find_function m ~section ~name =
+  List.find_opt (fun s -> s.sname = section) m.sections
+  |> Option.map (fun s -> List.find_opt (fun f -> f.fname = name) s.funcs)
+  |> Option.join

@@ -1,0 +1,107 @@
+(** Abstract syntax of the W2-flavoured language.
+
+    The shape mirrors the source structure of the paper's section 3.1:
+    a module contains section programs (one per group of Warp cells),
+    a section contains one or more functions, and functions are the
+    unit of parallel compilation.  [send]/[receive] expose the systolic
+    X and Y channels connecting neighbouring cells. *)
+
+type ty = Tint | Tfloat | Tbool | Tarray of int * ty
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And (** short-circuit *)
+  | Or (** short-circuit *)
+
+type unop = Neg | Not
+
+type channel = Chan_x | Chan_y
+(** The two systolic data channels of a cell.  X flows left to right
+    through the array; Y flows right to left. *)
+
+type expr = { e : expr_node; eloc : Loc.t }
+
+and expr_node =
+  | Int_lit of int
+  | Float_lit of float
+  | Bool_lit of bool
+  | Var of string
+  | Index of string * expr
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Call of string * expr list (** user function or builtin *)
+
+type lvalue = Lvar of string | Lindex of string * expr
+
+type stmt = { s : stmt_node; sloc : Loc.t }
+
+and stmt_node =
+  | Assign of lvalue * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of string * expr * expr * stmt list
+      (** counted loop; bounds evaluate once, the variable may not be
+          assigned in the body and is [hi+1] after a completed loop *)
+  | Send of channel * expr
+  | Receive of channel * lvalue
+  | Return of expr option
+  | Call_stmt of string * expr list
+
+type param = { pname : string; pty : ty; ploc : Loc.t }
+type decl = { dname : string; dty : ty; dloc : Loc.t }
+
+type func = {
+  fname : string;
+  params : param list;
+  ret : ty option;
+  locals : decl list;
+  body : stmt list;
+  floc : Loc.t;
+}
+
+type section = { sname : string; cells : int; funcs : func list; secloc : Loc.t }
+type modul = { mname : string; sections : section list; mloc : Loc.t }
+
+val builtins : (string * (ty list * ty)) list
+(** Built-in functions with their signatures: [sqrt], [abs], [iabs],
+    [min], [max], [imin], [imax], [float] (int→float), [trunc]. *)
+
+val is_builtin : string -> bool
+
+val ty_to_string : ty -> string
+val binop_to_string : binop -> string
+val channel_to_string : channel -> string
+
+(** {1 Structural metrics}
+
+    Inputs to the load-balancing heuristic of the paper's section 4.3
+    ("a combination of lines of code and loop nesting can serve as
+    approximation of the compilation time"). *)
+
+val stmt_count : stmt list -> int
+(** Statements, counted recursively. *)
+
+val max_loop_nesting : stmt list -> int
+(** Depth of the deepest loop nest. *)
+
+val func_lines : func -> int
+(** Approximate source lines of a function (see {!Pretty.func_loc} for
+    the exact rendered count). *)
+
+val section_lines : section -> int
+val module_lines : modul -> int
+
+val func_count : modul -> int
+(** Total functions over all sections: the parallel task count. *)
+
+val find_function : modul -> section:string -> name:string -> func option

@@ -1,0 +1,411 @@
+(* Synthetic W2 programs.
+
+   Section 4.1 of the paper derives its test programs from a Monte-Carlo
+   style simulation: five functions of 4, 35, 100, 280 and 360 lines of
+   code, each "a loop nest (with deeply nested loop bodies in the case
+   of the larger programs)".  [benchmark_function] reconstructs that
+   series: a pseudo-random float kernel inside a loop nest whose depth
+   grows with the size, padded to hit the requested line count exactly
+   (as counted by [Pretty.func_loc]).
+
+   [random_function] produces arbitrary—but always well-typed and
+   terminating—functions for property-based tests. *)
+
+let dummy = Loc.dummy
+
+(* --- tiny AST-building DSL --- *)
+
+let ex e = { Ast.e; eloc = dummy }
+let st s = { Ast.s; sloc = dummy }
+let int n = ex (Ast.Int_lit n)
+let flt f = ex (Ast.Float_lit f)
+let var name = ex (Ast.Var name)
+let idx name i = ex (Ast.Index (name, i))
+let bin op a b = ex (Ast.Binary (op, a, b))
+let call name args = ex (Ast.Call (name, args))
+let assign name value = st (Ast.Assign (Ast.Lvar name, value))
+let store name i value = st (Ast.Assign (Ast.Lindex (name, i), value))
+let for_ v lo hi body = st (Ast.For (v, int lo, int hi, body))
+let if_ cond t e = st (Ast.If (cond, t, e))
+let return_ value = st (Ast.Return (Some value))
+
+let decl name ty = { Ast.dname = name; dty = ty; dloc = dummy }
+let param name ty = { Ast.pname = name; pty = ty; ploc = dummy }
+
+(* --- deterministic statement stream --- *)
+
+(* A tiny LCG drives the choice of kernel statements so that a given
+   (name, size) pair always produces the same function. *)
+type rng = { mutable state : int }
+
+let rng_make seed = { state = (seed * 2654435761) land 0x3FFFFFFF }
+
+let rng_next rng bound =
+  rng.state <- ((rng.state * 1103515245) + 12345) land 0x3FFFFFFF;
+  rng.state mod bound
+
+(* One-line kernel statements over the float variables in scope.  Every
+   template is non-expanding (coefficient sums stay below 1), so however
+   many of them the padding emits, all values remain bounded and the
+   interpreter result stays finite. *)
+let kernel_stmt rng ~floats ~index_var =
+  let pick xs = List.nth xs (rng_next rng (List.length xs)) in
+  let f1 = pick floats and f2 = pick floats in
+  let c = 0.0625 *. float_of_int (1 + rng_next rng 7) in
+  let damped a b = bin Ast.Add (bin Ast.Mul a (flt 0.5)) (bin Ast.Mul b (flt c)) in
+  match rng_next rng 6 with
+  | 0 -> assign f1 (damped (var f1) (var f2))
+  | 1 -> assign f1 (bin Ast.Mul (var f1) (flt 0.5))
+  | 2 -> assign f1 (bin Ast.Sub (bin Ast.Mul (bin Ast.Add (var f1) (var f2)) (flt 0.5)) (flt c))
+  | 3 -> assign f1 (call "max" [ bin Ast.Mul (var f1) (flt 0.5); bin Ast.Mul (var f2) (flt c) ])
+  | 4 -> assign f1 (damped (var f1) (call "abs" [ var f2 ]))
+  | 5 ->
+    store "tbl" (bin Ast.Mod (var index_var) (int 16))
+      (damped (idx "tbl" (bin Ast.Mod (var index_var) (int 16))) (var f1))
+  | _ -> assert false
+
+let floats_in_scope = [ "acc"; "x"; "y"; "t0"; "t1" ]
+
+(* Purely scalar one-line statements; used where no table is in scope.
+   Non-expanding, like [kernel_stmt]. *)
+let scalar_kernel_stmt rng ~floats =
+  let pick xs = List.nth xs (rng_next rng (List.length xs)) in
+  let f1 = pick floats and f2 = pick floats in
+  let c = 0.0625 *. float_of_int (1 + rng_next rng 7) in
+  match rng_next rng 4 with
+  | 0 -> assign f1 (bin Ast.Add (bin Ast.Mul (var f1) (flt 0.5)) (bin Ast.Mul (var f2) (flt c)))
+  | 1 -> assign f1 (bin Ast.Mul (var f1) (flt 0.5))
+  | 2 -> assign f1 (bin Ast.Sub (bin Ast.Mul (bin Ast.Add (var f1) (var f2)) (flt 0.5)) (flt c))
+  | _ -> assign f1 (call "max" [ bin Ast.Mul (var f1) (flt 0.5); bin Ast.Mul (var f2) (flt c) ])
+
+(* The Monte-Carlo step: advance the integer pseudo-random state [s] and
+   derive a sample in [0, 1). *)
+let monte_carlo_step =
+  [
+    assign "s" (bin Ast.Mod (bin Ast.Add (bin Ast.Mul (var "s") (int 1103)) (int 12345)) (int 65536));
+    assign "x" (bin Ast.Div (call "float" [ bin Ast.Mod (var "s") (int 1024) ]) (flt 1024.0));
+    assign "y" (bin Ast.Add (bin Ast.Mul (var "y") (flt 0.75)) (var "x"));
+  ]
+
+(* Build a loop nest of the given depth whose innermost body is
+   [innermost]; every level contributes a little computation so that the
+   flowgraph has realistic structure. *)
+let rec loop_nest rng depth ~level innermost =
+  if depth = 0 then innermost
+  else
+    let v = Printf.sprintf "i%d" level in
+    let body =
+      kernel_stmt rng ~floats:floats_in_scope ~index_var:v
+      :: loop_nest rng (depth - 1) ~level:(level + 1) innermost
+    in
+    [ for_ v 0 3 body ]
+
+let benchmark_locals =
+  [
+    decl "s" Ast.Tint;
+    decl "i0" Ast.Tint;
+    decl "i1" Ast.Tint;
+    decl "i2" Ast.Tint;
+    decl "i3" Ast.Tint;
+    decl "acc" Ast.Tfloat;
+    decl "x" Ast.Tfloat;
+    decl "y" Ast.Tfloat;
+    decl "t0" Ast.Tfloat;
+    decl "t1" Ast.Tfloat;
+    decl "tbl" (Ast.Tarray (16, Ast.Tfloat));
+  ]
+
+let benchmark_inits =
+  [
+    assign "s" (var "seed");
+    assign "acc" (flt 0.0);
+    assign "x" (flt 0.0);
+    assign "y" (flt 1.0);
+    assign "t0" (flt 0.25);
+    assign "t1" (flt 0.5);
+  ]
+
+(* A function of exactly [lines] lines (as counted by [Pretty.func_loc]),
+   provided [lines] is at least [min_benchmark_lines]. *)
+let min_benchmark_lines = 33
+
+let benchmark_function ~name ~lines =
+  if lines < min_benchmark_lines then
+    invalid_arg
+      (Printf.sprintf "Gen.benchmark_function: need at least %d lines"
+         min_benchmark_lines);
+  let rng = rng_make (Hashtbl.hash (name, lines)) in
+  let depth = if lines < 60 then 1 else if lines < 150 then 2 else 3 in
+  let make fill =
+    let fillers =
+      List.init fill (fun _ ->
+          kernel_stmt rng ~floats:floats_in_scope ~index_var:"i0")
+    in
+    (* Innermost loop bodies are branchless (like real systolic kernels),
+       which keeps them software-pipelinable; the conditional sits after
+       the nest so every function still has interesting control flow. *)
+    let inner =
+      monte_carlo_step
+      @ [ assign "acc" (bin Ast.Add (var "acc") (bin Ast.Mul (var "x") (flt 0.25))) ]
+      @ fillers
+    in
+    let body =
+      benchmark_inits
+      @ loop_nest rng depth ~level:0 inner
+      @ [
+          if_
+            (bin Ast.Lt (var "acc") (flt 8.0))
+            [ assign "acc" (bin Ast.Add (var "acc") (var "y")) ]
+            [ assign "acc" (bin Ast.Mul (var "acc") (flt 0.5)) ];
+          return_ (bin Ast.Add (var "acc") (idx "tbl" (int 0)));
+        ]
+    in
+    {
+      Ast.fname = name;
+      params = [ param "seed" Ast.Tint; param "n" Ast.Tint ];
+      ret = Some Ast.Tfloat;
+      locals = benchmark_locals;
+      body;
+      floc = dummy;
+    }
+  in
+  (* The skeleton has a fixed line count; each filler statement adds one
+     line, so one measurement gives the exact fill. *)
+  let base = Pretty.func_loc (make 0) in
+  let fill = lines - base in
+  if fill < 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Gen.benchmark_function: %d lines requested but skeleton needs %d"
+         lines base)
+  else make fill
+
+(* A function in the spirit of f_tiny, exactly 4 lines of code:
+   header, begin, one statement, end. *)
+let tiny_function ~name =
+  {
+    Ast.fname = name;
+    params = [ param "seed" Ast.Tint; param "n" Ast.Tint ];
+    ret = Some Ast.Tfloat;
+    locals = [];
+    body =
+      [ return_ (bin Ast.Add (bin Ast.Mul (call "float" [ var "seed" ]) (flt 0.5)) (flt 1.0)) ];
+    floc = dummy;
+  }
+
+(* The five paper sizes (section 4.1). *)
+type size = Tiny | Small | Medium | Large | Huge
+
+let all_sizes = [ Tiny; Small; Medium; Large; Huge ]
+
+let size_lines = function
+  | Tiny -> 4
+  | Small -> 35
+  | Medium -> 100
+  | Large -> 280
+  | Huge -> 360
+
+let size_name = function
+  | Tiny -> "f_tiny"
+  | Small -> "f_small"
+  | Medium -> "f_medium"
+  | Large -> "f_large"
+  | Huge -> "f_huge"
+
+let sized_function ~name size =
+  match size with
+  | Tiny -> tiny_function ~name
+  | Small | Medium | Large | Huge ->
+    benchmark_function ~name ~lines:(size_lines size)
+
+(* Function of an arbitrary line count (used by Figure 7's size sweep and
+   by the user program).  Below the Monte-Carlo minimum we fall back on a
+   literal small function padded with one-line statements. *)
+let function_of_lines ~name lines =
+  if lines >= min_benchmark_lines then benchmark_function ~name ~lines
+  else if lines <= 5 then begin
+    (* Pad the 4-line tiny skeleton with integer updates. *)
+    let base = tiny_function ~name in
+    let fill = max 0 (lines - 4) in
+    let fillers = List.init fill (fun _ -> assign "n" (bin Ast.Add (var "n") (int 1))) in
+    { base with Ast.body = fillers @ base.Ast.body }
+  end
+  else begin
+    (* Six-line scalar skeleton padded with one-line kernel statements. *)
+    let rng = rng_make (Hashtbl.hash (name, lines)) in
+    let fill = lines - 6 in
+    let fillers =
+      List.init fill (fun _ -> scalar_kernel_stmt rng ~floats:[ "x" ])
+    in
+    {
+      Ast.fname = name;
+      params = [ param "seed" Ast.Tint; param "n" Ast.Tint ];
+      ret = Some Ast.Tfloat;
+      locals = [ decl "x" Ast.Tfloat ];
+      body =
+        (assign "x" (bin Ast.Mul (call "float" [ var "seed" ]) (flt 0.5)) :: fillers)
+        @ [ return_ (bin Ast.Add (var "x") (flt 1.0)) ];
+      floc = dummy;
+    }
+  end
+
+(* S_n of the paper: one section with [count] copies of the same
+   function. *)
+let s_program ?(name = "S") ~size ~count () =
+  let funcs =
+    List.init count (fun i ->
+        sized_function ~name:(Printf.sprintf "%s_%d" (size_name size) (i + 1)) size)
+  in
+  {
+    Ast.mname = Printf.sprintf "%s%d_%s" name count (size_name size);
+    sections = [ { Ast.sname = "sec1"; cells = 10; funcs; secloc = dummy } ];
+    mloc = dummy;
+  }
+
+(* The mechanical-engineering application of section 4.3: three sections
+   of three functions each; per section one function of about 300 lines
+   (19-22 sequential minutes) and two of 5-45 lines (2-6 minutes). *)
+let user_program () =
+  let section i =
+    let big = function_of_lines ~name:(Printf.sprintf "solve_%d" i) 300 in
+    let small1 = function_of_lines ~name:(Printf.sprintf "prep_%d" i) (30 + (5 * i)) in
+    let small2 = function_of_lines ~name:(Printf.sprintf "post_%d" i) (45 - (7 * i)) in
+    {
+      Ast.sname = Printf.sprintf "stage%d" i;
+      cells = 3;
+      funcs = [ big; small1; small2 ];
+      secloc = dummy;
+    }
+  in
+  {
+    Ast.mname = "mech_eng_app";
+    sections = [ section 1; section 2; section 3 ];
+    mloc = dummy;
+  }
+
+(* --- random functions for property-based testing --- *)
+
+(* Always well-typed, always terminating: loops are constant-bounded
+   [for] loops, conditions compare float expressions, and there are no
+   calls (call-graph properties are tested separately). *)
+let random_function ?(allow_channels = false) ~seed ~size () =
+  let rng = rng_make seed in
+  let size = max 1 (size mod 40) in
+  let ints = [ "n"; "k" ] in
+  let floats = [ "a"; "b"; "c" ] in
+  let rec random_fexpr depth =
+    if depth = 0 then
+      match rng_next rng 3 with
+      | 0 -> flt (0.25 *. float_of_int (rng_next rng 32))
+      | 1 -> var (List.nth floats (rng_next rng 3))
+      | _ -> idx "arr" (bin Ast.Mod (var "n") (int 8))
+    else
+      match rng_next rng 6 with
+      | 0 -> bin Ast.Add (random_fexpr (depth - 1)) (random_fexpr (depth - 1))
+      | 1 -> bin Ast.Sub (random_fexpr (depth - 1)) (random_fexpr (depth - 1))
+      | 2 -> bin Ast.Mul (random_fexpr (depth - 1)) (flt 0.5)
+      | 3 -> call "abs" [ random_fexpr (depth - 1) ]
+      | 4 -> call "max" [ random_fexpr (depth - 1); random_fexpr (depth - 1) ]
+      | _ -> random_fexpr (depth - 1)
+  in
+  let random_iexpr () =
+    match rng_next rng 3 with
+    | 0 -> int (rng_next rng 16)
+    | 1 -> var (List.nth ints (rng_next rng 2))
+    | _ -> bin Ast.Add (var (List.nth ints (rng_next rng 2))) (int (rng_next rng 8))
+  in
+  let rec random_stmt depth =
+    match rng_next rng (if depth = 0 then 4 else if allow_channels then 8 else 7) with
+    | 0 -> assign (List.nth floats (rng_next rng 3)) (random_fexpr 2)
+    | 1 -> assign (List.nth ints (rng_next rng 2)) (bin Ast.Mod (random_iexpr ()) (int 13))
+    | 2 -> store "arr" (bin Ast.Mod (random_iexpr ()) (int 8)) (random_fexpr 1)
+    | 3 -> assign "a" (call "sqrt" [ call "abs" [ random_fexpr 1 ] ])
+    | 4 ->
+      if_
+        (bin Ast.Lt (random_fexpr 1) (random_fexpr 1))
+        (random_stmts (depth - 1) (1 + rng_next rng 3))
+        (if rng_next rng 2 = 0 then []
+         else random_stmts (depth - 1) (1 + rng_next rng 2))
+    | 5 ->
+      for_
+        (Printf.sprintf "l%d" depth)
+        0
+        (rng_next rng 5)
+        (random_stmts (depth - 1) (1 + rng_next rng 3))
+    | 6 ->
+      st
+        (Ast.While
+           ( bin Ast.Gt (var "w") (int 0),
+             random_stmts (depth - 1) (1 + rng_next rng 2)
+             @ [ assign "w" (bin Ast.Sub (var "w") (int 1)) ] ))
+    | _ ->
+      (* Channel traffic: send a float, so array cells stay floats. *)
+      st (Ast.Send (Ast.Chan_x, random_fexpr 1))
+  and random_stmts depth count = List.init count (fun _ -> random_stmt depth)
+  in
+  let body = random_stmts 2 size in
+  {
+    Ast.fname = "prop_f";
+    params = [ param "n" Ast.Tint; param "a" Ast.Tfloat ];
+    ret = Some Ast.Tfloat;
+    locals =
+      [
+        decl "k" Ast.Tint;
+        decl "w" Ast.Tint;
+        decl "b" Ast.Tfloat;
+        decl "c" Ast.Tfloat;
+        decl "l0" Ast.Tint;
+        decl "l1" Ast.Tint;
+        decl "l2" Ast.Tint;
+        decl "arr" (Ast.Tarray (8, Ast.Tfloat));
+      ];
+    body = (assign "w" (bin Ast.Mod (var "n") (int 7))) :: body @ [ return_ (bin Ast.Add (var "a") (var "b")) ];
+    floc = dummy;
+  }
+
+(* Wrap a lone function as a single-section module. *)
+let module_of_function f =
+  {
+    Ast.mname = "m_" ^ f.Ast.fname;
+    sections = [ { Ast.sname = "sec1"; cells = 1; funcs = [ f ]; secloc = dummy } ];
+    mloc = dummy;
+  }
+
+(* A program in the style that motivates procedure inlining (section
+   5.1): a few driver functions, each calling several small helpers.
+   Compiled as-is, the parallel grain is tiny; after [Inline.expand] the
+   drivers absorb their helpers and the grain grows. *)
+let helper_program ?(drivers = 6) ?(helpers_per = 3) ?(helper_lines = 8) () =
+  let helper_name d h = Printf.sprintf "help_%d_%d" d h
+  in
+  let driver d =
+    let calls =
+      List.init helpers_per (fun h ->
+          assign "acc"
+            (bin Ast.Add (var "acc")
+               (bin Ast.Mul
+                  (call (helper_name d h) [ bin Ast.Add (var "seed") (var "i"); var "i" ])
+                  (flt 0.5))))
+    in
+    {
+      Ast.fname = Printf.sprintf "driver_%d" d;
+      params = [ param "seed" Ast.Tint; param "n" Ast.Tint ];
+      ret = Some Ast.Tfloat;
+      locals = [ decl "i" Ast.Tint; decl "acc" Ast.Tfloat ];
+      body =
+        [ assign "acc" (flt 0.0); for_ "i" 0 7 calls; return_ (var "acc") ];
+      floc = dummy;
+    }
+  in
+  let funcs =
+    List.concat
+      (List.init drivers (fun d ->
+           driver d
+           :: List.init helpers_per (fun h ->
+                  function_of_lines ~name:(helper_name d h) helper_lines)))
+  in
+  {
+    Ast.mname = "many_small_functions";
+    sections = [ { Ast.sname = "sec1"; cells = 4; funcs; secloc = dummy } ];
+    mloc = dummy;
+  }

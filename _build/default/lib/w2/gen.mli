@@ -1,0 +1,66 @@
+(** Synthetic W2 programs: the paper's test inputs and random programs
+    for property-based testing.
+
+    Section 4.1 of the paper derives its test programs from a
+    Monte-Carlo style simulation: five functions of 4, 35, 100, 280 and
+    360 lines, each a loop nest (deeply nested for the larger sizes).
+    All generators are deterministic in their arguments. *)
+
+(** {1 The paper's benchmark sizes (section 4.1)} *)
+
+type size = Tiny | Small | Medium | Large | Huge
+
+val all_sizes : size list
+
+val size_lines : size -> int
+(** 4 / 35 / 100 / 280 / 360 lines of code. *)
+
+val size_name : size -> string
+(** ["f_tiny"] ... ["f_huge"]. *)
+
+val sized_function : name:string -> size -> Ast.func
+(** The Monte-Carlo benchmark function of that exact line count.
+    Innermost loop bodies are branchless (like real systolic kernels),
+    so they are software-pipelinable. *)
+
+val min_benchmark_lines : int
+(** Smallest size the Monte-Carlo skeleton supports. *)
+
+val benchmark_function : name:string -> lines:int -> Ast.func
+(** A Monte-Carlo function of exactly [lines] lines.
+    @raise Invalid_argument below {!min_benchmark_lines}. *)
+
+val tiny_function : name:string -> Ast.func
+(** The literal 4-line function standing in for f_tiny. *)
+
+val function_of_lines : name:string -> int -> Ast.func
+(** A function of (approximately, exactly where the skeletons allow)
+    the requested line count, down to 4 lines. *)
+
+(** {1 Whole programs} *)
+
+val s_program : ?name:string -> size:size -> count:int -> unit -> Ast.modul
+(** The paper's S_n: one section with [count] identical copies of the
+    [size] function (equal tasks — "this allows optimal processor
+    utilization", section 4.1). *)
+
+val user_program : unit -> Ast.modul
+(** The mechanical-engineering application of section 4.3: three
+    sections of three functions each — one of ~300 lines plus two small
+    ones per section. *)
+
+val helper_program :
+  ?drivers:int -> ?helpers_per:int -> ?helper_lines:int -> unit -> Ast.modul
+(** The many-small-functions program motivating procedure inlining
+    (section 5.1): driver functions calling tiny helpers. *)
+
+val module_of_function : Ast.func -> Ast.modul
+(** Wrap a single function as a one-section module. *)
+
+(** {1 Random programs for property-based testing} *)
+
+val random_function :
+  ?allow_channels:bool -> seed:int -> size:int -> unit -> Ast.func
+(** A random but always well-typed, always-terminating function named
+    [prop_f] with parameters [(n : int, a : float)].  With
+    [allow_channels], statements may send on channel X. *)

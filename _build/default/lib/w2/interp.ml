@@ -1,0 +1,286 @@
+(* Reference interpreter for W2 functions.
+
+   It defines the semantics against which every later stage is tested:
+   the IR after each optimization pass and the code executed by the Warp
+   cell simulator must agree with this interpreter on all inputs.
+
+   Channels are provided by the caller, so a function can be run either
+   stand-alone (with scripted channel data) or as one cell of a systolic
+   array (with channels wired to the neighbouring cells). *)
+
+type value = Vint of int | Vfloat of float | Vbool of bool | Varray of value array
+
+exception Runtime_error of string * Loc.t
+exception Out_of_fuel
+
+(* Channel hooks.  [recv] may raise to model an empty input. *)
+type channels = {
+  recv : Ast.channel -> value;
+  send : Ast.channel -> value -> unit;
+}
+
+let null_channels =
+  {
+    recv = (fun _ -> raise (Runtime_error ("receive on unconnected channel", Loc.dummy)));
+    send = (fun _ _ -> ());
+  }
+
+(* Channels backed by queues: scripted input, recorded output. *)
+let queue_channels ~input_x ~input_y =
+  let qx = Queue.of_seq (List.to_seq input_x) in
+  let qy = Queue.of_seq (List.to_seq input_y) in
+  let out_x = Queue.create () in
+  let out_y = Queue.create () in
+  let recv = function
+    | Ast.Chan_x ->
+      if Queue.is_empty qx then
+        raise (Runtime_error ("receive on empty channel X", Loc.dummy))
+      else Queue.pop qx
+    | Ast.Chan_y ->
+      if Queue.is_empty qy then
+        raise (Runtime_error ("receive on empty channel Y", Loc.dummy))
+      else Queue.pop qy
+  in
+  let send chan v =
+    match chan with
+    | Ast.Chan_x -> Queue.push v out_x
+    | Ast.Chan_y -> Queue.push v out_y
+  in
+  let outputs () =
+    (List.of_seq (Queue.to_seq out_x), List.of_seq (Queue.to_seq out_y))
+  in
+  ({ recv; send }, outputs)
+
+type state = {
+  vars : (string, value) Hashtbl.t;
+  funcs : (string, Ast.func) Hashtbl.t; (* functions of the section *)
+  channels : channels;
+  mutable fuel : int; (* statement budget, guards property tests *)
+}
+
+exception Return_exc of value option
+
+let default_value = function
+  | Ast.Tint -> Vint 0
+  | Ast.Tfloat -> Vfloat 0.0
+  | Ast.Tbool -> Vbool false
+  | Ast.Tarray (n, elt) ->
+    let dflt =
+      match elt with
+      | Ast.Tint -> Vint 0
+      | Ast.Tfloat -> Vfloat 0.0
+      | Ast.Tbool -> Vbool false
+      | Ast.Tarray _ -> Vint 0
+    in
+    Varray (Array.make n dflt)
+
+let value_to_string = function
+  | Vint n -> string_of_int n
+  | Vfloat f -> Printf.sprintf "%.6g" f
+  | Vbool b -> string_of_bool b
+  | Varray a -> Printf.sprintf "<array[%d]>" (Array.length a)
+
+let type_error loc what = raise (Runtime_error ("type error: " ^ what, loc))
+
+let as_int loc = function Vint n -> n | _ -> type_error loc "int expected"
+let as_bool loc = function Vbool b -> b | _ -> type_error loc "bool expected"
+
+let as_array loc = function
+  | Varray a -> a
+  | _ -> type_error loc "array expected"
+
+let spend state loc =
+  if state.fuel <= 0 then raise Out_of_fuel;
+  state.fuel <- state.fuel - 1;
+  ignore loc
+
+let apply_builtin loc name args =
+  match (name, args) with
+  | "sqrt", [ Vfloat f ] ->
+    if f < 0.0 then raise (Runtime_error ("sqrt of negative value", loc));
+    Vfloat (sqrt f)
+  | "abs", [ Vfloat f ] -> Vfloat (abs_float f)
+  | "iabs", [ Vint n ] -> Vint (abs n)
+  | "min", [ Vfloat a; Vfloat b ] -> Vfloat (min a b)
+  | "max", [ Vfloat a; Vfloat b ] -> Vfloat (max a b)
+  | "imin", [ Vint a; Vint b ] -> Vint (min a b)
+  | "imax", [ Vint a; Vint b ] -> Vint (max a b)
+  | "float", [ Vint n ] -> Vfloat (float_of_int n)
+  | "trunc", [ Vfloat f ] -> Vint (int_of_float f)
+  | _ -> type_error loc ("bad builtin application of '" ^ name ^ "'")
+
+let eval_binop loc op left right =
+  match (op, left, right) with
+  | Ast.Add, Vint a, Vint b -> Vint (a + b)
+  | Ast.Sub, Vint a, Vint b -> Vint (a - b)
+  | Ast.Mul, Vint a, Vint b -> Vint (a * b)
+  | Ast.Div, Vint a, Vint b ->
+    if b = 0 then raise (Runtime_error ("division by zero", loc));
+    Vint (a / b)
+  | Ast.Mod, Vint a, Vint b ->
+    if b = 0 then raise (Runtime_error ("mod by zero", loc));
+    Vint (a mod b)
+  | Ast.Add, Vfloat a, Vfloat b -> Vfloat (a +. b)
+  | Ast.Sub, Vfloat a, Vfloat b -> Vfloat (a -. b)
+  | Ast.Mul, Vfloat a, Vfloat b -> Vfloat (a *. b)
+  | Ast.Div, Vfloat a, Vfloat b ->
+    if b = 0.0 then raise (Runtime_error ("division by zero", loc));
+    Vfloat (a /. b)
+  | Ast.Eq, a, b -> Vbool (a = b)
+  | Ast.Ne, a, b -> Vbool (a <> b)
+  | Ast.Lt, Vint a, Vint b -> Vbool (a < b)
+  | Ast.Le, Vint a, Vint b -> Vbool (a <= b)
+  | Ast.Gt, Vint a, Vint b -> Vbool (a > b)
+  | Ast.Ge, Vint a, Vint b -> Vbool (a >= b)
+  | Ast.Lt, Vfloat a, Vfloat b -> Vbool (a < b)
+  | Ast.Le, Vfloat a, Vfloat b -> Vbool (a <= b)
+  | Ast.Gt, Vfloat a, Vfloat b -> Vbool (a > b)
+  | Ast.Ge, Vfloat a, Vfloat b -> Vbool (a >= b)
+  | Ast.And, Vbool a, Vbool b -> Vbool (a && b)
+  | Ast.Or, Vbool a, Vbool b -> Vbool (a || b)
+  | _ -> type_error loc ("bad operands for '" ^ Ast.binop_to_string op ^ "'")
+
+let rec eval_expr state (expr : Ast.expr) : value =
+  match expr.e with
+  | Ast.Int_lit n -> Vint n
+  | Ast.Float_lit f -> Vfloat f
+  | Ast.Bool_lit b -> Vbool b
+  | Ast.Var name -> (
+    match Hashtbl.find_opt state.vars name with
+    | Some v -> v
+    | None -> raise (Runtime_error ("unbound variable '" ^ name ^ "'", expr.eloc)))
+  | Ast.Index (name, index) ->
+    let arr =
+      match Hashtbl.find_opt state.vars name with
+      | Some v -> as_array expr.eloc v
+      | None -> raise (Runtime_error ("unbound variable '" ^ name ^ "'", expr.eloc))
+    in
+    let i = as_int index.eloc (eval_expr state index) in
+    if i < 0 || i >= Array.length arr then
+      raise (Runtime_error (Printf.sprintf "index %d out of bounds" i, index.eloc));
+    arr.(i)
+  | Ast.Unary (Ast.Neg, operand) -> (
+    match eval_expr state operand with
+    | Vint n -> Vint (-n)
+    | Vfloat f -> Vfloat (-.f)
+    | _ -> type_error operand.eloc "numeric operand expected for unary '-'")
+  | Ast.Unary (Ast.Not, operand) ->
+    Vbool (not (as_bool operand.eloc (eval_expr state operand)))
+  | Ast.Binary (Ast.And, left, right) ->
+    (* Short-circuit, matching the code generator's branching scheme. *)
+    if as_bool left.eloc (eval_expr state left) then eval_expr state right
+    else Vbool false
+  | Ast.Binary (Ast.Or, left, right) ->
+    if as_bool left.eloc (eval_expr state left) then Vbool true
+    else eval_expr state right
+  | Ast.Binary (op, left, right) ->
+    let l = eval_expr state left in
+    let r = eval_expr state right in
+    eval_binop expr.eloc op l r
+  | Ast.Call (name, args) -> (
+    let arg_values = List.map (eval_expr state) args in
+    if Ast.is_builtin name then apply_builtin expr.eloc name arg_values
+    else
+      match call_function state name arg_values expr.eloc with
+      | Some v -> v
+      | None ->
+        raise (Runtime_error ("function '" ^ name ^ "' returned no value", expr.eloc)))
+
+and call_function state name arg_values loc : value option =
+  let f =
+    match Hashtbl.find_opt state.funcs name with
+    | Some f -> f
+    | None -> raise (Runtime_error ("undefined function '" ^ name ^ "'", loc))
+  in
+  if List.length f.params <> List.length arg_values then
+    raise (Runtime_error ("arity mismatch calling '" ^ name ^ "'", loc));
+  (* Fresh frame sharing the section's function table and channels. *)
+  let frame =
+    {
+      vars = Hashtbl.create 16;
+      funcs = state.funcs;
+      channels = state.channels;
+      fuel = state.fuel;
+    }
+  in
+  List.iter2
+    (fun (p : Ast.param) v -> Hashtbl.replace frame.vars p.pname v)
+    f.params arg_values;
+  List.iter
+    (fun (d : Ast.decl) -> Hashtbl.replace frame.vars d.dname (default_value d.dty))
+    f.locals;
+  let result =
+    try
+      exec_stmts frame f.body;
+      None
+    with Return_exc v -> v
+  in
+  state.fuel <- frame.fuel;
+  result
+
+and assign state loc lv value =
+  match lv with
+  | Ast.Lvar name ->
+    if not (Hashtbl.mem state.vars name) then
+      raise (Runtime_error ("unbound variable '" ^ name ^ "'", loc));
+    Hashtbl.replace state.vars name value
+  | Ast.Lindex (name, index) ->
+    let arr =
+      match Hashtbl.find_opt state.vars name with
+      | Some v -> as_array loc v
+      | None -> raise (Runtime_error ("unbound variable '" ^ name ^ "'", loc))
+    in
+    let i = as_int index.eloc (eval_expr state index) in
+    if i < 0 || i >= Array.length arr then
+      raise (Runtime_error (Printf.sprintf "index %d out of bounds" i, index.eloc));
+    arr.(i) <- value
+
+and exec_stmt state (stmt : Ast.stmt) =
+  spend state stmt.sloc;
+  match stmt.s with
+  | Ast.Assign (lv, value) -> assign state stmt.sloc lv (eval_expr state value)
+  | Ast.If (cond, then_branch, else_branch) ->
+    if as_bool cond.eloc (eval_expr state cond) then exec_stmts state then_branch
+    else exec_stmts state else_branch
+  | Ast.While (cond, body) ->
+    while as_bool cond.eloc (eval_expr state cond) do
+      spend state stmt.sloc;
+      exec_stmts state body
+    done
+  | Ast.For (var, lo, hi, body) ->
+    (* Counted loops have while-loop semantics: the variable is [lo]
+       before the first test and [hi + 1] after a completed loop — the
+       checker forbids assigning it in the body, so this matches the
+       lowered code exactly. *)
+    let lo = as_int lo.eloc (eval_expr state lo) in
+    let hi = as_int hi.eloc (eval_expr state hi) in
+    Hashtbl.replace state.vars var (Vint lo);
+    let rec loop i =
+      if i <= hi then begin
+        spend state stmt.sloc;
+        exec_stmts state body;
+        Hashtbl.replace state.vars var (Vint (i + 1));
+        loop (i + 1)
+      end
+    in
+    loop lo
+  | Ast.Send (chan, value) -> state.channels.send chan (eval_expr state value)
+  | Ast.Receive (chan, target) ->
+    assign state stmt.sloc target (state.channels.recv chan)
+  | Ast.Return v -> raise (Return_exc (Option.map (eval_expr state) v))
+  | Ast.Call_stmt (name, args) ->
+    let arg_values = List.map (eval_expr state) args in
+    if Ast.is_builtin name then ignore (apply_builtin stmt.sloc name arg_values)
+    else ignore (call_function state name arg_values stmt.sloc)
+
+and exec_stmts state stmts = List.iter (exec_stmt state) stmts
+
+(* Run [func] of [section] with the given argument values.  Returns the
+   function result (if any) and the final values of its locals, which the
+   differential tests compare against the compiled code. *)
+let run_function ?(fuel = 2_000_000) ?(channels = null_channels)
+    (sec : Ast.section) ~name ~args =
+  let funcs = Hashtbl.create 8 in
+  List.iter (fun (f : Ast.func) -> Hashtbl.replace funcs f.fname f) sec.funcs;
+  let state = { vars = Hashtbl.create 16; funcs; channels; fuel } in
+  call_function state name args Loc.dummy

@@ -1,0 +1,47 @@
+(** Reference interpreter for W2 functions.
+
+    It defines the semantics against which every later stage is tested:
+    the IR after each optimization pass and the code executed by the
+    Warp cell simulator must agree with this interpreter on all inputs.
+
+    Channels are provided by the caller, so a function can be run
+    either stand-alone (with scripted channel data) or as one cell of a
+    systolic array. *)
+
+type value = Vint of int | Vfloat of float | Vbool of bool | Varray of value array
+
+exception Runtime_error of string * Loc.t
+exception Out_of_fuel
+
+type channels = {
+  recv : Ast.channel -> value; (** may raise to model an empty input *)
+  send : Ast.channel -> value -> unit;
+}
+
+val null_channels : channels
+(** Sends vanish; receives raise {!Runtime_error}. *)
+
+val queue_channels :
+  input_x:value list -> input_y:value list ->
+  channels * (unit -> value list * value list)
+(** Channels backed by queues: scripted input, recorded output.  The
+    second component returns the (X, Y) output recorded so far. *)
+
+val value_to_string : value -> string
+
+val default_value : Ast.ty -> value
+(** The zero value of a type — what locals start as. *)
+
+val run_function :
+  ?fuel:int ->
+  ?channels:channels ->
+  Ast.section ->
+  name:string ->
+  args:value list ->
+  value option
+(** Run one function of a (checked) section with the given arguments;
+    intra-section calls are resolved against the section.  [fuel]
+    bounds executed statements (default two million).
+    @raise Out_of_fuel when the budget runs out.
+    @raise Runtime_error on dynamic errors (division by zero,
+    out-of-bounds indices, empty channels, ...). *)

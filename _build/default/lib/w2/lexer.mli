@@ -1,0 +1,23 @@
+(** Hand-written lexer for the W2-flavoured language.
+
+    Comments run from ["--"] to end of line.  Numbers are decimal; a
+    number containing ['.'] or an exponent is a float literal.
+    Keywords are case-insensitive. *)
+
+exception Error of string * Loc.t
+
+type t
+(** Lexer state over one in-memory source buffer. *)
+
+val create : ?file:string -> string -> t
+(** [create ~file source] starts lexing [source]; [file] names it in
+    locations (default ["<string>"]). *)
+
+val next : t -> Token.t * Loc.t
+(** The next token and the location of its first character; returns
+    {!Token.EOF} at the end (repeatedly).  @raise Error on malformed
+    input. *)
+
+val tokenize : ?file:string -> string -> (Token.t * Loc.t) list
+(** The whole token stream, EOF included.  Used by tests and by the
+    cost model, which charges phase 1 per token. *)

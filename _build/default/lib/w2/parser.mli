@@ -1,0 +1,27 @@
+(** Recursive-descent parser for the W2-flavoured language.
+
+    Grammar sketch:
+    {v
+    module   ::= "module" ID section+ "end"
+    section  ::= "section" ID "cells" INT function+ "end"
+    function ::= "function" ID "(" params? ")" [":" type]
+                 decl* "begin" stmt* "end"
+    stmt     ::= lvalue ":=" expr ";" | "if" ... | "while" ... |
+                 "for" ID ":=" expr "to" expr "do" ... "end" ";" |
+                 "send" "(" chan "," expr ")" ";" |
+                 "receive" "(" chan "," lvalue ")" ";" |
+                 "return" [expr] ";" | ID "(" args ")" ";"
+    v}
+    Expression precedence: [or < and < comparison < additive <
+    multiplicative < unary < primary]. *)
+
+exception Error of string * Loc.t
+
+val module_of_string : ?file:string -> string -> Ast.modul
+(** Parse a complete module.  @raise Error on syntax errors. *)
+
+val function_of_string : ?file:string -> string -> Ast.func
+(** Parse a single function definition (test/tool helper). *)
+
+val expr_of_string : ?file:string -> string -> Ast.expr
+(** Parse a single expression (test helper). *)

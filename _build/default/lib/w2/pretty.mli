@@ -1,0 +1,27 @@
+(** Pretty printer producing valid W2 source.
+
+    Round-tripping through {!Parser.module_of_string} is a test
+    invariant, and the line count of the rendered text is the "lines of
+    code" metric of the paper's section 4.1. *)
+
+val pp_ty : Format.formatter -> Ast.ty -> unit
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_lvalue : Format.formatter -> Ast.lvalue -> unit
+val pp_stmt : indent:int -> Format.formatter -> Ast.stmt -> unit
+val pp_stmts : indent:int -> Format.formatter -> Ast.stmt list -> unit
+val pp_func : indent:int -> Format.formatter -> Ast.func -> unit
+val pp_section : Format.formatter -> Ast.section -> unit
+val pp_module : Format.formatter -> Ast.modul -> unit
+
+val module_to_string : Ast.modul -> string
+val func_to_string : Ast.func -> string
+val expr_to_string : Ast.expr -> string
+
+val source_lines : string -> int
+(** Physical line count of rendered source — the paper's LoC metric. *)
+
+val module_loc : Ast.modul -> int
+(** Lines of the module as this printer renders it. *)
+
+val func_loc : Ast.func -> int
+(** Lines of the function as this printer renders it. *)

@@ -1,0 +1,338 @@
+(* Semantic checker — phase 1 of the compiler (together with parsing).
+
+   As in the paper, this phase needs the complete section program: it
+   resolves calls between functions of the same section and checks the
+   agreement between a function's return type and its uses at call
+   sites.  It therefore runs sequentially in the master process, before
+   the per-function work is farmed out. *)
+
+type error = { msg : string; loc : Loc.t }
+
+let error_to_string { msg; loc } = Printf.sprintf "%s: %s" (Loc.to_string loc) msg
+
+exception Failed of error list
+
+type env = {
+  vars : (string, Ast.ty) Hashtbl.t;
+  (* Functions visible in the current section: name -> signature. *)
+  funcs : (string, Ast.ty list * Ast.ty option) Hashtbl.t;
+  mutable errors : error list;
+  mutable current_ret : Ast.ty option;
+  mutable loop_vars : string list; (* variables of enclosing for loops *)
+}
+
+let add_error env msg loc = env.errors <- { msg; loc } :: env.errors
+
+let scalar = function Ast.Tint | Ast.Tfloat | Ast.Tbool -> true | Ast.Tarray _ -> false
+let numeric = function Ast.Tint | Ast.Tfloat -> true | Ast.Tbool | Ast.Tarray _ -> false
+
+let type_mismatch env ~expected ~actual loc what =
+  add_error env
+    (Printf.sprintf "%s has type %s but %s was expected" what
+       (Ast.ty_to_string actual) (Ast.ty_to_string expected))
+    loc
+
+(* Type of an expression; reports errors and falls back on a best guess
+   so that checking can continue and report further problems. *)
+let rec check_expr env (expr : Ast.expr) : Ast.ty =
+  match expr.e with
+  | Ast.Int_lit _ -> Ast.Tint
+  | Ast.Float_lit _ -> Ast.Tfloat
+  | Ast.Bool_lit _ -> Ast.Tbool
+  | Ast.Var name -> (
+    match Hashtbl.find_opt env.vars name with
+    | Some ty -> ty
+    | None ->
+      add_error env ("undeclared variable '" ^ name ^ "'") expr.eloc;
+      Ast.Tint)
+  | Ast.Index (name, index) -> (
+    let index_ty = check_expr env index in
+    (if index_ty <> Ast.Tint then
+       type_mismatch env ~expected:Ast.Tint ~actual:index_ty index.eloc
+         "array index");
+    (match index.e with
+    | Ast.Int_lit n when n < 0 ->
+      add_error env "array index is negative" index.eloc
+    | _ -> ());
+    match Hashtbl.find_opt env.vars name with
+    | Some (Ast.Tarray (size, elt)) ->
+      (match index.e with
+      | Ast.Int_lit n when n >= size ->
+        add_error env
+          (Printf.sprintf "index %d out of bounds for array of size %d" n size)
+          index.eloc
+      | _ -> ());
+      elt
+    | Some other ->
+      add_error env
+        (Printf.sprintf "'%s' has type %s and cannot be indexed" name
+           (Ast.ty_to_string other))
+        expr.eloc;
+      Ast.Tint
+    | None ->
+      add_error env ("undeclared variable '" ^ name ^ "'") expr.eloc;
+      Ast.Tint)
+  | Ast.Unary (Ast.Neg, operand) ->
+    let ty = check_expr env operand in
+    if not (numeric ty) then
+      add_error env
+        ("operand of unary '-' must be numeric, found " ^ Ast.ty_to_string ty)
+        operand.eloc;
+    ty
+  | Ast.Unary (Ast.Not, operand) ->
+    let ty = check_expr env operand in
+    if ty <> Ast.Tbool then
+      type_mismatch env ~expected:Ast.Tbool ~actual:ty operand.eloc
+        "operand of 'not'";
+    Ast.Tbool
+  | Ast.Binary (op, left, right) -> check_binary env expr.eloc op left right
+  | Ast.Call (name, args) -> check_call env expr.eloc name args ~statement:false
+
+and check_binary env loc op left right =
+  let lty = check_expr env left in
+  let rty = check_expr env right in
+  let require_same () =
+    if lty <> rty then
+      add_error env
+        (Printf.sprintf "operands of '%s' have different types (%s and %s)"
+           (Ast.binop_to_string op) (Ast.ty_to_string lty) (Ast.ty_to_string rty))
+        loc
+  in
+  match op with
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div ->
+    require_same ();
+    if not (numeric lty) then
+      add_error env
+        (Printf.sprintf "operands of '%s' must be numeric" (Ast.binop_to_string op))
+        loc;
+    lty
+  | Ast.Mod ->
+    require_same ();
+    if lty <> Ast.Tint then
+      add_error env "operands of 'mod' must be int" loc;
+    Ast.Tint
+  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+    require_same ();
+    if not (scalar lty) then
+      add_error env "comparison operands must be scalar" loc;
+    Ast.Tbool
+  | Ast.And | Ast.Or ->
+    if lty <> Ast.Tbool then
+      type_mismatch env ~expected:Ast.Tbool ~actual:lty left.eloc
+        ("left operand of '" ^ Ast.binop_to_string op ^ "'");
+    if rty <> Ast.Tbool then
+      type_mismatch env ~expected:Ast.Tbool ~actual:rty right.eloc
+        ("right operand of '" ^ Ast.binop_to_string op ^ "'");
+    Ast.Tbool
+
+and check_call env loc name args ~statement =
+  let arg_tys = List.map (check_expr env) args in
+  let check_sig (param_tys, ret) =
+    (if List.length param_tys <> List.length arg_tys then
+       add_error env
+         (Printf.sprintf "'%s' expects %d argument(s) but got %d" name
+            (List.length param_tys) (List.length arg_tys))
+         loc
+     else
+       List.iteri
+         (fun i (expected, actual) ->
+           if expected <> actual then
+             type_mismatch env ~expected ~actual loc
+               (Printf.sprintf "argument %d of '%s'" (i + 1) name))
+         (List.combine param_tys arg_tys));
+    ret
+  in
+  match List.assoc_opt name Ast.builtins with
+  | Some (param_tys, ret) -> (
+    match check_sig (param_tys, Some ret) with Some ty -> ty | None -> Ast.Tint)
+  | None -> (
+    match Hashtbl.find_opt env.funcs name with
+    | Some (param_tys, ret) -> (
+      match check_sig (param_tys, ret) with
+      | Some ty -> ty
+      | None ->
+        if not statement then
+          add_error env
+            ("'" ^ name ^ "' returns no value and cannot be used in an expression")
+            loc;
+        Ast.Tint)
+    | None ->
+      add_error env ("call to undefined function '" ^ name ^ "'") loc;
+      Ast.Tint)
+
+let check_lvalue env loc = function
+  | Ast.Lvar name -> (
+    match Hashtbl.find_opt env.vars name with
+    | Some ty -> ty
+    | None ->
+      add_error env ("undeclared variable '" ^ name ^ "'") loc;
+      Ast.Tint)
+  | Ast.Lindex (name, index) ->
+    check_expr env { Ast.e = Ast.Index (name, index); eloc = loc }
+
+(* Loop variables are owned by their loop: assigning or receiving into
+   one inside the body is rejected (the compiler's counted-loop
+   transformations depend on it). *)
+let check_not_loop_var env loc = function
+  | Ast.Lvar name when List.mem name env.loop_vars ->
+    add_error env
+      ("cannot assign to '" ^ name ^ "' inside its own for loop")
+      loc
+  | Ast.Lvar _ | Ast.Lindex _ -> ()
+
+let rec check_stmt env (stmt : Ast.stmt) =
+  match stmt.s with
+  | Ast.Assign (lv, value) ->
+    check_not_loop_var env stmt.sloc lv;
+    let target_ty = check_lvalue env stmt.sloc lv in
+    let value_ty = check_expr env value in
+    if scalar target_ty && target_ty <> value_ty then
+      type_mismatch env ~expected:target_ty ~actual:value_ty stmt.sloc
+        "right-hand side of assignment";
+    if not (scalar target_ty) then
+      add_error env "cannot assign to a whole array" stmt.sloc
+  | Ast.If (cond, then_branch, else_branch) ->
+    let cond_ty = check_expr env cond in
+    if cond_ty <> Ast.Tbool then
+      type_mismatch env ~expected:Ast.Tbool ~actual:cond_ty cond.eloc
+        "'if' condition";
+    List.iter (check_stmt env) then_branch;
+    List.iter (check_stmt env) else_branch
+  | Ast.While (cond, body) ->
+    let cond_ty = check_expr env cond in
+    if cond_ty <> Ast.Tbool then
+      type_mismatch env ~expected:Ast.Tbool ~actual:cond_ty cond.eloc
+        "'while' condition";
+    List.iter (check_stmt env) body
+  | Ast.For (var, lo, hi, body) ->
+    (match Hashtbl.find_opt env.vars var with
+    | Some Ast.Tint -> ()
+    | Some other ->
+      add_error env
+        (Printf.sprintf "loop variable '%s' must be int, found %s" var
+           (Ast.ty_to_string other))
+        stmt.sloc
+    | None -> add_error env ("undeclared loop variable '" ^ var ^ "'") stmt.sloc);
+    let lo_ty = check_expr env lo in
+    let hi_ty = check_expr env hi in
+    if lo_ty <> Ast.Tint then
+      type_mismatch env ~expected:Ast.Tint ~actual:lo_ty lo.eloc "loop bound";
+    if hi_ty <> Ast.Tint then
+      type_mismatch env ~expected:Ast.Tint ~actual:hi_ty hi.eloc "loop bound";
+    if List.mem var env.loop_vars then
+      add_error env
+        ("'" ^ var ^ "' is already the variable of an enclosing for loop")
+        stmt.sloc;
+    env.loop_vars <- var :: env.loop_vars;
+    List.iter (check_stmt env) body;
+    env.loop_vars <- List.tl env.loop_vars
+  | Ast.Send (_, value) ->
+    let ty = check_expr env value in
+    if not (numeric ty) then
+      add_error env
+        ("sent value must be numeric, found " ^ Ast.ty_to_string ty)
+        value.eloc
+  | Ast.Receive (_, target) ->
+    check_not_loop_var env stmt.sloc target;
+    let ty = check_lvalue env stmt.sloc target in
+    if not (numeric ty) then
+      add_error env
+        ("receive target must be numeric, found " ^ Ast.ty_to_string ty)
+        stmt.sloc
+  | Ast.Return None ->
+    if env.current_ret <> None then
+      add_error env "this function must return a value" stmt.sloc
+  | Ast.Return (Some value) -> (
+    let ty = check_expr env value in
+    match env.current_ret with
+    | None ->
+      add_error env "this function does not return a value" stmt.sloc
+    | Some expected ->
+      if expected <> ty then
+        type_mismatch env ~expected ~actual:ty stmt.sloc "returned value")
+  | Ast.Call_stmt (name, args) ->
+    ignore (check_call env stmt.sloc name args ~statement:true)
+
+(* Conservative "all control paths return" analysis. *)
+let rec always_returns stmts =
+  List.exists
+    (fun (stmt : Ast.stmt) ->
+      match stmt.s with
+      | Ast.Return _ -> true
+      | Ast.If (_, t, e) -> always_returns t && always_returns e
+      | Ast.Assign _ | Ast.While _ | Ast.For _ | Ast.Send _ | Ast.Receive _
+      | Ast.Call_stmt _ ->
+        false)
+    stmts
+
+let check_function env (f : Ast.func) =
+  Hashtbl.reset env.vars;
+  env.current_ret <- f.ret;
+  let declare name ty loc =
+    if Hashtbl.mem env.vars name then
+      add_error env ("duplicate declaration of '" ^ name ^ "'") loc
+    else if Ast.is_builtin name then
+      add_error env ("'" ^ name ^ "' shadows a builtin function") loc
+    else Hashtbl.add env.vars name ty
+  in
+  List.iter (fun (p : Ast.param) -> declare p.pname p.pty p.ploc) f.params;
+  List.iter (fun (d : Ast.decl) -> declare d.dname d.dty d.dloc) f.locals;
+  List.iter
+    (fun (d : Ast.decl) ->
+      match d.dty with
+      | Ast.Tarray (n, elt) ->
+        if n <= 0 then add_error env "array size must be positive" d.dloc;
+        if not (scalar elt) then
+          add_error env "arrays of arrays are not supported" d.dloc
+      | Ast.Tint | Ast.Tfloat | Ast.Tbool -> ())
+    (f.locals
+    @ List.map (fun (p : Ast.param) -> { Ast.dname = p.pname; dty = p.pty; dloc = p.ploc }) f.params);
+  List.iter (check_stmt env) f.body;
+  match f.ret with
+  | Some _ when not (always_returns f.body) ->
+    add_error env
+      ("function '" ^ f.fname ^ "' does not return a value on every path")
+      f.floc
+  | Some _ | None -> ()
+
+let check_section env (sec : Ast.section) =
+  if sec.cells < 1 then
+    add_error env "a section needs at least one cell" sec.secloc;
+  Hashtbl.reset env.funcs;
+  List.iter
+    (fun (f : Ast.func) ->
+      if Hashtbl.mem env.funcs f.fname then
+        add_error env ("duplicate function '" ^ f.fname ^ "'") f.floc
+      else if Ast.is_builtin f.fname then
+        add_error env ("function '" ^ f.fname ^ "' shadows a builtin") f.floc
+      else
+        Hashtbl.add env.funcs f.fname
+          (List.map (fun (p : Ast.param) -> p.pty) f.params, f.ret))
+    sec.funcs;
+  List.iter (check_function env) sec.funcs
+
+(* Check a whole module; returns the list of errors, oldest first. *)
+let check_module (m : Ast.modul) : error list =
+  let env =
+    {
+      vars = Hashtbl.create 64;
+      funcs = Hashtbl.create 16;
+      errors = [];
+      current_ret = None;
+      loop_vars = [];
+    }
+  in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (sec : Ast.section) ->
+      if Hashtbl.mem seen sec.sname then
+        add_error env ("duplicate section '" ^ sec.sname ^ "'") sec.secloc
+      else Hashtbl.add seen sec.sname ();
+      check_section env sec)
+    m.sections;
+  List.rev env.errors
+
+(* Raise [Failed] if the module does not check: the behaviour of the
+   master process, which aborts the compilation on phase-1 errors. *)
+let check_module_exn m =
+  match check_module m with [] -> () | errors -> raise (Failed errors)

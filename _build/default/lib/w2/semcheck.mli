@@ -1,0 +1,28 @@
+(** Semantic checker — phase 1 of the compiler, together with parsing.
+
+    As in the paper, this phase needs the complete section program: it
+    resolves calls between functions of the same section and checks the
+    agreement between a function's return type and its uses at call
+    sites.  It therefore runs sequentially in the master process,
+    before the per-function work is farmed out.
+
+    Checked invariants the rest of the compiler relies on: every name
+    is declared before use, assignments and calls are type-correct,
+    value-returning functions return on all paths, statically-constant
+    array indices are in bounds, and the variable of a [for] loop is
+    never assigned inside its own body (the counted-loop
+    transformations depend on it). *)
+
+type error = { msg : string; loc : Loc.t }
+
+val error_to_string : error -> string
+
+exception Failed of error list
+
+val check_module : Ast.modul -> error list
+(** All diagnostics, oldest first; [[]] means the module is valid input
+    for {!Midend.Lower} and {!Interp}. *)
+
+val check_module_exn : Ast.modul -> unit
+(** @raise Failed with the diagnostics when the module does not check —
+    the master's behaviour on phase-1 errors. *)

@@ -1,0 +1,139 @@
+(* Tokens of the W2-flavoured source language. *)
+
+type t =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  (* keywords *)
+  | MODULE
+  | SECTION
+  | CELLS
+  | FUNCTION
+  | BEGIN
+  | END
+  | VAR
+  | IF
+  | THEN
+  | ELSE
+  | WHILE
+  | DO
+  | FOR
+  | TO
+  | RETURN
+  | SEND
+  | RECEIVE
+  | TRUE
+  | FALSE
+  | AND
+  | OR
+  | NOT
+  | MOD
+  | TINT
+  | TFLOAT
+  | TBOOL
+  | ARRAY
+  | OF
+  (* punctuation and operators *)
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | COLON
+  | ASSIGN (* := *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EQ
+  | NE (* <> *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+let keyword_table =
+  [
+    ("module", MODULE);
+    ("section", SECTION);
+    ("cells", CELLS);
+    ("function", FUNCTION);
+    ("begin", BEGIN);
+    ("end", END);
+    ("var", VAR);
+    ("if", IF);
+    ("then", THEN);
+    ("else", ELSE);
+    ("while", WHILE);
+    ("do", DO);
+    ("for", FOR);
+    ("to", TO);
+    ("return", RETURN);
+    ("send", SEND);
+    ("receive", RECEIVE);
+    ("true", TRUE);
+    ("false", FALSE);
+    ("and", AND);
+    ("or", OR);
+    ("not", NOT);
+    ("mod", MOD);
+    ("int", TINT);
+    ("float", TFLOAT);
+    ("bool", TBOOL);
+    ("array", ARRAY);
+    ("of", OF);
+  ]
+
+let to_string = function
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | IDENT s -> s
+  | MODULE -> "module"
+  | SECTION -> "section"
+  | CELLS -> "cells"
+  | FUNCTION -> "function"
+  | BEGIN -> "begin"
+  | END -> "end"
+  | VAR -> "var"
+  | IF -> "if"
+  | THEN -> "then"
+  | ELSE -> "else"
+  | WHILE -> "while"
+  | DO -> "do"
+  | FOR -> "for"
+  | TO -> "to"
+  | RETURN -> "return"
+  | SEND -> "send"
+  | RECEIVE -> "receive"
+  | TRUE -> "true"
+  | FALSE -> "false"
+  | AND -> "and"
+  | OR -> "or"
+  | NOT -> "not"
+  | MOD -> "mod"
+  | TINT -> "int"
+  | TFLOAT -> "float"
+  | TBOOL -> "bool"
+  | ARRAY -> "array"
+  | OF -> "of"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | COLON -> ":"
+  | ASSIGN -> ":="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | EQ -> "="
+  | NE -> "<>"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EOF -> "<eof>"

@@ -1,0 +1,59 @@
+(** Tokens of the W2-flavoured source language. *)
+
+type t =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | MODULE
+  | SECTION
+  | CELLS
+  | FUNCTION
+  | BEGIN
+  | END
+  | VAR
+  | IF
+  | THEN
+  | ELSE
+  | WHILE
+  | DO
+  | FOR
+  | TO
+  | RETURN
+  | SEND
+  | RECEIVE
+  | TRUE
+  | FALSE
+  | AND
+  | OR
+  | NOT
+  | MOD
+  | TINT (** the keyword [int] *)
+  | TFLOAT (** the keyword [float] (also the conversion builtin) *)
+  | TBOOL (** the keyword [bool] *)
+  | ARRAY
+  | OF
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | COLON
+  | ASSIGN (** [:=] *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EQ
+  | NE (** [<>] *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+val keyword_table : (string * t) list
+(** Lower-case keyword spellings (the lexer folds case). *)
+
+val to_string : t -> string
+(** The source spelling (diagnostics). *)

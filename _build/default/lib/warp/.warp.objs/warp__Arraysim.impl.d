@@ -1,0 +1,1 @@
+lib/warp/arraysim.ml: Array Cellsim List Machine Mcode Queue W2

@@ -1,0 +1,1 @@
+lib/warp/arraysim.mli: Cellsim Mcode

@@ -1,0 +1,1 @@
+lib/warp/asm.ml: Array Buffer Char Int64 List Machine Mcode Midend Printf String W2

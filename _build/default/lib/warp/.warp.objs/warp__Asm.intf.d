@@ -1,0 +1,1 @@
+lib/warp/asm.mli: Mcode

@@ -1,0 +1,1 @@
+lib/warp/cellsim.ml: Array Hashtbl Ir Ir_interp List Machine Mcode Midend Option Printf Queue W2

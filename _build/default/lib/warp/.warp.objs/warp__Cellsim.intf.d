@@ -1,0 +1,1 @@
+lib/warp/cellsim.mli: Mcode Midend W2

@@ -1,0 +1,1 @@
+lib/warp/codegen.ml: Array Counted Hashtbl Ir List Listsched Loops Mcode Midend Modsched Regalloc Rename_locals

@@ -1,0 +1,1 @@
+lib/warp/codegen.mli: Mcode Midend

@@ -1,0 +1,1 @@
+lib/warp/ddg.ml: Array Ir List Machine Midend

@@ -1,0 +1,1 @@
+lib/warp/ddg.mli: Midend

@@ -1,0 +1,1 @@
+lib/warp/iodriver.ml: Array Asm Buffer List Mcode Printf

@@ -1,0 +1,1 @@
+lib/warp/iodriver.mli: Mcode

@@ -1,0 +1,1 @@
+lib/warp/link.mli: Mcode

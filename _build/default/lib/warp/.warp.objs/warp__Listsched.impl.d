@@ -1,0 +1,1 @@
+lib/warp/listsched.ml: Array Ddg Fun Ir List Machine Mcode Midend

@@ -1,0 +1,1 @@
+lib/warp/listsched.mli: Mcode Midend

@@ -1,0 +1,1 @@
+lib/warp/machine.ml: Midend

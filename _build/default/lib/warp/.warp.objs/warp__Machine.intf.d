@@ -1,0 +1,1 @@
+lib/warp/machine.mli: Midend

@@ -1,0 +1,1 @@
+lib/warp/mcode.ml: Array Buffer List Machine Midend Printf String

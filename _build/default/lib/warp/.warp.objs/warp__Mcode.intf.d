@@ -1,0 +1,1 @@
+lib/warp/mcode.mli: Machine Midend

@@ -1,0 +1,1 @@
+lib/warp/modsched.ml: Array Ddg Hashtbl Ir List Machine Mcode Midend Option

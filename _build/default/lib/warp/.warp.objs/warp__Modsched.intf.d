@@ -1,0 +1,1 @@
+lib/warp/modsched.mli: Ddg Mcode Midend

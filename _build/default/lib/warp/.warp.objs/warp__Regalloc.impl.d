@@ -1,0 +1,1 @@
+lib/warp/regalloc.ml: Array Hashtbl Ir List Liveness Machine Midend Option Queue

@@ -1,0 +1,1 @@
+lib/warp/regalloc.mli: Midend

@@ -1,0 +1,1 @@
+lib/warp/rename_locals.ml: Array Hashtbl Ir List Liveness Machine Midend Option Queue

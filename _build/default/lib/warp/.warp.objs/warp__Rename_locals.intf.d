@@ -1,0 +1,1 @@
+lib/warp/rename_locals.mli: Midend

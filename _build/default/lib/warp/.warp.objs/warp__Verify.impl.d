@@ -1,0 +1,1 @@
+lib/warp/verify.ml: Array Ddg Hashtbl List Machine Mcode Midend Printf

@@ -1,0 +1,1 @@
+lib/warp/verify.mli: Mcode

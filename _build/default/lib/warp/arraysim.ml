@@ -1,0 +1,105 @@
+(* Lockstep simulator for a linear array of cells — the target of one
+   section program.
+
+   Every cell runs the same entry function of the section image (the
+   usual SPMD arrangement; per-cell arguments let a program
+   differentiate by position).  Channel X flows left to right: cell i's
+   sends on X feed cell i+1's receives on X, with the host feeding cell
+   0 and collecting from the last cell.  Channel Y flows right to left
+   symmetrically.
+
+   Queues have [Machine.queue_capacity] entries; cells stall when
+   receiving from an empty queue or sending into a full one.  Sends
+   become visible to the neighbour at the next cycle (staged commits),
+   so the outcome does not depend on the order cells are stepped in. *)
+
+type value = Cellsim.value
+
+exception Deadlock of int (* cycle *)
+
+type result = {
+  returns : value option array; (* per-cell return value *)
+  host_x : value list; (* X output of the last cell *)
+  host_y : value list; (* Y output of cell 0 *)
+  cycles : int;
+}
+
+let run ?(fuel = 10_000_000) (image : Mcode.image) ~name ~(args : int -> value list)
+    ?(input_x = []) ?(input_y = []) () : result =
+  let n = max 1 image.Mcode.img_cells in
+  (* x_in.(i) feeds cell i's X receives; x_in.(0) is host input.
+     y_in.(i) feeds cell i's Y receives; y_in.(n-1) is host input. *)
+  let x_in = Array.init n (fun _ -> Queue.create ()) in
+  let y_in = Array.init n (fun _ -> Queue.create ()) in
+  List.iter (fun v -> Queue.push v x_in.(0)) input_x;
+  List.iter (fun v -> Queue.push v y_in.(n - 1)) input_y;
+  let host_x = Queue.create () in
+  let host_y = Queue.create () in
+  let staged = ref [] in (* (queue, value) committed after the cycle *)
+  let queue_room q =
+    (* Count both committed and staged entries toward capacity. *)
+    let pending = List.length (List.filter (fun (q', _) -> q' == q) !staged) in
+    Queue.length q + pending < Machine.queue_capacity
+  in
+  let ports i =
+    let recv (c : W2.Ast.channel) =
+      match c with
+      | W2.Ast.Chan_x -> Queue.take_opt x_in.(i)
+      | W2.Ast.Chan_y -> Queue.take_opt y_in.(i)
+    in
+    let send (c : W2.Ast.channel) v =
+      match c with
+      | W2.Ast.Chan_x ->
+        if i = n - 1 then begin
+          Queue.push v host_x;
+          true
+        end
+        else if queue_room x_in.(i + 1) then begin
+          staged := (x_in.(i + 1), v) :: !staged;
+          true
+        end
+        else false
+      | W2.Ast.Chan_y ->
+        if i = 0 then begin
+          Queue.push v host_y;
+          true
+        end
+        else if queue_room y_in.(i - 1) then begin
+          staged := (y_in.(i - 1), v) :: !staged;
+          true
+        end
+        else false
+    in
+    { Cellsim.recv; send }
+  in
+  let cells =
+    Array.init n (fun i -> Cellsim.create ~ports:(ports i) image ~name ~args:(args i))
+  in
+  let cycle = ref 0 in
+  let finished () =
+    Array.for_all (fun c -> c.Cellsim.status = Cellsim.Halted) cells
+  in
+  while (not (finished ())) && !cycle < fuel do
+    let progressed = ref false in
+    Array.iter
+      (fun cell ->
+        if cell.Cellsim.status <> Cellsim.Halted then
+          match Cellsim.step cell with
+          | Cellsim.Running | Cellsim.Halted -> progressed := true
+          | Cellsim.Blocked -> ())
+      cells;
+    (* Commit this cycle's sends, preserving send order. *)
+    let commits = List.rev !staged in
+    staged := [];
+    List.iter (fun (q, v) -> Queue.push v q) commits;
+    if commits <> [] then progressed := true;
+    if not !progressed then raise (Deadlock !cycle);
+    incr cycle
+  done;
+  if not (finished ()) then raise (Deadlock !cycle);
+  {
+    returns = Array.map (fun c -> c.Cellsim.result) cells;
+    host_x = List.of_seq (Queue.to_seq host_x);
+    host_y = List.of_seq (Queue.to_seq host_y);
+    cycles = !cycle;
+  }

@@ -1,0 +1,30 @@
+(** Lockstep simulator for a linear array of cells — the target of one
+    section program.
+
+    Every cell runs the same entry function (SPMD; per-cell arguments
+    differentiate by position).  Channel X flows left to right, Y right
+    to left, with the host feeding and collecting the array ends.
+    Queues hold {!Machine.queue_capacity} entries; sends become visible
+    to the neighbour at the next cycle, so the outcome does not depend
+    on stepping order. *)
+
+type value = Cellsim.value
+
+exception Deadlock of int (** cycle at which no cell could progress *)
+
+type result = {
+  returns : value option array; (** per-cell return value *)
+  host_x : value list; (** X output of the last cell *)
+  host_y : value list; (** Y output of cell 0 *)
+  cycles : int;
+}
+
+val run :
+  ?fuel:int ->
+  Mcode.image ->
+  name:string ->
+  args:(int -> value list) ->
+  ?input_x:value list ->
+  ?input_y:value list ->
+  unit ->
+  result

@@ -1,0 +1,450 @@
+(* Assembler — phase 4.
+
+   Encodes a linked image into the binary download-module format and
+   decodes it back (the decoder doubles as the loader).  The format is
+   deliberately simple: length-prefixed strings, 8-byte big-endian
+   words, one tag byte per field group.
+
+   Layout:
+     magic "WOBJ1\n"
+     section name, cell count
+     function count, then per function:
+       name, param locations, array table (name, size, elem ty)
+       block count, then per block:
+         wide count, 5 slots per wide (tagged), terminator
+*)
+
+exception Bad_object of string
+
+(* --- encoding --- *)
+
+let add_u8 buf n = Buffer.add_uint8 buf (n land 0xff)
+let add_i64 buf n = Buffer.add_int64_be buf (Int64.of_int n)
+let add_f64 buf f = Buffer.add_int64_be buf (Int64.bits_of_float f)
+
+let add_string buf s =
+  add_i64 buf (String.length s);
+  Buffer.add_string buf s
+
+let binop_code (op : Midend.Ir.binop) =
+  match op with
+  | Iadd -> 0
+  | Isub -> 1
+  | Imul -> 2
+  | Idiv -> 3
+  | Imod -> 4
+  | Fadd -> 5
+  | Fsub -> 6
+  | Fmul -> 7
+  | Fdiv -> 8
+  | Icmp Ceq -> 9
+  | Icmp Cne -> 10
+  | Icmp Clt -> 11
+  | Icmp Cle -> 12
+  | Icmp Cgt -> 13
+  | Icmp Cge -> 14
+  | Fcmp Ceq -> 15
+  | Fcmp Cne -> 16
+  | Fcmp Clt -> 17
+  | Fcmp Cle -> 18
+  | Fcmp Cgt -> 19
+  | Fcmp Cge -> 20
+  | Band -> 21
+  | Bor -> 22
+  | Imin -> 23
+  | Imax -> 24
+  | Fmin -> 25
+  | Fmax -> 26
+
+let binop_of_code = function
+  | 0 -> Midend.Ir.Iadd
+  | 1 -> Midend.Ir.Isub
+  | 2 -> Midend.Ir.Imul
+  | 3 -> Midend.Ir.Idiv
+  | 4 -> Midend.Ir.Imod
+  | 5 -> Midend.Ir.Fadd
+  | 6 -> Midend.Ir.Fsub
+  | 7 -> Midend.Ir.Fmul
+  | 8 -> Midend.Ir.Fdiv
+  | 9 -> Midend.Ir.Icmp Midend.Ir.Ceq
+  | 10 -> Midend.Ir.Icmp Midend.Ir.Cne
+  | 11 -> Midend.Ir.Icmp Midend.Ir.Clt
+  | 12 -> Midend.Ir.Icmp Midend.Ir.Cle
+  | 13 -> Midend.Ir.Icmp Midend.Ir.Cgt
+  | 14 -> Midend.Ir.Icmp Midend.Ir.Cge
+  | 15 -> Midend.Ir.Fcmp Midend.Ir.Ceq
+  | 16 -> Midend.Ir.Fcmp Midend.Ir.Cne
+  | 17 -> Midend.Ir.Fcmp Midend.Ir.Clt
+  | 18 -> Midend.Ir.Fcmp Midend.Ir.Cle
+  | 19 -> Midend.Ir.Fcmp Midend.Ir.Cgt
+  | 20 -> Midend.Ir.Fcmp Midend.Ir.Cge
+  | 21 -> Midend.Ir.Band
+  | 22 -> Midend.Ir.Bor
+  | 23 -> Midend.Ir.Imin
+  | 24 -> Midend.Ir.Imax
+  | 25 -> Midend.Ir.Fmin
+  | 26 -> Midend.Ir.Fmax
+  | n -> raise (Bad_object (Printf.sprintf "binop code %d" n))
+
+let unop_code (op : Midend.Ir.unop) =
+  match op with
+  | Ineg -> 0
+  | Fneg -> 1
+  | Bnot -> 2
+  | Itof -> 3
+  | Ftoi -> 4
+  | Fsqrt -> 5
+  | Fabs -> 6
+  | Iabs -> 7
+
+let unop_of_code = function
+  | 0 -> Midend.Ir.Ineg
+  | 1 -> Midend.Ir.Fneg
+  | 2 -> Midend.Ir.Bnot
+  | 3 -> Midend.Ir.Itof
+  | 4 -> Midend.Ir.Ftoi
+  | 5 -> Midend.Ir.Fsqrt
+  | 6 -> Midend.Ir.Fabs
+  | 7 -> Midend.Ir.Iabs
+  | n -> raise (Bad_object (Printf.sprintf "unop code %d" n))
+
+let chan_code = function W2.Ast.Chan_x -> 0 | W2.Ast.Chan_y -> 1
+
+let chan_of_code = function
+  | 0 -> W2.Ast.Chan_x
+  | 1 -> W2.Ast.Chan_y
+  | n -> raise (Bad_object (Printf.sprintf "channel code %d" n))
+
+let ty_code (ty : Midend.Ir.ty) =
+  match ty with Int -> 0 | Float -> 1 | Bool -> 2
+
+let ty_of_code = function
+  | 0 -> Midend.Ir.Int
+  | 1 -> Midend.Ir.Float
+  | 2 -> Midend.Ir.Bool
+  | n -> raise (Bad_object (Printf.sprintf "type code %d" n))
+
+let add_operand buf = function
+  | Midend.Ir.Reg r ->
+    add_u8 buf 0;
+    add_i64 buf r
+  | Midend.Ir.Imm_int n ->
+    add_u8 buf 1;
+    add_i64 buf n
+  | Midend.Ir.Imm_float f ->
+    add_u8 buf 2;
+    add_f64 buf f
+
+let add_instr buf ~array_index (instr : Midend.Ir.instr) =
+  match instr with
+  | Bin (op, d, x, y) ->
+    add_u8 buf 0;
+    add_u8 buf (binop_code op);
+    add_i64 buf d;
+    add_operand buf x;
+    add_operand buf y
+  | Un (op, d, x) ->
+    add_u8 buf 1;
+    add_u8 buf (unop_code op);
+    add_i64 buf d;
+    add_operand buf x
+  | Mov (d, x) ->
+    add_u8 buf 2;
+    add_i64 buf d;
+    add_operand buf x
+  | Load (d, a, i) ->
+    add_u8 buf 3;
+    add_i64 buf d;
+    add_i64 buf (array_index a);
+    add_operand buf i
+  | Store (a, i, v) ->
+    add_u8 buf 4;
+    add_i64 buf (array_index a);
+    add_operand buf i;
+    add_operand buf v
+  | Send (c, v) ->
+    add_u8 buf 5;
+    add_u8 buf (chan_code c);
+    add_operand buf v
+  | Recv (c, d) ->
+    add_u8 buf 6;
+    add_u8 buf (chan_code c);
+    add_i64 buf d
+  | Sel (d, c, a, b) ->
+    add_u8 buf 7;
+    add_i64 buf d;
+    add_operand buf c;
+    add_operand buf a;
+    add_operand buf b
+  | Call _ -> raise (Bad_object "call op inside wide instruction")
+
+let add_mterm buf ~symbol_index (t : Mcode.mterm) =
+  match t with
+  | Mcode.Tjump l ->
+    add_u8 buf 0;
+    add_i64 buf l
+  | Mcode.Tbranch (c, a, b) ->
+    add_u8 buf 1;
+    add_operand buf c;
+    add_i64 buf a;
+    add_i64 buf b
+  | Mcode.Tret None -> add_u8 buf 2
+  | Mcode.Tret (Some v) ->
+    add_u8 buf 3;
+    add_operand buf v
+  | Mcode.Tcall { callee; args; dst; cont } ->
+    add_u8 buf 4;
+    add_i64 buf (symbol_index callee);
+    add_i64 buf (List.length args);
+    List.iter (add_operand buf) args;
+    (match dst with
+    | None -> add_u8 buf 0
+    | Some d ->
+      add_u8 buf 1;
+      add_i64 buf d);
+    add_i64 buf cont
+
+let magic = "WOBJ1\n"
+
+let encode (image : Mcode.image) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  add_string buf image.Mcode.img_section;
+  add_i64 buf image.Mcode.img_cells;
+  add_i64 buf (Array.length image.Mcode.funcs);
+  let symbol_index name =
+    match List.assoc_opt name image.Mcode.symbols with
+    | Some i -> i
+    | None -> raise (Bad_object ("unresolved symbol " ^ name))
+  in
+  Array.iter
+    (fun (f : Mcode.mfunc) ->
+      add_string buf f.Mcode.mf_name;
+      add_i64 buf (List.length f.Mcode.param_locs);
+      List.iter (add_i64 buf) f.Mcode.param_locs;
+      add_i64 buf (List.length f.Mcode.mf_arrays);
+      List.iter
+        (fun (name, size, ty) ->
+          add_string buf name;
+          add_i64 buf size;
+          add_u8 buf (ty_code ty))
+        f.Mcode.mf_arrays;
+      let array_index a =
+        let rec find i = function
+          | [] -> raise (Bad_object ("unknown array " ^ a))
+          | (name, _, _) :: rest -> if name = a then i else find (i + 1) rest
+        in
+        find 0 f.Mcode.mf_arrays
+      in
+      add_i64 buf (Array.length f.Mcode.mblocks);
+      Array.iter
+        (fun (b : Mcode.mblock) ->
+          add_u8 buf (if b.Mcode.mb_pipelined then 1 else 0);
+          add_i64 buf (Array.length b.Mcode.code);
+          Array.iter
+            (fun w ->
+              List.iter
+                (fun fu ->
+                  match Mcode.slot w fu with
+                  | None -> add_u8 buf 0
+                  | Some op ->
+                    add_u8 buf 1;
+                    add_instr buf ~array_index op)
+                Machine.all_fus)
+            b.Mcode.code;
+          add_mterm buf ~symbol_index b.Mcode.mterm)
+        f.Mcode.mblocks)
+    image.Mcode.funcs;
+  Buffer.contents buf
+
+(* --- decoding --- *)
+
+type reader = { data : string; mutable pos : int }
+
+let read_u8 r =
+  if r.pos >= String.length r.data then raise (Bad_object "truncated");
+  let b = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  b
+
+let read_i64 r =
+  if r.pos + 8 > String.length r.data then raise (Bad_object "truncated");
+  let v = Int64.to_int (String.get_int64_be r.data r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let read_f64 r =
+  if r.pos + 8 > String.length r.data then raise (Bad_object "truncated");
+  let v = Int64.float_of_bits (String.get_int64_be r.data r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+(* Counts read from untrusted input: negative or absurd values are
+   malformed, not allocation requests. *)
+let read_count ?(max = 1_000_000) r =
+  let n = read_i64 r in
+  if n < 0 || n > max then raise (Bad_object (Printf.sprintf "bad count %d" n));
+  n
+
+let read_string r =
+  let n = read_count r in
+  if r.pos + n > String.length r.data then raise (Bad_object "truncated");
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let read_operand r =
+  match read_u8 r with
+  | 0 -> Midend.Ir.Reg (read_i64 r)
+  | 1 -> Midend.Ir.Imm_int (read_i64 r)
+  | 2 -> Midend.Ir.Imm_float (read_f64 r)
+  | n -> raise (Bad_object (Printf.sprintf "operand kind %d" n))
+
+let read_instr r ~array_name : Midend.Ir.instr =
+  match read_u8 r with
+  | 0 ->
+    let op = binop_of_code (read_u8 r) in
+    let d = read_i64 r in
+    let x = read_operand r in
+    let y = read_operand r in
+    Bin (op, d, x, y)
+  | 1 ->
+    let op = unop_of_code (read_u8 r) in
+    let d = read_i64 r in
+    let x = read_operand r in
+    Un (op, d, x)
+  | 2 ->
+    let d = read_i64 r in
+    let x = read_operand r in
+    Mov (d, x)
+  | 3 ->
+    let d = read_i64 r in
+    let a = array_name (read_i64 r) in
+    let i = read_operand r in
+    Load (d, a, i)
+  | 4 ->
+    let a = array_name (read_i64 r) in
+    let i = read_operand r in
+    let v = read_operand r in
+    Store (a, i, v)
+  | 5 ->
+    let c = chan_of_code (read_u8 r) in
+    let v = read_operand r in
+    Send (c, v)
+  | 6 ->
+    let c = chan_of_code (read_u8 r) in
+    let d = read_i64 r in
+    Recv (c, d)
+  | 7 ->
+    let d = read_i64 r in
+    let c = read_operand r in
+    let a = read_operand r in
+    let b = read_operand r in
+    Sel (d, c, a, b)
+  | n -> raise (Bad_object (Printf.sprintf "instr kind %d" n))
+
+let read_mterm r ~symbol_name : Mcode.mterm =
+  match read_u8 r with
+  | 0 -> Mcode.Tjump (read_i64 r)
+  | 1 ->
+    let c = read_operand r in
+    let a = read_i64 r in
+    let b = read_i64 r in
+    Mcode.Tbranch (c, a, b)
+  | 2 -> Mcode.Tret None
+  | 3 -> Mcode.Tret (Some (read_operand r))
+  | 4 ->
+    let callee = symbol_name (read_i64 r) in
+    let nargs = read_count ~max:256 r in
+    let args = List.init nargs (fun _ -> read_operand r) in
+    let dst = match read_u8 r with 0 -> None | _ -> Some (read_i64 r) in
+    let cont = read_i64 r in
+    Mcode.Tcall { callee; args; dst; cont }
+  | n -> raise (Bad_object (Printf.sprintf "terminator kind %d" n))
+
+let decode (data : string) : Mcode.image =
+  let r = { data; pos = 0 } in
+  let m = String.length magic in
+  if String.length data < m || String.sub data 0 m <> magic then
+    raise (Bad_object "bad magic");
+  r.pos <- m;
+  let section = read_string r in
+  let cells = read_i64 r in
+  let nfuncs = read_count ~max:100_000 r in
+  (* Function names appear in declaration order, which is the symbol
+     table order produced by the linker. *)
+  let funcs = ref [] in
+  let names = ref [] in
+  for _ = 1 to nfuncs do
+    let name = read_string r in
+    names := name :: !names;
+    let nparams = read_count ~max:256 r in
+    let param_locs = List.init nparams (fun _ -> read_i64 r) in
+    let narrays = read_count ~max:4096 r in
+    let arrays =
+      List.init narrays (fun _ ->
+          let a = read_string r in
+          let size = read_i64 r in
+          let ty = ty_of_code (read_u8 r) in
+          (a, size, ty))
+    in
+    let array_name i =
+      if i < 0 then raise (Bad_object "array index out of range")
+      else
+        match List.nth_opt arrays i with
+        | Some (a, _, _) -> a
+        | None -> raise (Bad_object "array index out of range")
+    in
+    let nblocks = read_count ~max:1_000_000 r in
+    let blocks =
+      Array.init nblocks (fun _ ->
+          let mb_pipelined = read_u8 r <> 0 in
+          let ncode = read_count ~max:10_000_000 r in
+          let code =
+            Array.init ncode (fun _ ->
+                List.fold_left
+                  (fun w fu ->
+                    match read_u8 r with
+                    | 0 -> w
+                    | 1 -> Mcode.with_slot w fu (read_instr r ~array_name)
+                    | n -> raise (Bad_object (Printf.sprintf "slot tag %d" n)))
+                  Mcode.empty_wide Machine.all_fus)
+          in
+          (* Terminators may reference symbols by index; patch later. *)
+          let mterm = read_mterm r ~symbol_name:(fun i -> "#" ^ string_of_int i) in
+          { Mcode.code; mterm; mb_pipelined })
+    in
+    funcs := (name, param_locs, arrays, blocks) :: !funcs
+  done;
+  let ordered = List.rev !funcs in
+  let symbol_names = Array.of_list (List.rev !names) in
+  let resolve = function
+    | name when String.length name > 1 && name.[0] = '#' ->
+      let i = int_of_string (String.sub name 1 (String.length name - 1)) in
+      if i < 0 || i >= Array.length symbol_names then
+        raise (Bad_object "symbol index out of range");
+      symbol_names.(i)
+    | name -> name
+  in
+  let mfuncs =
+    List.map
+      (fun (name, param_locs, arrays, blocks) ->
+        let mblocks =
+          Array.map
+            (fun (b : Mcode.mblock) ->
+              match b.Mcode.mterm with
+              | Mcode.Tcall c ->
+                { b with Mcode.mterm = Mcode.Tcall { c with callee = resolve c.callee } }
+              | Mcode.Tjump _ | Mcode.Tbranch _ | Mcode.Tret _ -> b)
+            blocks
+        in
+        { Mcode.mf_name = name; param_locs; mf_arrays = arrays; mblocks })
+      ordered
+  in
+  let arr = Array.of_list mfuncs in
+  let symbols = Array.to_list (Array.mapi (fun i (f : Mcode.mfunc) -> (f.Mcode.mf_name, i)) arr) in
+  { Mcode.img_section = section; img_cells = cells; funcs = arr; symbols }
+
+(* Size of the download module in bytes; drives the network cost of
+   program download in the host simulation. *)
+let encoded_size image = String.length (encode image)

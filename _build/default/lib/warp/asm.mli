@@ -1,0 +1,16 @@
+(** Assembler — phase 4.
+
+    Encodes a linked image into the binary download-module format and
+    decodes it back (the decoder doubles as the loader).  The format is
+    deliberately simple: length-prefixed strings, 8-byte big-endian
+    words, one tag byte per field group. *)
+
+exception Bad_object of string
+
+val encode : Mcode.image -> string
+val decode : string -> Mcode.image
+(** Inverse of {!encode}.  @raise Bad_object on malformed input. *)
+
+val encoded_size : Mcode.image -> int
+(** Bytes of the download module; drives the network cost of program
+    download in the host simulation. *)

@@ -1,0 +1,117 @@
+(* Data-dependence graphs over the operations of one basic block.
+
+   Edges carry (delay, distance): a dependence from [a] to [b] with
+   distance d means instance (b, iteration k+d) must issue no earlier
+   than issue(a, iteration k) + delay.  Distance-0 edges order
+   operations of one iteration (used by both schedulers); distance-1
+   edges wrap around the loop (used by the modulo scheduler and valid
+   for any pair, in either program order, including self-edges).
+
+   Delay rules (results are written at issue + latency and read at
+   issue; local-memory stores are visible one cycle after issue, loads
+   read at issue; queue operations act in issue order):
+     true (def -> use)        latency(def)
+     anti (use -> def)        1 - latency(def')   (write lands after read)
+     output (def -> def)      latency(first) - latency(second) + 1
+     store -> load            1
+     load -> store            0
+     store -> store           1
+     queue op -> queue op     1                    (strict queue order)
+*)
+
+open Midend
+
+type edge = { src : int; dst : int; delay : int; dist : int }
+
+type t = {
+  ops : Ir.instr array;
+  edges : edge list;
+  succs : (int * int * int) list array; (* dst, delay, dist *)
+  preds : (int * int * int) list array; (* src, delay, dist *)
+}
+
+let regs_def instr = match Ir.def_of instr with Some d -> [ d ] | None -> []
+let regs_use instr = Ir.uses_of instr
+
+let touched_array = function
+  | Ir.Load (_, a, _) -> Some (a, `Load)
+  | Ir.Store (a, _, _) -> Some (a, `Store)
+  | _ -> None
+
+let is_qio = function Ir.Send _ | Ir.Recv _ -> true | _ -> false
+
+(* Maximum delay of the hazards between [a] (first) and [b] (second);
+   None when independent. *)
+let hazard_delay a b : int option =
+  let lat = Machine.latency in
+  let delays = ref [] in
+  let add d = delays := d :: !delays in
+  let da = regs_def a and ua = regs_use a in
+  let db = regs_def b and ub = regs_use b in
+  List.iter (fun r -> if List.mem r ub then add (lat a)) da; (* true *)
+  List.iter (fun r -> if List.mem r db then add (1 - lat b)) ua; (* anti *)
+  List.iter (fun r -> if List.mem r db then add (lat a - lat b + 1)) da; (* output *)
+  (match (touched_array a, touched_array b) with
+  | Some (arr_a, ka), Some (arr_b, kb) when arr_a = arr_b -> (
+    match (ka, kb) with
+    | `Store, `Load -> add 1
+    | `Load, `Store -> add 0
+    | `Store, `Store -> add 1
+    | `Load, `Load -> ())
+  | _ -> ());
+  if is_qio a && is_qio b then add 1;
+  match !delays with [] -> None | ds -> Some (List.fold_left max min_int ds)
+
+(* Build the graph.  [loop] adds the wrap-around distance-1 edges. *)
+let build ?(loop = false) (ops : Ir.instr array) : t =
+  let n = Array.length ops in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      match hazard_delay ops.(i) ops.(j) with
+      | Some delay -> edges := { src = i; dst = j; delay; dist = 0 } :: !edges
+      | None -> ()
+    done
+  done;
+  if loop then
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        (* (i, iter k) happens before (j, iter k+1) for every pair. *)
+        match hazard_delay ops.(i) ops.(j) with
+        | Some delay -> edges := { src = i; dst = j; delay; dist = 1 } :: !edges
+        | None -> ()
+      done
+    done;
+  let succs = Array.make n [] in
+  let preds = Array.make n [] in
+  List.iter
+    (fun e ->
+      succs.(e.src) <- (e.dst, e.delay, e.dist) :: succs.(e.src);
+      preds.(e.dst) <- (e.src, e.delay, e.dist) :: preds.(e.dst))
+    !edges;
+  { ops; edges = !edges; succs; preds }
+
+(* Critical-path height over distance-0 edges: the scheduling priority.
+   The height of an op is its latency plus the maximum height reachable
+   through its same-iteration successors. *)
+let heights (g : t) : int array =
+  let n = Array.length g.ops in
+  let height = Array.make n (-1) in
+  let rec compute i =
+    if height.(i) >= 0 then height.(i)
+    else begin
+      (* Mark to guard against cycles (distance-0 edges are acyclic by
+         construction: they all go forward in program order). *)
+      let best = ref (Machine.latency g.ops.(i)) in
+      List.iter
+        (fun (j, delay, dist) ->
+          if dist = 0 then best := max !best (delay + compute j))
+        g.succs.(i);
+      height.(i) <- !best;
+      !best
+    end
+  in
+  for i = 0 to n - 1 do
+    ignore (compute i)
+  done;
+  height

@@ -1,0 +1,28 @@
+(** Data-dependence graphs over the operations of one basic block.
+
+    Edges carry (delay, distance): a dependence from [a] to [b] with
+    distance [d] means instance (b, iteration k+d) must issue no
+    earlier than issue(a, iteration k) + delay.  Distance-0 edges order
+    operations of one iteration; distance-1 edges wrap around the loop
+    (any pair, either program order, self-edges included) and are what
+    the modulo scheduler prices. *)
+
+type edge = { src : int; dst : int; delay : int; dist : int }
+
+type t = {
+  ops : Midend.Ir.instr array;
+  edges : edge list;
+  succs : (int * int * int) list array; (** (dst, delay, dist) *)
+  preds : (int * int * int) list array; (** (src, delay, dist) *)
+}
+
+val hazard_delay : Midend.Ir.instr -> Midend.Ir.instr -> int option
+(** Maximum delay of the register/memory/queue hazards between a first
+    and a second operation; [None] when independent. *)
+
+val build : ?loop:bool -> Midend.Ir.instr array -> t
+(** [build ~loop:true] adds the wrapped distance-1 edges. *)
+
+val heights : t -> int array
+(** Critical-path height over distance-0 edges — the scheduling
+    priority. *)

@@ -1,0 +1,78 @@
+(* I/O driver generation — the last piece of phase 4.
+
+   The Warp host needs, for every downloadable section image, a driver
+   describing what to download where, how the queues are wired, and how
+   to invoke each entry point.  We generate that description from the
+   linked image; the benchmark host (and [Arraysim]) consume it, and its
+   size participates in the phase-4 cost accounting. *)
+
+type entry = {
+  entry_name : string;
+  arg_count : int;
+  returns_value : bool; (* heuristic: any block returns an operand *)
+  code_words : int; (* wide instructions *)
+}
+
+type t = {
+  drv_section : string;
+  drv_cells : int;
+  download_bytes : int; (* size of the encoded module *)
+  wiring : string list; (* one line per queue link *)
+  entries : entry list;
+}
+
+let generate (image : Mcode.image) : t =
+  let n = max 1 image.Mcode.img_cells in
+  let wiring =
+    List.concat
+      [
+        [ "host.X -> cell0.X" ];
+        List.init (n - 1) (fun i -> Printf.sprintf "cell%d.X -> cell%d.X" i (i + 1));
+        [ Printf.sprintf "cell%d.X -> host.X" (n - 1) ];
+        [ Printf.sprintf "host.Y -> cell%d.Y" (n - 1) ];
+        List.init (n - 1) (fun i -> Printf.sprintf "cell%d.Y -> cell%d.Y" (i + 1) i);
+        [ "cell0.Y -> host.Y" ];
+      ]
+  in
+  let entries =
+    Array.to_list
+      (Array.map
+         (fun (f : Mcode.mfunc) ->
+           let returns_value =
+             Array.exists
+               (fun (b : Mcode.mblock) ->
+                 match b.Mcode.mterm with Mcode.Tret (Some _) -> true | _ -> false)
+               f.Mcode.mblocks
+           in
+           {
+             entry_name = f.Mcode.mf_name;
+             arg_count = List.length f.Mcode.param_locs;
+             returns_value;
+             code_words = Mcode.wide_count f;
+           })
+         image.Mcode.funcs)
+  in
+  {
+    drv_section = image.Mcode.img_section;
+    drv_cells = n;
+    download_bytes = Asm.encoded_size image;
+    wiring;
+    entries;
+  }
+
+let to_string (d : t) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "-- I/O driver for section %s (%d cells, %d bytes)\n"
+       d.drv_section d.drv_cells d.download_bytes);
+  Buffer.add_string buf "-- queue wiring:\n";
+  List.iter (fun w -> Buffer.add_string buf ("--   " ^ w ^ "\n")) d.wiring;
+  Buffer.add_string buf "-- entry points:\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "--   %s/%d%s (%d words)\n" e.entry_name e.arg_count
+           (if e.returns_value then " -> value" else "")
+           e.code_words))
+    d.entries;
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** I/O driver generation — the last piece of phase 4: a host-side
+    description of one downloadable section image (queue wiring, entry
+    points, download size). *)
+
+type entry = {
+  entry_name : string;
+  arg_count : int;
+  returns_value : bool;
+  code_words : int;
+}
+
+type t = {
+  drv_section : string;
+  drv_cells : int;
+  download_bytes : int;
+  wiring : string list; (** one line per queue link *)
+  entries : entry list;
+}
+
+val generate : Mcode.image -> t
+val to_string : t -> string

@@ -1,0 +1,33 @@
+(* Linking — part of phase 4.
+
+   Combines the compiled functions of one section into a downloadable
+   cell image: assigns function indices, builds the symbol table and
+   checks that every call target resolves and agrees in arity. *)
+
+exception Undefined_symbol of string * string (* caller, callee *)
+exception Arity_mismatch of string * string * int * int
+
+let link ~section ~cells (funcs : Mcode.mfunc list) : Mcode.image =
+  let arr = Array.of_list funcs in
+  let symbols =
+    Array.to_list (Array.mapi (fun i (f : Mcode.mfunc) -> (f.Mcode.mf_name, i)) arr)
+  in
+  let image = { Mcode.img_section = section; img_cells = cells; funcs = arr; symbols } in
+  (* Resolve and check every call site. *)
+  Array.iter
+    (fun (f : Mcode.mfunc) ->
+      Array.iter
+        (fun (b : Mcode.mblock) ->
+          match b.Mcode.mterm with
+          | Mcode.Tcall { callee; args; _ } -> (
+            match Mcode.find_func image callee with
+            | None -> raise (Undefined_symbol (f.Mcode.mf_name, callee))
+            | Some target ->
+              let expected = List.length target.Mcode.param_locs in
+              let got = List.length args in
+              if expected <> got then
+                raise (Arity_mismatch (f.Mcode.mf_name, callee, expected, got)))
+          | Mcode.Tjump _ | Mcode.Tbranch _ | Mcode.Tret _ -> ())
+        f.Mcode.mblocks)
+    arr;
+  image

@@ -1,0 +1,12 @@
+(** Linking — part of phase 4: combine the compiled functions of one
+    section into a downloadable cell image, assigning function indices,
+    building the symbol table and checking that every call target
+    resolves with the right arity. *)
+
+exception Undefined_symbol of string * string
+(** Caller and callee names. *)
+
+exception Arity_mismatch of string * string * int * int
+(** Caller, callee, expected argument count, actual argument count. *)
+
+val link : section:string -> cells:int -> Mcode.mfunc list -> Mcode.image

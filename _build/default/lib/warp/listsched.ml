@@ -1,0 +1,68 @@
+(* List scheduling of one basic block onto the wide-instruction cell.
+
+   Greedy cycle-by-cycle: at each cycle the ready operations (all
+   distance-0 predecessors scheduled and their delays elapsed) are
+   placed into free functional-unit slots in decreasing critical-path
+   height.  The block is padded so that every result has been written by
+   the time the terminator executes (clean block boundaries).
+
+   Returns the wide code and the number of placement attempts, which
+   feeds the phase-3 cost model. *)
+
+open Midend
+
+type schedule = {
+  code : Mcode.wide array;
+  issue : int array; (* issue cycle per op *)
+  attempts : int; (* work units *)
+}
+
+let run (ops : Ir.instr array) : schedule =
+  let n = Array.length ops in
+  if n = 0 then { code = [||]; issue = [||]; attempts = 0 }
+  else begin
+    let g = Ddg.build ~loop:false ops in
+    let height = Ddg.heights g in
+    let issue = Array.make n (-1) in
+    let scheduled = ref 0 in
+    let attempts = ref 0 in
+    let wides = ref [] in (* reversed *)
+    let cycle = ref 0 in
+    while !scheduled < n do
+      (* Ready ops: unscheduled, all preds done with delays satisfied. *)
+      let ready =
+        List.filter
+          (fun i ->
+            issue.(i) < 0
+            && List.for_all
+                 (fun (p, delay, dist) ->
+                   dist > 0 || (issue.(p) >= 0 && !cycle >= issue.(p) + delay))
+                 g.preds.(i))
+          (List.init n Fun.id)
+        |> List.sort (fun a b -> compare (height.(b), a) (height.(a), b))
+      in
+      let wide = ref Mcode.empty_wide in
+      List.iter
+        (fun i ->
+          incr attempts;
+          let fu = Machine.fu_of ops.(i) in
+          if Mcode.slot !wide fu = None then begin
+            wide := Mcode.with_slot !wide fu ops.(i);
+            issue.(i) <- !cycle;
+            incr scheduled
+          end)
+        ready;
+      wides := !wide :: !wides;
+      incr cycle
+    done;
+    (* Pad so every write has landed before the terminator. *)
+    let finish =
+      Array.to_list (Array.mapi (fun i op -> issue.(i) + Machine.latency op) ops)
+      |> List.fold_left max !cycle
+    in
+    let code = Array.make finish Mcode.empty_wide in
+    List.iteri
+      (fun k w -> code.(!cycle - 1 - k) <- w)
+      !wides;
+    { code; issue; attempts = !attempts }
+  end

@@ -1,0 +1,12 @@
+(** List scheduling of one basic block onto the wide-instruction cell:
+    greedy cycle-by-cycle placement of ready operations in decreasing
+    critical-path height, padded so every result is written before the
+    terminator executes. *)
+
+type schedule = {
+  code : Mcode.wide array;
+  issue : int array; (** issue cycle per op *)
+  attempts : int; (** placement trials: phase-3 work units *)
+}
+
+val run : Midend.Ir.instr array -> schedule

@@ -1,0 +1,121 @@
+(* Machine code: scheduled wide instructions over physical registers.
+
+   Operations reuse the [Midend.Ir.instr] shape — after register
+   allocation every register index is a physical register below
+   [Machine.num_regs].  A wide instruction carries at most one operation
+   per functional unit.  Control flow lives in block terminators; blocks
+   containing calls have been split so that a call is always a
+   terminator. *)
+
+type wide = {
+  alu : Midend.Ir.instr option;
+  falu : Midend.Ir.instr option;
+  fmul : Midend.Ir.instr option;
+  mem : Midend.Ir.instr option;
+  qio : Midend.Ir.instr option;
+}
+
+let empty_wide = { alu = None; falu = None; fmul = None; mem = None; qio = None }
+
+let slot w (fu : Machine.fu) =
+  match fu with
+  | Machine.ALU -> w.alu
+  | Machine.FALU -> w.falu
+  | Machine.FMUL -> w.fmul
+  | Machine.MEM -> w.mem
+  | Machine.QIO -> w.qio
+
+let with_slot w (fu : Machine.fu) op =
+  match fu with
+  | Machine.ALU -> { w with alu = Some op }
+  | Machine.FALU -> { w with falu = Some op }
+  | Machine.FMUL -> { w with fmul = Some op }
+  | Machine.MEM -> { w with mem = Some op }
+  | Machine.QIO -> { w with qio = Some op }
+
+let ops_of w =
+  List.filter_map
+    (fun fu -> slot w fu)
+    Machine.all_fus
+
+let is_empty w = ops_of w = []
+
+type mterm =
+  | Tjump of int
+  | Tbranch of Midend.Ir.operand * int * int
+  | Tret of Midend.Ir.operand option
+  (* Call [callee] with argument operands; on return, the result is
+     written to [dst] (if any) and control continues at block [cont]. *)
+  | Tcall of { callee : string; args : Midend.Ir.operand list; dst : int option; cont : int }
+
+type mblock = { code : wide array; mterm : mterm; mb_pipelined : bool }
+
+type mfunc = {
+  mf_name : string;
+  (* Physical registers in which this function expects its arguments. *)
+  param_locs : int list;
+  (* Local arrays instantiated per activation: name, size, element type. *)
+  mf_arrays : (string * int * Midend.Ir.ty) list;
+  mblocks : mblock array;
+}
+
+(* A linked per-cell image: the code for one section, downloadable to
+   every cell of the section's group. *)
+type image = {
+  img_section : string;
+  img_cells : int;
+  funcs : mfunc array;
+  (* function name -> index, resolved by the linker *)
+  symbols : (string * int) list;
+}
+
+let find_func image name =
+  match List.assoc_opt name image.symbols with
+  | Some i -> Some image.funcs.(i)
+  | None -> None
+
+(* --- size metrics (feed phase-4 cost accounting) --- *)
+
+let wide_count (f : mfunc) =
+  Array.fold_left (fun acc b -> acc + Array.length b.code) 0 f.mblocks
+
+let image_wide_count (img : image) =
+  Array.fold_left (fun acc f -> acc + wide_count f) 0 img.funcs
+
+(* --- printing --- *)
+
+let wide_to_string w =
+  let cell fu =
+    match slot w fu with
+    | Some op -> Printf.sprintf "%s: %s" (Machine.fu_to_string fu) (Midend.Ir.instr_to_string op)
+    | None -> ""
+  in
+  let cells = List.filter (fun s -> s <> "") (List.map cell Machine.all_fus) in
+  "[" ^ String.concat " | " cells ^ "]"
+
+let mterm_to_string = function
+  | Tjump l -> Printf.sprintf "jump B%d" l
+  | Tbranch (c, t, e) ->
+    Printf.sprintf "branch %s, B%d, B%d" (Midend.Ir.operand_to_string c) t e
+  | Tret None -> "ret"
+  | Tret (Some v) -> Printf.sprintf "ret %s" (Midend.Ir.operand_to_string v)
+  | Tcall { callee; args; dst; cont } ->
+    Printf.sprintf "%scall %s(%s) then B%d"
+      (match dst with Some d -> Printf.sprintf "r%d := " d | None -> "")
+      callee
+      (String.concat ", " (List.map Midend.Ir.operand_to_string args))
+      cont
+
+let mfunc_to_string f =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "mfunc %s params=[%s]\n" f.mf_name
+    (String.concat "," (List.map string_of_int f.param_locs)));
+  Array.iteri
+    (fun i b ->
+      Buffer.add_string buf (Printf.sprintf "B%d:\n" i);
+      Array.iter
+        (fun w -> Buffer.add_string buf ("  " ^ wide_to_string w ^ "\n"))
+        b.code;
+      Buffer.add_string buf ("  " ^ mterm_to_string b.mterm ^ "\n"))
+    f.mblocks;
+  Buffer.contents buf

@@ -1,0 +1,221 @@
+(* Iterative modulo scheduling — the software-pipelining heart of
+   phase 3 (Rau's IMS, simplified: no backtracking; on failure the
+   initiation interval is increased).
+
+   The operations of a single-block loop body are placed at times σ(op)
+   such that for every dependence edge (a → b, delay, dist):
+
+       σ(b) ≥ σ(a) + delay − II·dist
+
+   and no functional unit is used twice at the same time modulo II.
+   Because registers are physical (allocation happens before
+   scheduling), the wrap-around anti-dependences automatically bound
+   every lifetime by II — no modulo variable expansion is needed and the
+   kernel is valid with the original register names.
+
+   The overlapped schedule for a loop with a compile-time-constant trip
+   count [n] is emitted flat: op of iteration j at σ(op) + II·j; total
+   length (n−1)·II + makespan.  Flatness is resource-legal because two
+   instances on one unit at the same time would need σ₁ ≡ σ₂ (mod II),
+   which the modulo reservation table excludes. *)
+
+open Midend
+
+type result = {
+  ii : int;
+  sigma : int array;
+  makespan : int;
+  attempts : int; (* placement trials: phase-3 work units *)
+}
+
+let res_mii (ops : Ir.instr array) : int =
+  let counts = Hashtbl.create 5 in
+  Array.iter
+    (fun op ->
+      let fu = Machine.fu_of op in
+      Hashtbl.replace counts fu (1 + Option.value ~default:0 (Hashtbl.find_opt counts fu)))
+    ops;
+  Hashtbl.fold (fun _ c acc -> max c acc) counts 1
+
+(* Lower bound from self-edges (a → a, delay, 1): II ≥ delay. *)
+let self_rec_mii (g : Ddg.t) : int =
+  List.fold_left
+    (fun acc (e : Ddg.edge) ->
+      if e.src = e.dst && e.dist = 1 then max acc e.delay else acc)
+    1 g.edges
+
+(* Is [ii] consistent with every dependence cycle?  With edge weights
+   delay − II·dist, a schedule exists iff the graph has no positive
+   cycle (Bellman–Ford).  This exact recurrence test lets the search
+   skip infeasible IIs without running the expensive placement loop. *)
+let feasible_ii (g : Ddg.t) ~ii : bool =
+  let n = Array.length g.ops in
+  let dist = Array.make n 0 in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds <= n do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun (e : Ddg.edge) ->
+        let w = e.delay - (ii * e.dist) in
+        if dist.(e.src) + w > dist.(e.dst) then begin
+          dist.(e.dst) <- dist.(e.src) + w;
+          changed := true
+        end)
+      g.edges
+  done;
+  not !changed
+
+(* One scheduling attempt at a given II: iterative modulo scheduling
+   with ejection (Rau).  When no slot in the window [estart, estart+II)
+   is conflict-free, the op is force-placed and the conflicting ops —
+   the occupant of its reservation slot and any scheduled successors
+   whose dependence the placement violates — are ejected back onto the
+   worklist.  A per-op "no earlier than last time + 1" rule plus a
+   global budget guarantee termination. *)
+let attempt (g : Ddg.t) ~ii ~height ~attempts : int array option =
+  let n = Array.length g.ops in
+  let sigma = Array.make n (-1) in
+  let prev = Array.make n (-1) in
+  let table = Hashtbl.create 16 in (* (fu, slot mod ii) -> occupant op *)
+  let scheduled = Array.make n false in
+  let remaining = ref n in
+  let budget = ref (20 * n * (1 + (n / 16))) in
+  let eject i =
+    if scheduled.(i) then begin
+      scheduled.(i) <- false;
+      remaining := !remaining + 1;
+      Hashtbl.remove table (Machine.fu_of g.ops.(i), sigma.(i) mod ii);
+      sigma.(i) <- -1
+    end
+  in
+  let place i t =
+    sigma.(i) <- t;
+    prev.(i) <- t;
+    scheduled.(i) <- true;
+    remaining := !remaining - 1;
+    Hashtbl.replace table (Machine.fu_of g.ops.(i), t mod ii) i
+  in
+  let pick () =
+    (* Highest critical-path height among unscheduled ops. *)
+    let best = ref (-1) in
+    for i = n - 1 downto 0 do
+      if not scheduled.(i) then
+        if !best < 0 || height.(i) > height.(!best) then best := i
+    done;
+    !best
+  in
+  while !remaining > 0 && !budget > 0 do
+    decr budget;
+    let i = pick () in
+    let fu = Machine.fu_of g.ops.(i) in
+    let estart =
+      List.fold_left
+        (fun acc (p, delay, dist) ->
+          if scheduled.(p) then max acc (sigma.(p) + delay - (ii * dist)) else acc)
+        0 g.preds.(i)
+    in
+    let ok t =
+      incr attempts;
+      (not (Hashtbl.mem table (fu, t mod ii)))
+      && List.for_all
+           (fun (s, delay, dist) ->
+             (not scheduled.(s)) || sigma.(s) >= t + delay - (ii * dist))
+           g.succs.(i)
+    in
+    let found = ref (-1) in
+    let t = ref estart in
+    while !found < 0 && !t < estart + ii do
+      if ok !t then found := !t else incr t
+    done;
+    if !found >= 0 then place i !found
+    else begin
+      (* Force placement and eject whoever is in the way. *)
+      let t = max estart (prev.(i) + 1) in
+      (match Hashtbl.find_opt table (fu, t mod ii) with
+      | Some occupant -> eject occupant
+      | None -> ());
+      List.iter
+        (fun (s, delay, dist) ->
+          if scheduled.(s) && sigma.(s) < t + delay - (ii * dist) then eject s)
+        g.succs.(i);
+      (* A forced slot may also break constraints of scheduled
+         predecessors (wrapped edges can point backwards). *)
+      List.iter
+        (fun (p, delay, dist) ->
+          if scheduled.(p) && t < sigma.(p) + delay - (ii * dist) then eject p)
+        g.preds.(i);
+      place i t
+    end
+  done;
+  if !remaining = 0 then Some sigma else None
+
+let max_ii_slack = 32
+
+(* No schedule found; the payload is the work spent trying (it still
+   counts as phase-3 compilation time). *)
+exception No_schedule of int
+
+(* Modulo-schedule [ops]; raises [No_schedule] if no II up to
+   MII + slack succeeds (callers fall back to list scheduling).
+
+   When the resource bound already reaches the critical path of one
+   iteration, overlapping iterations cannot improve throughput over
+   list scheduling, so the search is skipped — wide loop bodies
+   saturate the functional units on their own. *)
+let run (ops : Ir.instr array) : result =
+  let g = Ddg.build ~loop:true ops in
+  let height = Ddg.heights g in
+  let critical_path = Array.fold_left max 0 height in
+  let attempts = ref 0 in
+  let nedges = List.length g.edges in
+  (* Exact MII: raise the resource/self-edge lower bound until the
+     recurrence test passes.  Each Bellman–Ford run is charged as work. *)
+  let lower = max (res_mii ops) (self_rec_mii g) in
+  let rec tighten ii =
+    if ii > lower + max_ii_slack then raise (No_schedule !attempts)
+    else begin
+      attempts := !attempts + (nedges / 8) + 1;
+      if feasible_ii g ~ii then ii else tighten (ii + 1)
+    end
+  in
+  let mii = tighten lower in
+  (* Overlap can shrink the per-iteration time from the critical path
+     towards MII; if less than half the path can be recovered the
+     (expensive) search is not worth running — a profitability cut-off
+     in the spirit of the production compiler's heuristics. *)
+  if 2 * mii > critical_path then raise (No_schedule !attempts);
+  (* Bound the total search effort: scheduling is allowed to be the
+     expensive phase, not an unbounded one. *)
+  let max_total_attempts = 300_000 in
+  let rec search ii =
+    if ii > mii + max_ii_slack || !attempts > max_total_attempts then
+      raise (No_schedule !attempts)
+    else
+      match attempt g ~ii ~height ~attempts with
+      | Some sigma ->
+        let makespan =
+          Array.to_list (Array.mapi (fun i op -> sigma.(i) + Machine.latency op) ops)
+          |> List.fold_left max ii
+        in
+        { ii; sigma; makespan; attempts = !attempts }
+      | None -> search (ii + 1)
+  in
+  search mii
+
+(* Flat emission: the full overlapped schedule for [trip] iterations. *)
+let emit_flat (ops : Ir.instr array) (r : result) ~trip : Mcode.wide array =
+  assert (trip >= 1);
+  let total = ((trip - 1) * r.ii) + r.makespan in
+  let code = Array.make total Mcode.empty_wide in
+  for j = 0 to trip - 1 do
+    Array.iteri
+      (fun i op ->
+        let t = r.sigma.(i) + (r.ii * j) in
+        let fu = Machine.fu_of op in
+        assert (Mcode.slot code.(t) fu = None);
+        code.(t) <- Mcode.with_slot code.(t) fu op)
+      ops
+  done;
+  code

@@ -1,0 +1,121 @@
+(* Modulo-friendly renaming of block-local temporaries.
+
+   After whole-function register allocation, a loop body reuses a small
+   set of physical registers at short distances.  Each reuse adds a
+   wrapped anti-dependence [use -> next def, distance 1] that caps how
+   far iterations may overlap, often forcing the initiation interval up
+   to the full critical path — destroying software pipelining.
+
+   This pass rewrites one block: every definition whose value dies
+   inside the block (not live-out, not used by the terminator) is moved
+   onto a register drawn FIFO from the pool of registers the block does
+   not otherwise touch.  FIFO recycling maximizes reuse distance, so the
+   surviving anti-dependences are slack.  Values that are live-in,
+   live-out or used by the terminator keep their registers, preserving
+   the interface of the block.  The rewrite is purely local and
+   semantics-preserving. *)
+
+open Midend
+
+module Rset = Liveness.Rset
+
+(* All registers mentioned by the block (defs, uses, terminator). *)
+let mentioned (b : Ir.block) =
+  let acc = ref Rset.empty in
+  let add r = acc := Rset.add r !acc in
+  List.iter
+    (fun instr ->
+      List.iter add (Ir.uses_of instr);
+      match Ir.def_of instr with Some d -> add d | None -> ())
+    b.instrs;
+  List.iter add (Ir.term_uses b.term);
+  !acc
+
+(* Uses must be rewritten against the substitution as of *before* the
+   instruction, so operands are computed strictly before [def_to] (which
+   mutates the substitution — think [acc := acc + x]). *)
+let rewrite_instr ~use_of ~def_to instr =
+  let operand = function
+    | Ir.Reg r -> Ir.Reg (use_of r)
+    | (Ir.Imm_int _ | Ir.Imm_float _) as imm -> imm
+  in
+  match instr with
+  | Ir.Bin (op, d, x, y) ->
+    let x = operand x and y = operand y in
+    Ir.Bin (op, def_to d, x, y)
+  | Ir.Un (op, d, x) ->
+    let x = operand x in
+    Ir.Un (op, def_to d, x)
+  | Ir.Mov (d, x) ->
+    let x = operand x in
+    Ir.Mov (def_to d, x)
+  | Ir.Sel (d, c, a, b) ->
+    let c = operand c and a = operand a and b = operand b in
+    Ir.Sel (def_to d, c, a, b)
+  | Ir.Load (d, a, i) ->
+    let i = operand i in
+    Ir.Load (def_to d, a, i)
+  | Ir.Store (a, i, v) -> Ir.Store (a, operand i, operand v)
+  | Ir.Call (d, name, args) ->
+    let args = List.map operand args in
+    Ir.Call (Option.map def_to d, name, args)
+  | Ir.Send (c, v) -> Ir.Send (c, operand v)
+  | Ir.Recv (c, d) -> Ir.Recv (c, def_to d)
+
+(* Rename block [bi] of [f] in place. *)
+let run (f : Ir.func) bi =
+  let liveness = Liveness.compute f in
+  let b = f.Ir.blocks.(bi) in
+  let live_in = liveness.Liveness.live_in.(bi) in
+  let live_out = liveness.Liveness.live_out.(bi) in
+  let term_used = Rset.of_list (Ir.term_uses b.Ir.term) in
+  let keep = Rset.union live_out term_used in
+  let pool =
+    (* Ring registers must be untouched by the block AND hold no value
+       that lives into or out of it — a register can carry a live value
+       straight through a block without being mentioned by it. *)
+    let off_limits =
+      Rset.union (mentioned b) (Rset.union live_in (Rset.union live_out term_used))
+    in
+    let rec collect r acc =
+      if r < 0 then acc
+      else collect (r - 1) (if Rset.mem r off_limits then acc else r :: acc)
+    in
+    Queue.of_seq (List.to_seq (collect (Machine.num_regs - 1) []))
+  in
+  (* Forward scan with an active substitution for uses.  When a def is
+     renameable, its ring register is reserved until the next def of the
+     original register (the end of this value's uses); rings freed at
+     that point go to the back of the queue. *)
+  let subst = Hashtbl.create 16 in (* original reg -> ring reg *)
+  let owner = Hashtbl.create 16 in (* ring reg -> original reg *)
+  let use_of r = match Hashtbl.find_opt subst r with Some n -> n | None -> r in
+  let instrs =
+    List.map
+      (fun instr ->
+        (* Rewrite uses against the substitution as of *before* this
+           instruction, then retire/install the def's mapping. *)
+        let def = Ir.def_of instr in
+        let def_to d =
+          (* The previous value of [d] dies here; its ring register (if
+             any) becomes reusable. *)
+          (match Hashtbl.find_opt subst d with
+          | Some ring ->
+            Hashtbl.remove subst d;
+            Hashtbl.remove owner ring;
+            Queue.push ring pool
+          | None -> ());
+          if Rset.mem d keep then d
+          else
+            match Queue.take_opt pool with
+            | Some ring ->
+              Hashtbl.replace subst d ring;
+              Hashtbl.replace owner ring d;
+              ring
+            | None -> d
+        in
+        ignore def;
+        rewrite_instr ~use_of ~def_to instr)
+      b.Ir.instrs
+  in
+  f.Ir.blocks.(bi) <- { b with Ir.instrs }

@@ -1,0 +1,13 @@
+(** Modulo-friendly renaming of block-local temporaries.
+
+    After whole-function register allocation, a loop body reuses a
+    small set of physical registers at short distances; each reuse adds
+    a wrapped anti-dependence that caps how far iterations can overlap.
+    This pass moves every definition whose value dies inside the block
+    onto a register drawn FIFO from the pool of registers the block
+    does not otherwise touch and through which no live value passes —
+    maximising reuse distance while preserving the block's interface
+    exactly. *)
+
+val run : Midend.Ir.func -> int -> unit
+(** [run f b] rewrites block [b] of [f] in place. *)

@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest Driver List Midend Printf String Tutil W2 Warp

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Bytes Char Gen Lexer List Loc Midend Parser Pretty QCheck QCheck_alcotest Semcheck String W2 Warp

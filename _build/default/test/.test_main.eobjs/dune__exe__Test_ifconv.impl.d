@@ -1,0 +1,1 @@
+test/test_ifconv.ml: Alcotest Array Cfg Ifconv Ir Ir_interp List Lower Midend Opt W2 Warp

@@ -1,0 +1,1 @@
+test/test_inline.ml: Alcotest Ast Gen Inline Interp List Loc Option Parser Pretty QCheck QCheck_alcotest Semcheck Tutil W2

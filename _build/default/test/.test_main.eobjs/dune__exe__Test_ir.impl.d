@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Cfg Constfold Dce Dom Float Gcp Gcse Ir Ir_interp Licm List Loops Lower Lvn Midend Opt Option Printf QCheck QCheck_alcotest Queue Strength Unroll W2

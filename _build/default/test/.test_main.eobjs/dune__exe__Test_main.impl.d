@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_driver Test_fuzz Test_ifconv Test_inline Test_ir Test_netsim Test_parallel Test_stats Test_w2 Test_warp

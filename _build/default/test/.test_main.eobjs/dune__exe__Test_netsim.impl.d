@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Des Gen Host List Net Netsim Printf QCheck QCheck_alcotest Sync

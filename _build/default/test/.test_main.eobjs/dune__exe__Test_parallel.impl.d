@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Config Domains Driver Experiment List Makerun Midend Parallel_cc Parrun Plan Printf Seqrun Timings W2 Warp

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Gen QCheck QCheck_alcotest Stats String Tutil

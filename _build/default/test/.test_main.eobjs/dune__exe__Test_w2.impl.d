@@ -1,0 +1,1 @@
+test/test_w2.ml: Alcotest Ast Float Gen Interp Lexer List Loc Option Parser Pretty Printf QCheck QCheck_alcotest Semcheck String Token Tutil W2

@@ -1,0 +1,1 @@
+test/test_warp.ml: Alcotest Array Counted Float Ir Ir_interp List Loops Lower Midend Opt Option Printf QCheck QCheck_alcotest String Tutil W2 Warp

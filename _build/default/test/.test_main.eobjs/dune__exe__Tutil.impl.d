@@ -1,0 +1,1 @@
+test/tutil.ml: Alcotest Array Float Format String W2

@@ -1,0 +1,263 @@
+(* If-conversion tests: diamonds and triangles become selects, unsafe
+   arms are left alone, and loops whose bodies contained branches become
+   software-pipelinable. *)
+
+open Midend
+
+let parse src =
+  let m = W2.Parser.module_of_string src in
+  W2.Semcheck.check_module_exn m;
+  m
+
+let lower_one src = List.hd (List.hd (Lower.lower_module (parse src))).Ir.funcs
+
+let count_sels (f : Ir.func) =
+  Array.fold_left
+    (fun acc (b : Ir.block) ->
+      acc
+      + List.length
+          (List.filter (fun i -> match i with Ir.Sel _ -> true | _ -> false) b.Ir.instrs))
+    0 f.Ir.blocks
+
+let count_branches (f : Ir.func) =
+  Array.fold_left
+    (fun acc (b : Ir.block) ->
+      acc + match b.Ir.term with Ir.Branch _ -> 1 | _ -> 0)
+    0 f.Ir.blocks
+
+let diamond_src =
+  {|
+module m
+  section s cells 1
+  function pick(x: int) : int
+    var r : int;
+  begin
+    if x > 10 then
+      r := x * 2;
+    else
+      r := x + 100;
+    end;
+    return r;
+  end
+  end
+end
+|}
+
+let run_int (f : Ir.func) arg =
+  match
+    Ir_interp.run_function
+      { Ir.sec_name = "s"; cells = 1; funcs = [ f ] }
+      ~name:f.Ir.name
+      ~args:[ Ir_interp.Vi arg ]
+  with
+  | Some (Ir_interp.Vi n) -> n
+  | _ -> Alcotest.fail "expected an int result"
+
+let test_diamond_converted () =
+  let f = lower_one diamond_src in
+  ignore (Cfg.simplify f);
+  let converted = Ifconv.run f in
+  Alcotest.(check bool) "converted" true (converted >= 1);
+  Alcotest.(check bool) "has sel" true (count_sels f >= 1);
+  Alcotest.(check int) "no branches left" 0 (count_branches f);
+  Alcotest.(check int) "then path" 30 (run_int f 15);
+  Alcotest.(check int) "else path" 105 (run_int f 5)
+
+let test_triangle_converted () =
+  let src =
+    {|
+module m
+  section s cells 1
+  function clamp(x: int) : int
+    var r : int;
+  begin
+    r := x;
+    if x > 100 then
+      r := 100;
+    end;
+    return r;
+  end
+  end
+end
+|}
+  in
+  let f = lower_one src in
+  ignore (Cfg.simplify f);
+  let converted = Ifconv.run f in
+  Alcotest.(check bool) "converted" true (converted >= 1);
+  Alcotest.(check int) "clamped" 100 (run_int f 200);
+  Alcotest.(check int) "untouched" 42 (run_int f 42)
+
+let test_side_effects_not_converted () =
+  let src =
+    {|
+module m
+  section s cells 1
+  function guard(x: int) : int
+    var a : array[4] of int;
+  begin
+    if x < 4 then
+      a[x] := 1;
+    end;
+    return x;
+  end
+  end
+end
+|}
+  in
+  let f = lower_one src in
+  ignore (Cfg.simplify f);
+  Alcotest.(check int) "store arm stays branchy" 0 (Ifconv.run f)
+
+let test_trap_not_converted () =
+  let src =
+    {|
+module m
+  section s cells 1
+  function safe_div(x: int, y: int) : int
+    var r : int;
+  begin
+    r := 0;
+    if y <> 0 then
+      r := x / y;
+    end;
+    return r;
+  end
+  end
+end
+|}
+  in
+  let f = lower_one src in
+  ignore (Cfg.simplify f);
+  Alcotest.(check int) "division stays guarded" 0 (Ifconv.run f);
+  (* And the semantics indeed need the guard: *)
+  Alcotest.(check int) "guarded zero" 0
+    (match
+       Ir_interp.run_function
+         { Ir.sec_name = "s"; cells = 1; funcs = [ f ] }
+         ~name:"safe_div"
+         ~args:[ Ir_interp.Vi 7; Ir_interp.Vi 0 ]
+     with
+    | Some (Ir_interp.Vi n) -> n
+    | _ -> -1)
+
+let test_guarded_load_not_converted () =
+  let src =
+    {|
+module m
+  section s cells 1
+  function peek(i: int) : float
+    var a : array[4] of float;
+    var r : float;
+  begin
+    r := 0.0;
+    if i < 4 then
+      r := a[i];
+    end;
+    return r;
+  end
+  end
+end
+|}
+  in
+  let f = lower_one src in
+  ignore (Cfg.simplify f);
+  Alcotest.(check int) "load stays guarded" 0 (Ifconv.run f)
+
+let test_enables_pipelining () =
+  (* A loop whose body contains a small if: after if-conversion the body
+     is a single block and software pipelining fires. *)
+  let src =
+    {|
+module m
+  section s cells 1
+  function rectify(n: int) : float
+    var i : int;
+    var acc : float;
+    var x : float;
+    var a : array[16] of float;
+  begin
+    for i := 0 to 15 do
+      a[i] := float(i - 8) * 0.5;
+    end;
+    acc := 0.0;
+    for i := 0 to 15 do
+      x := a[i] * 0.25;
+      if x < 0.0 then
+        x := 0.0 - x;
+      end;
+      acc := acc + x;
+    end;
+    return acc;
+  end
+  end
+end
+|}
+  in
+  let sec = List.hd (Lower.lower_module (parse src)) in
+  List.iter (fun f -> ignore (Opt.optimize ~level:2 f)) sec.Ir.funcs;
+  let f = List.hd sec.Ir.funcs in
+  let compiled = Warp.Codegen.compile_function f in
+  Alcotest.(check bool) "pipelined after if-conversion" true
+    (compiled.Warp.Codegen.pipelined >= 1);
+  (* End-to-end value check through the cell simulator. *)
+  let image = Warp.Link.link ~section:"s" ~cells:1 [ compiled.Warp.Codegen.mfunc ] in
+  Alcotest.(check int) "verifier clean" 0 (List.length (Warp.Verify.image image));
+  let reference =
+    match
+      W2.Interp.run_function
+        (List.hd (parse src).W2.Ast.sections)
+        ~name:"rectify"
+        ~args:[ W2.Interp.Vint 0 ]
+    with
+    | Some (W2.Interp.Vfloat v) -> v
+    | _ -> Alcotest.fail "reference failed"
+  in
+  match Warp.Cellsim.run image ~name:"rectify" ~args:[ Ir_interp.Vi 0 ] with
+  | Some (Ir_interp.Vf v), _ ->
+    Alcotest.(check (float 1e-9)) "value matches interpreter" reference v
+  | _ -> Alcotest.fail "cell run failed"
+
+let test_condition_clobber_safe () =
+  (* An arm that redefines the condition register itself. *)
+  let src =
+    {|
+module m
+  section s cells 1
+  function tricky(x: int) : int
+    var c : bool;
+    var r : int;
+  begin
+    c := x > 0;
+    r := 1;
+    if c then
+      c := false;
+      r := 2;
+    else
+      r := 3;
+    end;
+    return r;
+  end
+  end
+end
+|}
+  in
+  let f = lower_one src in
+  ignore (Cfg.simplify f);
+  ignore (Ifconv.run f);
+  Alcotest.(check int) "positive" 2 (run_int f 5);
+  Alcotest.(check int) "non-positive" 3 (run_int f (-5))
+
+let suites =
+  [
+    ( "ir.ifconv",
+      [
+        Alcotest.test_case "diamond" `Quick test_diamond_converted;
+        Alcotest.test_case "triangle" `Quick test_triangle_converted;
+        Alcotest.test_case "side effects blocked" `Quick test_side_effects_not_converted;
+        Alcotest.test_case "traps blocked" `Quick test_trap_not_converted;
+        Alcotest.test_case "guarded loads blocked" `Quick test_guarded_load_not_converted;
+        Alcotest.test_case "enables pipelining" `Quick test_enables_pipelining;
+        Alcotest.test_case "condition clobber" `Quick test_condition_clobber_safe;
+      ] );
+  ]

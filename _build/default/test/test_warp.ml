@@ -1,0 +1,826 @@
+(* Back-end tests: register allocation, list scheduling, modulo
+   scheduling (software pipelining), assembly round trips, the cell and
+   array simulators — and end-to-end differential testing: compiled
+   code executed on the cycle simulator must agree with the source
+   interpreter at every optimization level. *)
+
+open Midend
+
+let parse_module src =
+  let m = W2.Parser.module_of_string src in
+  W2.Semcheck.check_module_exn m;
+  m
+
+(* Full compilation pipeline for the first section of a module. *)
+let compile ?(level = 2) ?reg_limit ?pipeline (m : W2.Ast.modul) : Warp.Mcode.image =
+  let sec = List.hd (Lower.lower_module m) in
+  List.iter (fun f -> ignore (Opt.optimize ~level f)) sec.Ir.funcs;
+  let compiled =
+    List.map (fun f -> (Warp.Codegen.compile_function ?reg_limit ?pipeline f).Warp.Codegen.mfunc) sec.Ir.funcs
+  in
+  Warp.Link.link ~section:sec.Ir.sec_name ~cells:sec.Ir.cells compiled
+
+let vi n = Ir_interp.Vi n
+let vf f = Ir_interp.Vf f
+
+let values_close a b =
+  match (a, b) with
+  | Ir_interp.Vi x, Ir_interp.Vi y -> x = y
+  | Ir_interp.Vf x, Ir_interp.Vf y ->
+    (Float.is_nan x && Float.is_nan y)
+    || abs_float (x -. y) <= 1e-9 *. (1.0 +. abs_float x +. abs_float y)
+  | _ -> false
+
+let sample =
+  {|
+module m
+  section s cells 2
+  function helper(x: float) : float
+  begin
+    return x * 2.0 + 1.0;
+  end
+  function main(n: int) : float
+    var i : int;
+    var acc : float;
+  begin
+    acc := 0.0;
+    for i := 1 to n do
+      acc := acc + helper(float(i));
+    end;
+    return acc;
+  end
+  end
+end
+|}
+
+(* --- regalloc --- *)
+
+let first_func src = List.hd (List.hd (Lower.lower_module (parse_module src)) : Ir.section).Ir.funcs
+
+let test_regalloc_bounds () =
+  let f = first_func sample in
+  let alloc = Warp.Regalloc.run f in
+  Array.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun instr ->
+          List.iter
+            (fun r ->
+              Alcotest.(check bool) "phys reg" true (r >= 0 && r < Warp.Machine.num_regs))
+            ((match Ir.def_of instr with Some d -> [ d ] | None -> []) @ Ir.uses_of instr))
+        b.Ir.instrs)
+    alloc.Warp.Regalloc.func.Ir.blocks
+
+let test_regalloc_spills_under_pressure () =
+  (* Allocate the medium benchmark with very few registers: spills must
+     occur and the allocation must still succeed. *)
+  let m = W2.Gen.module_of_function (W2.Gen.sized_function ~name:"big" W2.Gen.Medium) in
+  let f = List.hd (List.hd (Lower.lower_module m)).Ir.funcs in
+  let alloc = Warp.Regalloc.run ~reg_limit:6 f in
+  Alcotest.(check bool) "spilled" true (alloc.Warp.Regalloc.spilled > 0)
+
+(* --- list scheduler --- *)
+
+let test_listsched_dependences () =
+  (* r2 := r0 * r1 (fmul, lat 5); r3 := r2 + r0 (fadd): the consumer
+     must issue at least 5 cycles later. *)
+  let ops =
+    [|
+      Ir.Bin (Ir.Fmul, 2, Ir.Reg 0, Ir.Reg 1);
+      Ir.Bin (Ir.Fadd, 3, Ir.Reg 2, Ir.Reg 0);
+    |]
+  in
+  let s = Warp.Listsched.run ops in
+  Alcotest.(check bool) "latency respected" true
+    (s.Warp.Listsched.issue.(1) >= s.Warp.Listsched.issue.(0) + 5)
+
+let test_listsched_parallel_issue () =
+  (* Independent int and float ops can share a cycle. *)
+  let ops =
+    [|
+      Ir.Bin (Ir.Iadd, 2, Ir.Reg 0, Ir.Imm_int 1);
+      Ir.Bin (Ir.Fadd, 3, Ir.Reg 4, Ir.Reg 5);
+    |]
+  in
+  let s = Warp.Listsched.run ops in
+  Alcotest.(check int) "same cycle" s.Warp.Listsched.issue.(0) s.Warp.Listsched.issue.(1)
+
+let test_listsched_fu_conflict () =
+  (* Two independent ALU adds cannot share a cycle. *)
+  let ops =
+    [|
+      Ir.Bin (Ir.Iadd, 2, Ir.Reg 0, Ir.Imm_int 1);
+      Ir.Bin (Ir.Iadd, 3, Ir.Reg 1, Ir.Imm_int 1);
+    |]
+  in
+  let s = Warp.Listsched.run ops in
+  Alcotest.(check bool) "different cycles" true
+    (s.Warp.Listsched.issue.(0) <> s.Warp.Listsched.issue.(1))
+
+let test_listsched_pads_latency () =
+  let ops = [| Ir.Bin (Ir.Fmul, 2, Ir.Reg 0, Ir.Reg 1) |] in
+  let s = Warp.Listsched.run ops in
+  Alcotest.(check int) "padded to write-back" 5 (Array.length s.Warp.Listsched.code)
+
+(* --- modulo scheduler --- *)
+
+let test_modsched_res_mii () =
+  (* Memory-bound dot-product step: two loads share the MEM unit, so
+     ResMII = 2, but the accumulation recurrence (fadd, latency 5)
+     dominates: II = 5, well below the 13-cycle critical path. *)
+  let ops =
+    [|
+      Ir.Load (1, "a", Ir.Reg 0);
+      Ir.Load (2, "b", Ir.Reg 0);
+      Ir.Bin (Ir.Fmul, 3, Ir.Reg 1, Ir.Reg 2);
+      Ir.Bin (Ir.Fadd, 4, Ir.Reg 4, Ir.Reg 3);
+      Ir.Bin (Ir.Iadd, 0, Ir.Reg 0, Ir.Imm_int 1);
+    |]
+  in
+  let r = Warp.Modsched.run ops in
+  Alcotest.(check int) "II = RecMII" 5 r.Warp.Modsched.ii
+
+let test_modsched_recurrence () =
+  (* acc := acc + x*y: the accumulator recurrence forces II >= 5 even
+     though each functional unit is used once. *)
+  let ops =
+    [|
+      Ir.Bin (Ir.Fmul, 2, Ir.Reg 0, Ir.Reg 1);
+      Ir.Bin (Ir.Fadd, 3, Ir.Reg 3, Ir.Reg 2);
+    |]
+  in
+  let r = Warp.Modsched.run ops in
+  Alcotest.(check bool) "II >= latency" true (r.Warp.Modsched.ii >= 5)
+
+let test_modsched_unprofitable_rejected () =
+  (* Three independent single-cycle ALU ops: overlap cannot recover
+     enough of the 1-cycle critical path, so the scheduler declines
+     (list scheduling is already optimal there). *)
+  let ops =
+    [|
+      Ir.Bin (Ir.Iadd, 1, Ir.Reg 0, Ir.Imm_int 1);
+      Ir.Bin (Ir.Iadd, 2, Ir.Reg 0, Ir.Imm_int 2);
+      Ir.Bin (Ir.Iadd, 3, Ir.Reg 0, Ir.Imm_int 3);
+    |]
+  in
+  match Warp.Modsched.run ops with
+  | exception Warp.Modsched.No_schedule _ -> ()
+  | _ -> Alcotest.fail "expected the profitability cut-off to fire"
+
+(* A classic pipelinable kernel: load, multiply, accumulate. *)
+let dot_src =
+  {|
+module m
+  section s cells 1
+  function dot(n: int) : float
+    var i : int;
+    var acc : float;
+    var a : array[16] of float;
+  begin
+    for i := 0 to 15 do
+      a[i] := float(i) * 0.5;
+    end;
+    acc := 0.0;
+    for i := 0 to 15 do
+      acc := acc + a[i] * 0.25;
+    end;
+    return acc;
+  end
+  end
+end
+|}
+
+let test_modsched_overlaps_kernel () =
+  (* The accumulation kernel must pipeline with II well below the
+     single-iteration critical path (load 3 + fmul 5 + fadd 5). *)
+  let sec = List.hd (Lower.lower_module (parse_module dot_src)) in
+  List.iter (fun f -> ignore (Opt.optimize ~level:2 f)) sec.Ir.funcs;
+  let f = List.hd sec.Ir.funcs in
+  let loops = Loops.innermost (Loops.find f) in
+  let counted = List.filter_map (Counted.recognize f) loops in
+  let alloc = Warp.Regalloc.run f in
+  let fp = alloc.Warp.Regalloc.func in
+  let best_ii =
+    List.fold_left
+      (fun acc (c : Counted.t) ->
+        let ops = Array.of_list fp.Ir.blocks.(c.Counted.body_block).Ir.instrs in
+        match Warp.Modsched.run ops with
+        | r -> min acc r.Warp.Modsched.ii
+        | exception Warp.Modsched.No_schedule _ -> acc)
+      max_int counted
+  in
+  Alcotest.(check bool) "found a kernel" true (best_ii < max_int);
+  Alcotest.(check bool)
+    (Printf.sprintf "II (%d) < critical path (13)" best_ii)
+    true (best_ii < 13)
+
+let test_modsched_edges_hold () =
+  (* Every dependence edge must hold in the computed schedule. *)
+  let m = parse_module dot_src in
+  let sec = List.hd (Lower.lower_module m) in
+  List.iter (fun f -> ignore (Opt.optimize ~level:2 f)) sec.Ir.funcs;
+  let f = List.hd sec.Ir.funcs in
+  (* Loops are recognized on virtual registers; scheduling operates on
+     the register-allocated body (block ids survive allocation). *)
+  let alloc = Warp.Regalloc.run f in
+  let fp = alloc.Warp.Regalloc.func in
+  let checked = ref 0 in
+  List.iter
+    (fun l ->
+      match Counted.recognize f l with
+      | Some c ->
+        Warp.Rename_locals.run fp c.Counted.body_block;
+        let ops = Array.of_list fp.Ir.blocks.(c.Counted.body_block).Ir.instrs in
+        if Array.length ops > 0 && not (Array.exists (function Ir.Call _ -> true | _ -> false) ops)
+        then begin
+          match Warp.Modsched.run ops with
+          | r ->
+            let g = Warp.Ddg.build ~loop:true ops in
+            List.iter
+              (fun (e : Warp.Ddg.edge) ->
+                incr checked;
+                Alcotest.(check bool)
+                  (Printf.sprintf "edge %d->%d delay %d dist %d" e.src e.dst e.delay e.dist)
+                  true
+                  (r.Warp.Modsched.sigma.(e.dst)
+                   >= r.Warp.Modsched.sigma.(e.src) + e.delay - (r.Warp.Modsched.ii * e.dist)))
+              g.Warp.Ddg.edges
+          | exception Warp.Modsched.No_schedule _ -> ()
+        end
+      | None -> ())
+    (Loops.innermost (Loops.find f));
+  Alcotest.(check bool) "checked some edges" true (!checked > 0)
+
+(* --- end-to-end --- *)
+
+let test_e2e_sample () =
+  let m = parse_module sample in
+  let image = compile m in
+  let result, cycles = Warp.Cellsim.run image ~name:"main" ~args:[ vi 4 ] in
+  (* sum_{i=1..4} (2i + 1) = 2*10 + 4 = 24 *)
+  Alcotest.(check bool) "value" true (values_close (Option.get result) (vf 24.0));
+  Alcotest.(check bool) "took cycles" true (cycles > 0)
+
+let test_e2e_pipelining_fires () =
+  let m = parse_module dot_src in
+  let sec = List.hd (Lower.lower_module m) in
+  List.iter (fun f -> ignore (Opt.optimize ~level:2 f)) sec.Ir.funcs;
+  let compiled = List.map (fun f -> Warp.Codegen.compile_function f) sec.Ir.funcs in
+  let pipelined = List.fold_left (fun acc c -> acc + c.Warp.Codegen.pipelined) 0 compiled in
+  Alcotest.(check bool) "software pipelining fired" true (pipelined > 0);
+  (* And the pipelined code computes the right dot product:
+     sum_{i=0..15} (0.5 i * 0.25) = 0.125 * 120 = 15.0 *)
+  let image = compile m in
+  let result, _ = Warp.Cellsim.run image ~name:"dot" ~args:[ vi 0 ] in
+  Alcotest.(check bool) "value" true (values_close (Option.get result) (vf 15.0))
+
+let test_e2e_pipelined_beats_unpipelined_cycles () =
+  (* Software pipelining must reduce the cycle count of the kernel. *)
+  let cycles pipeline =
+    let m = parse_module dot_src in
+    let sec = List.hd (Lower.lower_module m) in
+    List.iter (fun f -> ignore (Opt.optimize ~level:2 f)) sec.Ir.funcs;
+    let compiled =
+      List.map
+        (fun f -> (Warp.Codegen.compile_function ~pipeline f).Warp.Codegen.mfunc)
+        sec.Ir.funcs
+    in
+    let image = Warp.Link.link ~section:"s" ~cells:1 compiled in
+    let _, cycles = Warp.Cellsim.run image ~name:"dot" ~args:[ vi 0 ] in
+    cycles
+  in
+  let with_sp = cycles true and without_sp = cycles false in
+  Alcotest.(check bool)
+    (Printf.sprintf "pipelined %d < unpipelined %d cycles" with_sp without_sp)
+    true (with_sp < without_sp)
+
+let test_e2e_channels () =
+  let src =
+    {|
+module m
+  section s cells 1
+  function relay(n: int) : int
+    var i : int;
+    var x : float;
+  begin
+    for i := 1 to n do
+      receive(X, x);
+      send(X, x * 0.5 + 1.0);
+    end;
+    return n;
+  end
+  end
+end
+|}
+  in
+  let image = compile (parse_module src) in
+  let ports, outputs = Warp.Cellsim.script_ports ~input_x:[ vf 2.0; vf 6.0 ] ~input_y:[] in
+  let result, _ = Warp.Cellsim.run ~ports image ~name:"relay" ~args:[ vi 2 ] in
+  Alcotest.(check bool) "result" true (values_close (Option.get result) (vi 2));
+  let out_x, _ = outputs () in
+  (match out_x with
+  | [ a; b ] ->
+    Alcotest.(check bool) "first" true (values_close a (vf 2.0));
+    Alcotest.(check bool) "second" true (values_close b (vf 4.0))
+  | _ -> Alcotest.fail "expected two outputs")
+
+let paper_levels = [ 0; 1; 2; 3 ]
+
+let test_e2e_paper_benchmarks () =
+  List.iter
+    (fun size ->
+      let f = W2.Gen.sized_function ~name:"bench" size in
+      let m = W2.Gen.module_of_function f in
+      let expected =
+        match
+          W2.Interp.run_function ~fuel:5_000_000 (List.hd m.W2.Ast.sections)
+            ~name:"bench"
+            ~args:[ W2.Interp.Vint 9; W2.Interp.Vint 2 ]
+        with
+        | Some (W2.Interp.Vfloat v) -> vf v
+        | _ -> Alcotest.fail "reference failed"
+      in
+      List.iter
+        (fun level ->
+          let image = compile ~level m in
+          let result, _ =
+            Warp.Cellsim.run ~fuel:50_000_000 image ~name:"bench" ~args:[ vi 9; vi 2 ]
+          in
+          match result with
+          | Some v when values_close v expected -> ()
+          | Some v ->
+            Alcotest.failf "%s level %d: %s <> %s" (W2.Gen.size_name size) level
+              (Ir_interp.value_to_string v)
+              (Ir_interp.value_to_string expected)
+          | None -> Alcotest.failf "%s level %d: no result" (W2.Gen.size_name size) level)
+        paper_levels)
+    [ W2.Gen.Tiny; W2.Gen.Small; W2.Gen.Medium ]
+
+let test_e2e_spilled_code_still_correct () =
+  let m = W2.Gen.module_of_function (W2.Gen.sized_function ~name:"bench" W2.Gen.Small) in
+  let expected =
+    match
+      W2.Interp.run_function ~fuel:5_000_000 (List.hd m.W2.Ast.sections) ~name:"bench"
+        ~args:[ W2.Interp.Vint 5; W2.Interp.Vint 1 ]
+    with
+    | Some (W2.Interp.Vfloat v) -> vf v
+    | _ -> Alcotest.fail "reference failed"
+  in
+  let image = compile ~reg_limit:8 m in
+  let result, _ = Warp.Cellsim.run ~fuel:50_000_000 image ~name:"bench" ~args:[ vi 5; vi 1 ] in
+  Alcotest.(check bool) "spilled run matches" true
+    (values_close (Option.get result) expected)
+
+let prop_e2e_random =
+  QCheck.Test.make ~name:"compiled code matches interpreter (random programs)"
+    ~count:60
+    QCheck.(triple small_nat small_nat (int_range 0 60))
+    (fun (seed, size, input) ->
+      let f = W2.Gen.random_function ~allow_channels:true ~seed ~size () in
+      let m = W2.Gen.module_of_function f in
+      let args_int = input mod 17 in
+      let args_float = 0.25 +. (0.5 *. float_of_int (input mod 5)) in
+      let inputs = List.init 64 (fun i -> 0.25 *. float_of_int i) in
+      (* Reference run. *)
+      let reference =
+        let channels, outputs =
+          W2.Interp.queue_channels
+            ~input_x:(List.map (fun v -> W2.Interp.Vfloat v) inputs)
+            ~input_y:[]
+        in
+        match
+          W2.Interp.run_function ~fuel:400_000 ~channels (List.hd m.W2.Ast.sections)
+            ~name:"prop_f"
+            ~args:[ W2.Interp.Vint args_int; W2.Interp.Vfloat args_float ]
+        with
+        | exception W2.Interp.Out_of_fuel -> `Fuel
+        | exception W2.Interp.Runtime_error _ -> `Failed
+        | r ->
+          let out_x, out_y = outputs () in
+          let conv = function
+            | W2.Interp.Vint n -> vi n
+            | W2.Interp.Vfloat v -> vf v
+            | W2.Interp.Vbool b -> vi (if b then 1 else 0)
+            | W2.Interp.Varray _ -> vi 0
+          in
+          `Value (Option.map conv r, List.map conv (out_x @ out_y))
+      in
+      match reference with
+      | `Fuel -> true (* too long to compare meaningfully *)
+      | `Failed -> true (* runtime errors covered by midend differential *)
+      | `Value (expected, expected_out) -> (
+        let image = compile ~level:2 m in
+        let ports, outputs =
+          Warp.Cellsim.script_ports ~input_x:(List.map (fun v -> vf v) inputs) ~input_y:[]
+        in
+        match Warp.Cellsim.run ~fuel:20_000_000 ~ports image ~name:"prop_f"
+                ~args:[ vi args_int; vf args_float ]
+        with
+        | exception Warp.Cellsim.Fault reason ->
+          QCheck.Test.fail_reportf "cell faulted (%s) on seed=%d size=%d" reason seed size
+        | result, _ ->
+          let out_x, out_y = outputs () in
+          let got_out = out_x @ out_y in
+          let ok_result =
+            match (expected, result) with
+            | None, None -> true
+            | Some a, Some b -> values_close a b
+            | _ -> false
+          in
+          if
+            ok_result
+            && List.length expected_out = List.length got_out
+            && List.for_all2 values_close expected_out got_out
+          then true
+          else
+            QCheck.Test.fail_reportf "mismatch on seed=%d size=%d input=%d" seed size input))
+
+(* --- assembler --- *)
+
+let test_asm_roundtrip () =
+  let image = compile (parse_module sample) in
+  let encoded = Warp.Asm.encode image in
+  let decoded = Warp.Asm.decode encoded in
+  Alcotest.(check bool) "round trip" true (decoded = image)
+
+let test_asm_rejects_garbage () =
+  (match Warp.Asm.decode "not an object" with
+  | exception Warp.Asm.Bad_object _ -> ()
+  | _ -> Alcotest.fail "accepted garbage");
+  let image = compile (parse_module sample) in
+  let encoded = Warp.Asm.encode image in
+  let truncated = String.sub encoded 0 (String.length encoded / 2) in
+  match Warp.Asm.decode truncated with
+  | exception Warp.Asm.Bad_object _ -> ()
+  | _ -> Alcotest.fail "accepted truncated module"
+
+let test_decoded_image_runs () =
+  let image = compile (parse_module sample) in
+  let decoded = Warp.Asm.decode (Warp.Asm.encode image) in
+  let a, _ = Warp.Cellsim.run image ~name:"main" ~args:[ vi 3 ] in
+  let b, _ = Warp.Cellsim.run decoded ~name:"main" ~args:[ vi 3 ] in
+  Alcotest.(check bool) "same result" true
+    (values_close (Option.get a) (Option.get b))
+
+(* --- linker --- *)
+
+let test_link_undefined () =
+  let src =
+    {|
+module m
+  section s cells 1
+  function f() : int
+  begin
+    return g();
+  end
+  function g() : int
+  begin
+    return 1;
+  end
+  end
+end
+|}
+  in
+  let sec = List.hd (Lower.lower_module (parse_module src)) in
+  let compiled =
+    List.map (fun f -> (Warp.Codegen.compile_function f).Warp.Codegen.mfunc) sec.Ir.funcs
+  in
+  (* Drop g: linking must fail. *)
+  let broken = List.filter (fun (f : Warp.Mcode.mfunc) -> f.Warp.Mcode.mf_name <> "g") compiled in
+  match Warp.Link.link ~section:"s" ~cells:1 broken with
+  | exception Warp.Link.Undefined_symbol ("f", "g") -> ()
+  | _ -> Alcotest.fail "expected undefined symbol"
+
+(* --- io driver --- *)
+
+let test_iodriver () =
+  let image = compile (parse_module sample) in
+  let driver = Warp.Iodriver.generate image in
+  Alcotest.(check int) "cells" 2 driver.Warp.Iodriver.drv_cells;
+  Alcotest.(check int) "entries" 2 (List.length driver.Warp.Iodriver.entries);
+  Alcotest.(check bool) "bytes positive" true (driver.Warp.Iodriver.download_bytes > 0);
+  let text = Warp.Iodriver.to_string driver in
+  Alcotest.(check bool) "mentions wiring" true (Tutil.contains text "cell0.X -> cell1.X")
+
+(* --- array simulator --- *)
+
+let test_arraysim_pipeline () =
+  (* Each cell adds 1.0 to everything flowing through on X; with 3
+     cells the host sees +3.0. *)
+  let src =
+    {|
+module m
+  section pipe cells 3
+  function stage(n: int) : int
+    var i : int;
+    var x : float;
+  begin
+    for i := 1 to n do
+      receive(X, x);
+      send(X, x + 1.0);
+    end;
+    return n;
+  end
+  end
+end
+|}
+  in
+  let image = compile (parse_module src) in
+  let result =
+    Warp.Arraysim.run image ~name:"stage"
+      ~args:(fun _ -> [ vi 3 ])
+      ~input_x:[ vf 0.0; vf 10.0; vf 20.0 ]
+      ()
+  in
+  Alcotest.(check int) "three outputs" 3 (List.length result.Warp.Arraysim.host_x);
+  List.iter2
+    (fun got want ->
+      Alcotest.(check bool) "value" true (values_close got (vf want)))
+    result.Warp.Arraysim.host_x [ 3.0; 13.0; 23.0 ];
+  Array.iter
+    (fun r -> Alcotest.(check bool) "cell returned" true (values_close (Option.get r) (vi 3)))
+    result.Warp.Arraysim.returns
+
+let test_arraysim_reverse_channel () =
+  (* Y flows right to left. *)
+  let src =
+    {|
+module m
+  section pipe cells 2
+  function stage(n: int) : int
+    var x : float;
+  begin
+    receive(Y, x);
+    send(Y, x * 2.0);
+    return n;
+  end
+  end
+end
+|}
+  in
+  let image = compile (parse_module src) in
+  let result =
+    Warp.Arraysim.run image ~name:"stage" ~args:(fun _ -> [ vi 1 ]) ~input_y:[ vf 3.0 ] ()
+  in
+  match result.Warp.Arraysim.host_y with
+  | [ v ] -> Alcotest.(check bool) "doubled twice" true (values_close v (vf 12.0))
+  | _ -> Alcotest.fail "expected one host Y output"
+
+let test_arraysim_deadlock_detected () =
+  let src =
+    {|
+module m
+  section pipe cells 2
+  function stage(n: int) : int
+    var x : float;
+  begin
+    receive(X, x);
+    return n;
+  end
+  end
+end
+|}
+  in
+  let image = compile (parse_module src) in
+  (* No host input: cell 0 blocks forever. *)
+  match Warp.Arraysim.run image ~name:"stage" ~args:(fun _ -> [ vi 1 ]) () with
+  | exception Warp.Arraysim.Deadlock _ -> ()
+  | _ -> Alcotest.fail "expected deadlock"
+
+let suites =
+  [
+    ( "warp.regalloc",
+      [
+        Alcotest.test_case "physical bounds" `Quick test_regalloc_bounds;
+        Alcotest.test_case "spills under pressure" `Quick test_regalloc_spills_under_pressure;
+      ] );
+    ( "warp.listsched",
+      [
+        Alcotest.test_case "latency" `Quick test_listsched_dependences;
+        Alcotest.test_case "parallel issue" `Quick test_listsched_parallel_issue;
+        Alcotest.test_case "fu conflict" `Quick test_listsched_fu_conflict;
+        Alcotest.test_case "write-back padding" `Quick test_listsched_pads_latency;
+      ] );
+    ( "warp.modsched",
+      [
+        Alcotest.test_case "res mii" `Quick test_modsched_res_mii;
+        Alcotest.test_case "kernel overlap" `Quick test_modsched_overlaps_kernel;
+        Alcotest.test_case "recurrence bound" `Quick test_modsched_recurrence;
+        Alcotest.test_case "unprofitable rejected" `Quick test_modsched_unprofitable_rejected;
+        Alcotest.test_case "edges hold" `Quick test_modsched_edges_hold;
+      ] );
+    ( "warp.e2e",
+      [
+        Alcotest.test_case "sample with calls" `Quick test_e2e_sample;
+        Alcotest.test_case "pipelining fires" `Quick test_e2e_pipelining_fires;
+        Alcotest.test_case "pipelining saves cycles" `Quick test_e2e_pipelined_beats_unpipelined_cycles;
+        Alcotest.test_case "channels" `Quick test_e2e_channels;
+        Alcotest.test_case "paper benchmarks all levels" `Slow test_e2e_paper_benchmarks;
+        Alcotest.test_case "spilled code correct" `Quick test_e2e_spilled_code_still_correct;
+        QCheck_alcotest.to_alcotest prop_e2e_random;
+      ] );
+    ( "warp.asm",
+      [
+        Alcotest.test_case "round trip" `Quick test_asm_roundtrip;
+        Alcotest.test_case "rejects garbage" `Quick test_asm_rejects_garbage;
+        Alcotest.test_case "decoded image runs" `Quick test_decoded_image_runs;
+      ] );
+    ("warp.link", [ Alcotest.test_case "undefined symbol" `Quick test_link_undefined ]);
+    ("warp.iodriver", [ Alcotest.test_case "driver" `Quick test_iodriver ]);
+    ( "warp.arraysim",
+      [
+        Alcotest.test_case "pipeline" `Quick test_arraysim_pipeline;
+        Alcotest.test_case "reverse channel" `Quick test_arraysim_reverse_channel;
+        Alcotest.test_case "deadlock detection" `Quick test_arraysim_deadlock_detected;
+      ] );
+  ]
+
+(* --- static verifier --- *)
+
+let test_verify_accepts_compiled_code () =
+  List.iter
+    (fun size ->
+      List.iter
+        (fun level ->
+          let m = W2.Gen.module_of_function (W2.Gen.sized_function ~name:"b" size) in
+          let image = compile ~level m in
+          match Warp.Verify.image image with
+          | [] -> ()
+          | v :: _ ->
+            Alcotest.failf "%s level %d: %s" (W2.Gen.size_name size) level
+              (Warp.Verify.violation_to_string v))
+        [ 0; 2; 3 ])
+    W2.Gen.all_sizes
+
+let test_verify_accepts_spilled_and_called_code () =
+  let image = compile ~reg_limit:8 (parse_module sample) in
+  Alcotest.(check int) "no violations" 0 (List.length (Warp.Verify.image image))
+
+let corrupt_first_op (image : Warp.Mcode.image) ~f =
+  (* Rewrite the first occupied slot of the first non-empty block. *)
+  let copied =
+    {
+      image with
+      Warp.Mcode.funcs =
+        Array.map
+          (fun (mf : Warp.Mcode.mfunc) ->
+            { mf with Warp.Mcode.mblocks = Array.map (fun b -> b) mf.Warp.Mcode.mblocks })
+          image.Warp.Mcode.funcs;
+    }
+  in
+  (try
+     Array.iter
+       (fun (mf : Warp.Mcode.mfunc) ->
+         Array.iteri
+           (fun bi (b : Warp.Mcode.mblock) ->
+             Array.iteri
+               (fun wi wide ->
+                 match Warp.Mcode.ops_of wide with
+                 | op :: _ ->
+                   let fu = Warp.Machine.fu_of op in
+                   let wide' = Warp.Mcode.with_slot wide fu (f op) in
+                   let code = Array.copy b.Warp.Mcode.code in
+                   code.(wi) <- wide';
+                   mf.Warp.Mcode.mblocks.(bi) <- { b with Warp.Mcode.code = code };
+                   raise Exit
+                 | [] -> ())
+               b.Warp.Mcode.code)
+           mf.Warp.Mcode.mblocks)
+       copied.Warp.Mcode.funcs
+   with Exit -> ());
+  copied
+
+let test_verify_rejects_bad_register () =
+  let image = compile (parse_module dot_src) in
+  let broken =
+    corrupt_first_op image ~f:(fun op ->
+        match op with
+        | Ir.Bin (o, _, x, y) -> Ir.Bin (o, 999, x, y)
+        | Ir.Un (o, _, x) -> Ir.Un (o, 999, x)
+        | Ir.Mov (_, x) -> Ir.Mov (999, x)
+        | Ir.Load (_, a, i) -> Ir.Load (999, a, i)
+        | other -> other)
+  in
+  Alcotest.(check bool) "violation reported" true (Warp.Verify.image broken <> [])
+
+let test_verify_rejects_undeclared_array () =
+  let image = compile (parse_module dot_src) in
+  let broken =
+    corrupt_first_op image ~f:(fun op ->
+        match op with
+        | Ir.Load (d, _, i) -> Ir.Load (d, "phantom", i)
+        | Ir.Store (_, i, v) -> Ir.Store ("phantom", i, v)
+        | other -> (
+          (* ensure at least one memory op gets corrupted somewhere:
+             fall back to turning this op into a load of a phantom *)
+          match Ir.def_of other with
+          | Some d -> Ir.Load (d, "phantom", Ir.Imm_int 0)
+          | None -> other))
+  in
+  Alcotest.(check bool) "violation reported" true
+    (List.exists
+       (fun v -> Tutil.contains (Warp.Verify.violation_to_string v) "phantom")
+       (Warp.Verify.image broken))
+
+let verify_suites =
+  [
+    ( "warp.verify",
+      [
+        Alcotest.test_case "accepts all compiled code" `Slow test_verify_accepts_compiled_code;
+        Alcotest.test_case "accepts spilled code" `Quick test_verify_accepts_spilled_and_called_code;
+        Alcotest.test_case "rejects bad register" `Quick test_verify_rejects_bad_register;
+        Alcotest.test_case "rejects undeclared array" `Quick test_verify_rejects_undeclared_array;
+      ] );
+  ]
+
+let suites = suites @ verify_suites
+
+(* --- machine semantics details --- *)
+
+let test_register_windows_preserve_caller () =
+  (* A callee that computes a lot must not disturb the caller's live
+     registers: windows isolate activations. *)
+  let src =
+    {|
+module m
+  section s cells 1
+  function noisy(x: int) : int
+    var i : int;
+    var s : int;
+  begin
+    s := 0;
+    for i := 0 to 9 do
+      s := s + i * x;
+    end;
+    return s;
+  end
+  function main(n: int) : int
+    var a : int;
+    var b : int;
+    var c : int;
+  begin
+    a := n * 3;
+    b := n + 17;
+    c := noisy(n);
+    return a + b + c;
+  end
+  end
+end
+|}
+  in
+  let image = compile (parse_module src) in
+  match Warp.Cellsim.run image ~name:"main" ~args:[ vi 4 ] with
+  | Some (Ir_interp.Vi got), _ ->
+    (* a=12 b=21 c=45*4=180 -> 213 *)
+    Alcotest.(check int) "windows preserved" 213 got
+  | _ -> Alcotest.fail "run failed"
+
+let test_arraysim_backpressure () =
+  (* A producer that sends far more than the queue capacity while the
+     consumer drains slowly: flow control must stall, not lose data. *)
+  let src =
+    {|
+module m
+  section pipe cells 2
+  function stage(id: int) : int
+    var i : int;
+    var x : float;
+    var acc : float;
+  begin
+    if id = 0 then
+      for i := 1 to 100 do
+        send(X, float(i));
+      end;
+    else
+      acc := 0.0;
+      for i := 1 to 100 do
+        receive(X, x);
+        acc := acc + x;
+      end;
+      send(X, acc);
+    end;
+    return id;
+  end
+  end
+end
+|}
+  in
+  let image = compile (parse_module src) in
+  let result =
+    Warp.Arraysim.run ~fuel:1_000_000 image ~name:"stage" ~args:(fun i -> [ vi i ]) ()
+  in
+  match result.Warp.Arraysim.host_x with
+  | [ Ir_interp.Vf total ] ->
+    Alcotest.(check (float 1e-9)) "all 100 values arrive" 5050.0 total
+  | _ -> Alcotest.fail "expected exactly one aggregated output"
+
+let machine_suites =
+  [
+    ( "warp.machine-semantics",
+      [
+        Alcotest.test_case "register windows" `Quick test_register_windows_preserve_caller;
+        Alcotest.test_case "queue backpressure" `Quick test_arraysim_backpressure;
+      ] );
+  ]
+
+let suites = suites @ machine_suites

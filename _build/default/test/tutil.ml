@@ -1,0 +1,32 @@
+(* Shared helpers for the test suites. *)
+
+(* Substring test (OCaml's stdlib has none). *)
+let contains haystack needle =
+  let nlen = String.length needle in
+  let hlen = String.length haystack in
+  if nlen = 0 then true
+  else
+    let rec scan i =
+      if i + nlen > hlen then false
+      else if String.sub haystack i nlen = needle then true
+      else scan (i + 1)
+    in
+    scan 0
+
+(* Compare two interpreter results for Alcotest. *)
+let value_testable : W2.Interp.value Alcotest.testable =
+  let rec eq a b =
+    match (a, b) with
+    | W2.Interp.Vint x, W2.Interp.Vint y -> x = y
+    | W2.Interp.Vfloat x, W2.Interp.Vfloat y ->
+      (Float.is_nan x && Float.is_nan y)
+      || abs_float (x -. y) <= 1e-9 *. (1.0 +. abs_float x +. abs_float y)
+    | W2.Interp.Vbool x, W2.Interp.Vbool y -> x = y
+    | W2.Interp.Varray x, W2.Interp.Varray y ->
+      Array.length x = Array.length y
+      && Array.for_all2 (fun a b -> eq a b) x y
+    | _ -> false
+  in
+  Alcotest.testable
+    (fun fmt v -> Format.pp_print_string fmt (W2.Interp.value_to_string v))
+    eq
