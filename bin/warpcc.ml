@@ -1,6 +1,12 @@
 (* warpcc — command-line driver for the Warp parallel compiler.
 
-     warpcc compile prog.w2 [-O2] [--dump-ir] [--dump-asm] [-o dir]
+     warpcc [--lint] [--verify-ir] [--Werror] prog.w2 [more.w2 ...]
+         Static checks only: parse, semantic check, optional source
+         lint and optional IR verification (every optimization pass is
+         followed by an invariant check).  Nothing is written.
+
+     warpcc compile prog.w2 [-O2] [--lint] [--verify-ir] [--Werror]
+            [--dump-ir] [--dump-asm] [-o dir]
          Run the four compiler phases over a W2 module and write one
          download module (.wobj) plus one I/O driver (.drv) per section.
 
@@ -25,7 +31,32 @@ let read_file path =
 let or_compile_error f =
   try Ok (f ()) with
   | Driver.Compile.Compile_error msg -> Error (`Msg msg)
+  | W2.Parser.Error (msg, loc) ->
+    Error (`Msg (Printf.sprintf "%s: %s" (W2.Loc.to_string loc) msg))
+  | W2.Lexer.Error (msg, loc) ->
+    Error (`Msg (Printf.sprintf "%s: %s" (W2.Loc.to_string loc) msg))
   | Sys_error msg -> Error (`Msg msg)
+
+(* --- shared diagnostic flags --- *)
+
+let lint_flag =
+  Arg.(value & flag
+       & info [ "lint" ] ~doc:"Run the source linter (phase 1) and print its warnings")
+
+let verify_ir_flag =
+  Arg.(value & flag
+       & info [ "verify-ir" ]
+           ~doc:"Verify IR invariants after every optimization pass (-verify-each)")
+
+let werror_flag =
+  Arg.(value & flag & info [ "Werror" ] ~doc:"Treat lint warnings as errors")
+
+(* Print diagnostics (promoting warnings under --Werror); returns true
+   when anything of error severity was printed. *)
+let emit_diags ~werror diags =
+  let diags = if werror then W2.Diag.promote_warnings diags else diags in
+  List.iter (fun d -> prerr_endline (W2.Diag.to_string d)) diags;
+  W2.Diag.has_errors diags
 
 (* --- compile --- *)
 
@@ -47,7 +78,7 @@ let compile_cmd =
     Arg.(value & opt string "." & info [ "o"; "output" ] ~docv:"DIR"
            ~doc:"Directory for .wobj and .drv outputs")
   in
-  let action file level dump_ir dump_asm out_dir =
+  let action file level lint verify_ir werror dump_ir dump_asm out_dir =
     or_compile_error (fun () ->
         let source = read_file file in
         (if dump_ir then begin
@@ -57,12 +88,17 @@ let compile_cmd =
              (fun sec ->
                List.iter
                  (fun f ->
-                   ignore (Midend.Opt.optimize ~level f);
+                   ignore (Midend.Opt.optimize ~level ~verify_each:verify_ir f);
                    print_string (Midend.Ir.func_to_string f))
                  sec.Midend.Ir.funcs)
              (Midend.Lower.lower_module m)
          end);
-        let mw = Driver.Compile.compile_source ~level ~file source in
+        let mw =
+          Driver.Compile.compile_source ~level ~verify_each:verify_ir ~file source
+        in
+        (if lint || werror then
+           if emit_diags ~werror (Driver.Compile.all_diags mw) then
+             raise (Driver.Compile.Compile_error "diagnostics treated as errors (--Werror)"));
         List.iter
           (fun (sw : Driver.Compile.section_work) ->
             let base = Filename.concat out_dir (mw.Driver.Compile.mw_name ^ "." ^ sw.Driver.Compile.sw_name) in
@@ -100,32 +136,90 @@ let compile_cmd =
               (if fw.Driver.Compile.fw_pipelined > 0 then "  [software-pipelined]" else ""))
           (Driver.Compile.all_funcs mw))
   in
-  let term = Term.(term_result (const action $ file $ level $ dump_ir $ dump_asm $ out_dir)) in
+  let term =
+    Term.(
+      term_result
+        (const action $ file $ level $ lint_flag $ verify_ir_flag $ werror_flag
+        $ dump_ir $ dump_asm $ out_dir))
+  in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a W2 module to Warp download modules") term
 
 (* --- check --- *)
+
+(* Static checks for one file; returns false when anything failed.
+   Shared by the `check` subcommand and the default (no-subcommand)
+   invocation: warpcc [--lint] [--verify-ir] [--Werror] FILE... *)
+let static_check ~lint ~verify_ir ~werror ~level file =
+  let source = read_file file in
+  let m = W2.Parser.module_of_string ~file source in
+  match W2.Semcheck.check_module m with
+  | _ :: _ as errors ->
+    List.iter (fun e -> prerr_endline (W2.Semcheck.error_to_string e)) errors;
+    false
+  | [] ->
+    let lint_failed =
+      if lint then emit_diags ~werror (W2.Lint.lint_module m) else false
+    in
+    let violations =
+      if verify_ir then
+        List.concat_map
+          (fun sec ->
+            try
+              ignore (Midend.Opt.optimize_section ~level ~verify_each:true sec);
+              (* The per-pass checks cover each function; what remains
+                 is the cross-function call agreement. *)
+              Midend.Irverify.check_calls sec
+            with Midend.Irverify.Invalid violations -> violations)
+          (Midend.Lower.lower_module m)
+      else []
+    in
+    List.iter
+      (fun v ->
+        prerr_endline ("verify-ir: " ^ Midend.Irverify.violation_to_string v))
+      violations;
+    if violations = [] && not lint_failed then begin
+      Printf.printf "%s: %d section(s), %d function(s), %d line(s) — ok%s%s\n"
+        m.W2.Ast.mname
+        (List.length m.W2.Ast.sections)
+        (W2.Ast.func_count m)
+        (W2.Pretty.source_lines source)
+        (if lint then " [lint]" else "")
+        (if verify_ir then " [verify-ir]" else "");
+      true
+    end
+    else false
+
+let static_check_action files lint verify_ir werror level =
+  or_compile_error (fun () ->
+      if files = [] then
+        raise (Driver.Compile.Compile_error "no input files (see warpcc --help)");
+      let ok =
+        List.fold_left
+          (fun ok file -> static_check ~lint ~verify_ir ~werror ~level file && ok)
+          true files
+      in
+      if not ok then exit 1)
 
 let check_cmd =
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"W2 source module")
   in
-  let action file =
-    or_compile_error (fun () ->
-        let source = read_file file in
-        let m = W2.Parser.module_of_string ~file source in
-        match W2.Semcheck.check_module m with
-        | [] ->
-          Printf.printf "%s: %d section(s), %d function(s), %d line(s) — ok\n"
-            m.W2.Ast.mname
-            (List.length m.W2.Ast.sections)
-            (W2.Ast.func_count m)
-            (W2.Pretty.source_lines source)
-        | errors ->
-          List.iter (fun e -> prerr_endline (W2.Semcheck.error_to_string e)) errors;
-          exit 1)
+  let level =
+    Arg.(value & opt int 2 & info [ "O"; "opt-level" ] ~docv:"LEVEL"
+           ~doc:"Optimization level used by --verify-ir (0-3)")
   in
-  let term = Term.(term_result (const action $ file)) in
-  Cmd.v (Cmd.info "check" ~doc:"Run phase 1 only (parse and semantic check)") term
+  let action file lint verify_ir werror level =
+    static_check_action [ file ] lint verify_ir werror level
+  in
+  let term =
+    Term.(
+      term_result
+        (const action $ file $ lint_flag $ verify_ir_flag $ werror_flag $ level))
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Run the static checks (phase 1, plus --lint and --verify-ir)")
+    term
 
 (* --- run --- *)
 
@@ -260,4 +354,21 @@ let simulate_cmd =
 let () =
   let doc = "parallel compiler for a Warp-like systolic array" in
   let info = Cmd.info "warpcc" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ check_cmd; compile_cmd; run_cmd; simulate_cmd ]))
+  (* Without a subcommand, warpcc runs the static checks over any
+     number of files: warpcc --verify-ir --lint examples/*.w2 *)
+  let default =
+    let files =
+      Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"W2 source modules")
+    in
+    let level =
+      Arg.(value & opt int 2 & info [ "O"; "opt-level" ] ~docv:"LEVEL"
+             ~doc:"Optimization level used by --verify-ir (0-3)")
+    in
+    Term.(
+      term_result
+        (const static_check_action $ files $ lint_flag $ verify_ir_flag
+        $ werror_flag $ level))
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info [ check_cmd; compile_cmd; run_cmd; simulate_cmd ]))

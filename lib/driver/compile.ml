@@ -22,6 +22,8 @@ type func_work = {
   fw_wides : int; (* code size in wide instructions *)
   fw_pipelined : int;
   fw_spilled : int;
+  fw_diags : W2.Diag.t list; (* findings this function's master reports
+                                back to its section master *)
 }
 
 type section_work = {
@@ -30,6 +32,8 @@ type section_work = {
   sw_image : Warp.Mcode.image;
   sw_image_bytes : int;
   sw_driver : Warp.Iodriver.t;
+  sw_diags : W2.Diag.t list; (* combined per-function diagnostics, in
+                                file order *)
 }
 
 type module_work = {
@@ -39,18 +43,36 @@ type module_work = {
   mw_sections : section_work list;
 }
 
+let all_diags (mw : module_work) : W2.Diag.t list =
+  W2.Diag.sort (List.concat_map (fun s -> s.sw_diags) mw.mw_sections)
+
 let count_tokens source = List.length (W2.Lexer.tokenize source)
 
 let ast_nodes (f : W2.Ast.func) =
   W2.Ast.stmt_count f.W2.Ast.body + List.length f.W2.Ast.locals
   + List.length f.W2.Ast.params
 
-(* Phases 2 and 3 for one function. *)
-let compile_function ?(level = 2) ~func_rets ~section (f : W2.Ast.func) :
-    func_work * Warp.Mcode.mfunc =
+let verify_failure violations =
+  Compile_error
+    ("internal error: IR verification failed\n"
+    ^ String.concat "\n"
+        (List.map Midend.Irverify.violation_to_string violations))
+
+(* Phases 2 and 3 for one function.  [diags] are the phase-1 lint
+   findings attributed to this function; the function master carries
+   them (plus anything the IR verifier reports) back up the hierarchy. *)
+let compile_function ?(level = 2) ?(verify_each = false) ?(diags = [])
+    ~func_rets ~section (f : W2.Ast.func) :
+    func_work * Warp.Mcode.mfunc * Midend.Ir.func =
   let ir = Midend.Lower.lower_function ~func_rets f in
   let fw_ir_instrs = Midend.Ir.instr_count ir in
-  let stats = Midend.Opt.optimize ~level ir in
+  let stats = Midend.Opt.optimize ~level ~verify_each ir in
+  (* End of phase 2: the IR verifier always runs here; a violation means
+     an optimization pass miscompiled, which aborts like a phase-1
+     error. *)
+  (match Midend.Irverify.check_func ir with
+  | [] -> ()
+  | violations -> raise (verify_failure violations));
   let compiled = Warp.Codegen.compile_function ir in
   let work =
     {
@@ -65,9 +87,10 @@ let compile_function ?(level = 2) ~func_rets ~section (f : W2.Ast.func) :
       fw_wides = compiled.Warp.Codegen.wide_count;
       fw_pipelined = compiled.Warp.Codegen.pipelined;
       fw_spilled = compiled.Warp.Codegen.spilled;
+      fw_diags = diags;
     }
   in
-  (work, compiled.Warp.Codegen.mfunc)
+  (work, compiled.Warp.Codegen.mfunc, ir)
 
 let func_rets_of (sec : W2.Ast.section) =
   let table = Hashtbl.create 8 in
@@ -84,28 +107,52 @@ let func_rets_of (sec : W2.Ast.section) =
     sec.W2.Ast.funcs;
   table
 
-(* Phases 2-4 for one section. *)
-let compile_section ?(level = 2) (sec : W2.Ast.section) : section_work =
+(* Phases 2-4 for one section.  Lint findings (phase 1, whole-section
+   context) are computed here and distributed to the per-function work
+   records; after all functions are compiled, the cross-function call
+   check of the IR verifier runs over the section. *)
+let compile_section ?(level = 2) ?(verify_each = false) (sec : W2.Ast.section) :
+    section_work =
   let func_rets = func_rets_of sec in
+  let lints = ref [] in
+  W2.Lint.lint_section (fun d -> lints := d :: !lints) sec;
+  let lints = W2.Diag.sort !lints in
   let results =
-    List.map (compile_function ~level ~func_rets ~section:sec.W2.Ast.sname) sec.W2.Ast.funcs
+    List.map
+      (fun (f : W2.Ast.func) ->
+        compile_function ~level ~verify_each
+          ~diags:(W2.Diag.for_func f.W2.Ast.fname lints)
+          ~func_rets ~section:sec.W2.Ast.sname f)
+      sec.W2.Ast.funcs
   in
+  (match
+     Midend.Irverify.check_calls
+       {
+         Midend.Ir.sec_name = sec.W2.Ast.sname;
+         cells = sec.W2.Ast.cells;
+         funcs = List.map (fun (_, _, ir) -> ir) results;
+       }
+   with
+  | [] -> ()
+  | violations -> raise (verify_failure violations));
   let image =
     Warp.Link.link ~section:sec.W2.Ast.sname ~cells:sec.W2.Ast.cells
-      (List.map snd results)
+      (List.map (fun (_, mfunc, _) -> mfunc) results)
   in
   let driver = Warp.Iodriver.generate image in
   {
     sw_name = sec.W2.Ast.sname;
-    sw_funcs = List.map fst results;
+    sw_funcs = List.map (fun (fw, _, _) -> fw) results;
     sw_image = image;
     sw_image_bytes = Warp.Asm.encoded_size image;
     sw_driver = driver;
+    sw_diags = lints;
   }
 
 (* The whole compiler, from source text.  Raises [Compile_error] on
    phase-1 failure (the master aborts, as in the paper). *)
-let compile_source ?(level = 2) ?(file = "<module>") (source : string) : module_work =
+let compile_source ?(level = 2) ?(verify_each = false) ?(file = "<module>")
+    (source : string) : module_work =
   let tokens = count_tokens source in
   let m =
     try W2.Parser.module_of_string ~file source with
@@ -124,13 +171,15 @@ let compile_source ?(level = 2) ?(file = "<module>") (source : string) : module_
     mw_name = m.W2.Ast.mname;
     mw_loc = W2.Pretty.source_lines source;
     mw_tokens = tokens;
-    mw_sections = List.map (compile_section ~level) m.W2.Ast.sections;
+    mw_sections =
+      List.map (compile_section ~level ~verify_each) m.W2.Ast.sections;
   }
 
 (* Convenience: compile an AST (pretty-printing it first so that the
    token count reflects a real source file). *)
-let compile_module ?(level = 2) (m : W2.Ast.modul) : module_work =
-  compile_source ~level (W2.Pretty.module_to_string m)
+let compile_module ?(level = 2) ?(verify_each = false) (m : W2.Ast.modul) :
+    module_work =
+  compile_source ~level ~verify_each (W2.Pretty.module_to_string m)
 
 let all_funcs (mw : module_work) : func_work list =
   List.concat_map (fun s -> s.sw_funcs) mw.mw_sections

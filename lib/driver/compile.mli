@@ -23,6 +23,9 @@ type func_work = {
   fw_wides : int; (** code size in wide instructions *)
   fw_pipelined : int; (** loops software-pipelined *)
   fw_spilled : int;
+  fw_diags : W2.Diag.t list;
+      (** findings this function's master reports back to its section
+          master (lint warnings from phase 1, verifier findings) *)
 }
 
 type section_work = {
@@ -31,6 +34,9 @@ type section_work = {
   sw_image : Warp.Mcode.image;
   sw_image_bytes : int;
   sw_driver : Warp.Iodriver.t;
+  sw_diags : W2.Diag.t list;
+      (** combined per-function diagnostics, in file order — the
+          section master's "combine results and diagnostics" step *)
 }
 
 type module_work = {
@@ -49,22 +55,39 @@ val func_rets_of :
 
 val compile_function :
   ?level:int ->
+  ?verify_each:bool ->
+  ?diags:W2.Diag.t list ->
   func_rets:(string, Midend.Ir.ty option) Hashtbl.t ->
   section:string ->
   W2.Ast.func ->
-  func_work * Warp.Mcode.mfunc
-(** Phases 2 and 3 for one (checked) function. *)
+  func_work * Warp.Mcode.mfunc * Midend.Ir.func
+(** Phases 2 and 3 for one (checked) function.  The IR verifier runs
+    unconditionally on the optimized IR (end of phase 2); with
+    [~verify_each:true] it also runs after every optimization pass.
+    [diags] are phase-1 findings to attach to the function's work
+    record.  The returned IR is the post-optimization flowgraph.
+    @raise Compile_error when verification fails (a miscompiling
+    pass). *)
 
-val compile_section : ?level:int -> W2.Ast.section -> section_work
-(** Phases 2-4 for one section. *)
+val compile_section :
+  ?level:int -> ?verify_each:bool -> W2.Ast.section -> section_work
+(** Phases 2-4 for one section: lints the section (phase 1), compiles
+    every function, then runs the verifier's cross-function call check
+    over the optimized section. *)
 
-val compile_source : ?level:int -> ?file:string -> string -> module_work
+val compile_source :
+  ?level:int -> ?verify_each:bool -> ?file:string -> string -> module_work
 (** The whole compiler, from source text.
     @raise Compile_error on phase-1 failure. *)
 
-val compile_module : ?level:int -> W2.Ast.modul -> module_work
+val compile_module :
+  ?level:int -> ?verify_each:bool -> W2.Ast.modul -> module_work
 (** Convenience: pretty-print the AST so the token count reflects a
     real source file, then {!compile_source}. *)
 
 val all_funcs : module_work -> func_work list
 val total_image_bytes : module_work -> int
+
+val all_diags : module_work -> W2.Diag.t list
+(** Every diagnostic of the module, merged in file order — what the
+    master prints after combining the section masters' results. *)

@@ -113,12 +113,25 @@ let phase4_seconds m (mw : Compile.module_work) =
   (m.sec_per_wide_assembly *. float_of_int wides)
   +. (m.sec_per_image_byte *. float_of_int (Compile.total_image_bytes mw))
 
-(* Time the section master spends combining results and diagnostics. *)
+(* Time the section master spends combining results and diagnostics:
+   a per-function share, a per-wide share, and a per-diagnostic share
+   for merging the findings back into file order. *)
 let combine_seconds (sw : Compile.section_work) =
   let wides =
     List.fold_left (fun acc f -> acc + f.Compile.fw_wides) 0 sw.Compile.sw_funcs
   in
-  (0.008 *. float_of_int wides) +. (0.5 *. float_of_int (List.length sw.Compile.sw_funcs))
+  (0.008 *. float_of_int wides)
+  +. (0.5 *. float_of_int (List.length sw.Compile.sw_funcs))
+  +. (0.02 *. float_of_int (List.length sw.Compile.sw_diags))
+
+(* Bytes of rendered diagnostics a task's function masters write back
+   with their results (the fixed [diagnostic_bytes] framing is charged
+   separately, per task). *)
+let task_diag_bytes (funcs : Compile.func_work list) =
+  float_of_int
+    (List.fold_left
+       (fun acc fw -> acc + W2.Diag.encoded_bytes fw.Compile.fw_diags)
+       0 funcs)
 
 (* --- memory --- *)
 

@@ -63,7 +63,13 @@ val phase4_seconds : model -> Compile.module_work -> float
 (** Assembly, linking, I/O drivers. *)
 
 val combine_seconds : Compile.section_work -> float
-(** Section master combining results and diagnostics. *)
+(** Section master combining results and diagnostics (includes a
+    per-diagnostic merge share). *)
+
+val task_diag_bytes : Compile.func_work list -> float
+(** Bytes of rendered diagnostics a task's function masters write back
+    with their results, on top of the fixed [diagnostic_bytes]
+    framing. *)
 
 val phase2_seconds : model -> Compile.func_work -> float
 (** Fine-grained split: the optimizer half of a function's work. *)

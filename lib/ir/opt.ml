@@ -54,20 +54,31 @@ let total_changes s =
 
 let max_rounds = 12
 
-let cleanup_round (f : Ir.func) (s : stats) : int =
-  let charge () = s.work <- s.work + Ir.instr_count f in
+(* With [verify_each], re-verify the IR after every pass and attribute a
+   violation to the pass that introduced it (LLVM's -verify-each). *)
+let verify_after ~verify_each pass (f : Ir.func) =
+  if verify_each then
+    match Irverify.check_func ~pass f with
+    | [] -> ()
+    | violations -> raise (Irverify.Invalid violations)
+
+let cleanup_round ?(verify_each = false) (f : Ir.func) (s : stats) : int =
+  let charge pass =
+    s.work <- s.work + Ir.instr_count f;
+    verify_after ~verify_each pass f
+  in
   let c1 = Constfold.run f in
-  charge ();
+  charge "constfold";
   let c2 = Lvn.run f in
-  charge ();
+  charge "lvn";
   let c3 = Gcp.run f in
-  charge ();
+  charge "gcp";
   let c3b = Gcse.run f in
-  charge ();
+  charge "gcse";
   let c4 = Dce.run f in
-  charge ();
+  charge "dce";
   let c5 = Cfg.simplify f in
-  charge ();
+  charge "cfg-simplify";
   s.folded <- s.folded + c1;
   s.numbered <- s.numbered + c2;
   s.propagated <- s.propagated + c3;
@@ -76,39 +87,45 @@ let cleanup_round (f : Ir.func) (s : stats) : int =
   s.simplified <- s.simplified + c5;
   c1 + c2 + c3 + c3b + c4 + c5
 
-let cleanup_fixpoint (f : Ir.func) (s : stats) =
+let cleanup_fixpoint ?(verify_each = false) (f : Ir.func) (s : stats) =
   let rec loop budget =
     if budget > 0 then begin
       s.rounds <- s.rounds + 1;
-      if cleanup_round f s > 0 then loop (budget - 1)
+      if cleanup_round ~verify_each f s > 0 then loop (budget - 1)
     end
   in
   loop max_rounds
 
-let optimize ?(level = 2) (f : Ir.func) : stats =
+let optimize ?(level = 2) ?(verify_each = false) (f : Ir.func) : stats =
   let s = empty_stats () in
+  verify_after ~verify_each "lower" f;
   if level >= 1 then begin
-    cleanup_fixpoint f s;
+    cleanup_fixpoint ~verify_each f s;
     if level >= 2 then begin
       s.if_converted <- s.if_converted + Ifconv.run f;
       s.work <- s.work + Ir.instr_count f;
-      cleanup_fixpoint f s;
+      verify_after ~verify_each "ifconv" f;
+      cleanup_fixpoint ~verify_each f s;
       s.hoisted <- s.hoisted + Licm.run f;
       s.work <- s.work + (2 * Ir.instr_count f);
+      verify_after ~verify_each "licm" f;
       s.reduced <- s.reduced + Strength.run f;
       s.work <- s.work + Ir.instr_count f;
-      cleanup_fixpoint f s;
+      verify_after ~verify_each "strength" f;
+      cleanup_fixpoint ~verify_each f s;
       if level >= 3 then begin
         s.unrolled <- s.unrolled + Unroll.run f;
         s.work <- s.work + (2 * Ir.instr_count f);
-        cleanup_fixpoint f s
+        verify_after ~verify_each "unroll" f;
+        cleanup_fixpoint ~verify_each f s
       end
     end
   end;
   s
 
-let optimize_section ?(level = 2) (sec : Ir.section) : stats list =
-  List.map (optimize ~level) sec.funcs
+let optimize_section ?(level = 2) ?(verify_each = false) (sec : Ir.section) :
+    stats list =
+  List.map (optimize ~level ~verify_each) sec.funcs
 
 let stats_to_string s =
   Printf.sprintf

@@ -34,9 +34,12 @@ type stats = {
 val empty_stats : unit -> stats
 val total_changes : stats -> int
 
-val optimize : ?level:int -> Ir.func -> stats
-(** Optimize in place. *)
+val optimize : ?level:int -> ?verify_each:bool -> Ir.func -> stats
+(** Optimize in place.  With [~verify_each:true], {!Irverify.check_func}
+    runs on the input and again after every pass.
+    @raise Irverify.Invalid naming the pass that broke an invariant. *)
 
-val optimize_section : ?level:int -> Ir.section -> stats list
+val optimize_section :
+  ?level:int -> ?verify_each:bool -> Ir.section -> stats list
 
 val stats_to_string : stats -> string

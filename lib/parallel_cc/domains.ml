@@ -100,7 +100,7 @@ let compile_parallel ?(workers = 4) ?(level = 2) (m : W2.Ast.modul) : result =
         Array.iteri
           (fun i f ->
             Pool.submit pool (fun () ->
-                let _work, mfunc =
+                let _work, mfunc, _ir =
                   Driver.Compile.compile_function ~level ~func_rets
                     ~section:sec.W2.Ast.sname f
                 in

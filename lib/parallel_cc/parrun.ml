@@ -131,9 +131,12 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                       (fun acc fw -> acc + fw.Driver.Compile.fw_wides)
                       0 task.Plan.t_funcs
                   in
+                  (* Write-back: code, fixed framing, and the rendered
+                     diagnostics the section master will combine. *)
                   let output_bytes =
                     (16.0 *. float_of_int out_wides)
                     +. cost.Driver.Cost.diagnostic_bytes
+                    +. Driver.Cost.task_diag_bytes task.Plan.t_funcs
                   in
                   if not cfg.Config.fine_grained then begin
                     (* Coarse grain (the paper): phases 2+3 together. *)

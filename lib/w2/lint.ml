@@ -1,0 +1,240 @@
+(* Source linter — phase 1, running in the master alongside [Semcheck].
+
+   Unlike the semantic checker, nothing here rejects a program: every
+   finding is a [Diag.Warning].  The checks need whole-section context
+   (the never-called analysis resolves calls between the functions of a
+   section), which is exactly why the paper keeps phase 1 sequential in
+   the master process.
+
+   Codes:
+     W001  unused variable           W005  assignment to a for-loop variable
+     W002  unused parameter          W006  constant condition
+     W003  dead store                W007  function never called in its section
+     W004  unreachable statement *)
+
+let warn out ?func ~code ~loc message =
+  out (Diag.make ?func ~code ~severity:Diag.Warning ~loc message)
+
+(* --- expression reads --- *)
+
+let rec expr_reads f (expr : Ast.expr) =
+  match expr.e with
+  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Bool_lit _ -> ()
+  | Ast.Var name -> f name
+  | Ast.Index (name, index) ->
+    f name;
+    expr_reads f index
+  | Ast.Unary (_, operand) -> expr_reads f operand
+  | Ast.Binary (_, left, right) ->
+    expr_reads f left;
+    expr_reads f right
+  | Ast.Call (_, args) -> List.iter (expr_reads f) args
+
+(* Is an expression a compile-time constant?  Calls are excluded even
+   for builtins: sqrt(-1.0) is a runtime error, not a constant. *)
+let rec is_constant (expr : Ast.expr) =
+  match expr.e with
+  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Bool_lit _ -> true
+  | Ast.Unary (_, operand) -> is_constant operand
+  | Ast.Binary (_, left, right) -> is_constant left && is_constant right
+  | Ast.Var _ | Ast.Index _ | Ast.Call _ -> false
+
+(* --- per-function analysis --- *)
+
+type usage = { mutable reads : int; mutable writes : int }
+
+let lint_func out (f : Ast.func) =
+  let func = f.fname in
+  let usage = Hashtbl.create 16 in
+  let slot name =
+    match Hashtbl.find_opt usage name with
+    | Some u -> u
+    | None ->
+      let u = { reads = 0; writes = 0 } in
+      Hashtbl.add usage name u;
+      u
+  in
+  List.iter (fun (p : Ast.param) -> ignore (slot p.pname)) f.params;
+  List.iter (fun (d : Ast.decl) -> ignore (slot d.dname)) f.locals;
+  let read name = (slot name).reads <- (slot name).reads + 1 in
+  let write name = (slot name).writes <- (slot name).writes + 1 in
+  let lvalue_write = function
+    | Ast.Lvar name -> write name
+    | Ast.Lindex (name, index) ->
+      write name;
+      expr_reads read index
+  in
+  (* Straight-line dead stores: a scalar assigned twice with no
+     intervening read.  [pending] maps a variable to the location of its
+     last unread store; any control flow (or the end of the list) drops
+     all pending entries — the conservative choice, so the check never
+     fires across joins. *)
+  let rec walk_stmts ~loop_vars stmts =
+    let pending : (string, Loc.t) Hashtbl.t = Hashtbl.create 8 in
+    let read_clears name = Hashtbl.remove pending name in
+    let reads_of_expr e = expr_reads (fun n -> read n; read_clears n) e in
+    let unreachable_reported = ref false in
+    let returned = ref false in
+    List.iter
+      (fun (stmt : Ast.stmt) ->
+        if !returned && not !unreachable_reported then begin
+          unreachable_reported := true;
+          warn out ~func ~code:"W004" ~loc:stmt.sloc
+            "unreachable statement (a preceding statement always returns)"
+        end;
+        if Semcheck.always_returns [ stmt ] then returned := true;
+        match stmt.s with
+        | Ast.Assign (lv, value) ->
+          reads_of_expr value;
+          (match lv with
+          | Ast.Lvar name ->
+            if List.mem name loop_vars then
+              warn out ~func ~code:"W005" ~loc:stmt.sloc
+                ("assignment to enclosing for-loop variable '" ^ name ^ "'");
+            (match Hashtbl.find_opt pending name with
+            | Some first ->
+              warn out ~func ~code:"W003" ~loc:first
+                ("dead store: '" ^ name ^ "' is overwritten at "
+                ^ Loc.to_string stmt.sloc ^ " before being read")
+            | None -> ());
+            Hashtbl.replace pending name stmt.sloc
+          | Ast.Lindex (name, index) ->
+            expr_reads (fun n -> read n; read_clears n) index;
+            read_clears name (* array cells are not tracked individually *));
+          lvalue_write lv
+        | Ast.If (cond, then_branch, else_branch) ->
+          reads_of_expr cond;
+          if is_constant cond then
+            warn out ~func ~code:"W006" ~loc:cond.eloc "'if' condition is constant";
+          Hashtbl.reset pending;
+          walk_stmts ~loop_vars then_branch;
+          walk_stmts ~loop_vars else_branch
+        | Ast.While (cond, body) ->
+          reads_of_expr cond;
+          if is_constant cond then
+            warn out ~func ~code:"W006" ~loc:cond.eloc "'while' condition is constant";
+          Hashtbl.reset pending;
+          walk_stmts ~loop_vars body
+        | Ast.For (var, lo, hi, body) ->
+          reads_of_expr lo;
+          reads_of_expr hi;
+          (* The loop owns its variable: it both writes and reads it. *)
+          write var;
+          read var;
+          Hashtbl.reset pending;
+          walk_stmts ~loop_vars:(var :: loop_vars) body
+        | Ast.Send (_, value) -> reads_of_expr value
+        | Ast.Receive (_, target) ->
+          (match target with
+          | Ast.Lvar name ->
+            if List.mem name loop_vars then
+              warn out ~func ~code:"W005" ~loc:stmt.sloc
+                ("receive into enclosing for-loop variable '" ^ name ^ "'");
+            Hashtbl.replace pending name stmt.sloc
+          | Ast.Lindex (name, index) ->
+            expr_reads (fun n -> read n; read_clears n) index;
+            read_clears name);
+          lvalue_write target
+        | Ast.Return None -> returned := true
+        | Ast.Return (Some value) ->
+          reads_of_expr value;
+          returned := true
+        | Ast.Call_stmt (_, args) ->
+          List.iter reads_of_expr args;
+          Hashtbl.reset pending)
+      stmts
+  in
+  walk_stmts ~loop_vars:[] f.body;
+  (* Whole-function usage. *)
+  List.iter
+    (fun (p : Ast.param) ->
+      let u = slot p.pname in
+      if u.reads = 0 then
+        warn out ~func ~code:"W002" ~loc:p.ploc
+          ("unused parameter '" ^ p.pname ^ "'"))
+    f.params;
+  List.iter
+    (fun (d : Ast.decl) ->
+      let u = slot d.dname in
+      if u.reads = 0 && u.writes = 0 then
+        warn out ~func ~code:"W001" ~loc:d.dloc
+          ("unused variable '" ^ d.dname ^ "'")
+      else if u.reads = 0 then
+        warn out ~func ~code:"W003" ~loc:d.dloc
+          ("variable '" ^ d.dname ^ "' is assigned but never read"))
+    f.locals
+
+(* --- section-level analysis --- *)
+
+let rec stmt_calls f (stmt : Ast.stmt) =
+  let expr e = expr_calls f e in
+  match stmt.s with
+  | Ast.Assign (lv, value) ->
+    lvalue_calls f lv;
+    expr value
+  | Ast.If (cond, t, e) ->
+    expr cond;
+    List.iter (stmt_calls f) t;
+    List.iter (stmt_calls f) e
+  | Ast.While (cond, body) ->
+    expr cond;
+    List.iter (stmt_calls f) body
+  | Ast.For (_, lo, hi, body) ->
+    expr lo;
+    expr hi;
+    List.iter (stmt_calls f) body
+  | Ast.Send (_, value) -> expr value
+  | Ast.Receive (_, target) -> lvalue_calls f target
+  | Ast.Return None -> ()
+  | Ast.Return (Some value) -> expr value
+  | Ast.Call_stmt (name, args) ->
+    f name;
+    List.iter expr args
+
+and expr_calls f (expr : Ast.expr) =
+  match expr.e with
+  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Bool_lit _ | Ast.Var _ -> ()
+  | Ast.Index (_, index) -> expr_calls f index
+  | Ast.Unary (_, operand) -> expr_calls f operand
+  | Ast.Binary (_, left, right) ->
+    expr_calls f left;
+    expr_calls f right
+  | Ast.Call (name, args) ->
+    f name;
+    List.iter (expr_calls f) args
+
+and lvalue_calls f = function
+  | Ast.Lvar _ -> ()
+  | Ast.Lindex (_, index) -> expr_calls f index
+
+(* The first function of a section is its entry point by convention
+   (any function can be invoked from the host, but the download module
+   needs at least the first one); helpers beyond it should be reachable
+   from some other function of the section. *)
+let lint_section out (sec : Ast.section) =
+  List.iter (lint_func out) sec.funcs;
+  let called = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ast.func) ->
+      List.iter
+        (stmt_calls (fun name -> Hashtbl.replace called name ()))
+        f.body)
+    sec.funcs;
+  match sec.funcs with
+  | [] -> ()
+  | _entry :: rest ->
+    List.iter
+      (fun (f : Ast.func) ->
+        if not (Hashtbl.mem called f.fname) then
+          warn out ~func:f.fname ~code:"W007" ~loc:f.floc
+            (Printf.sprintf
+               "function '%s' is never called from section '%s' (and is not its entry function)"
+               f.fname sec.sname))
+      rest
+
+(* Lint a whole module; warnings in file order. *)
+let lint_module (m : Ast.modul) : Diag.t list =
+  let acc = ref [] in
+  let out d = acc := d :: !acc in
+  List.iter (lint_section out) m.sections;
+  Diag.sort !acc

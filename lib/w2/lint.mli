@@ -1,0 +1,23 @@
+(** Source linter — phase 1, running in the master alongside
+    {!Semcheck}.  Every finding is a {!Diag.Warning}; nothing here
+    rejects a program.
+
+    Codes:
+    - [W001] unused variable
+    - [W002] unused parameter
+    - [W003] dead store (a value written and overwritten or never read)
+    - [W004] unreachable statement after a return
+    - [W005] assignment or receive into an enclosing [for]-loop variable
+    - [W006] constant [if]/[while] condition
+    - [W007] function never called from its section (excluding the
+      section's first function, its entry point by convention) *)
+
+val lint_func : (Diag.t -> unit) -> Ast.func -> unit
+(** Per-function checks (W001-W006), emitted through the callback. *)
+
+val lint_section : (Diag.t -> unit) -> Ast.section -> unit
+(** Per-function checks for every function plus the section-level
+    never-called analysis (W007). *)
+
+val lint_module : Ast.modul -> Diag.t list
+(** All warnings for a module, in file order. *)

@@ -19,6 +19,10 @@ val error_to_string : error -> string
 
 exception Failed of error list
 
+val always_returns : Ast.stmt list -> bool
+(** Conservative "all control paths return" analysis; shared with the
+    {!Lint} unreachable-statement check. *)
+
 val check_module : Ast.modul -> error list
 (** All diagnostics, oldest first; [[]] means the module is valid input
     for {!Midend.Lower} and {!Interp}. *)

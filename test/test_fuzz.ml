@@ -79,6 +79,24 @@ let prop_loader_random_bytes =
       | exception Warp.Asm.Bad_object _ -> true
       | exception _ -> false)
 
+(* Optimizer-correctness oracle: any generated program that survives
+   the frontend must still satisfy every IR invariant after the full
+   -O3 pipeline, with the verifier re-run after each pass. *)
+let prop_optimized_ir_verifies =
+  QCheck.Test.make ~name:"optimized IR passes the verifier" ~count:100
+    QCheck.(pair small_nat small_nat)
+    (fun (seed, size) ->
+      let f = Gen.random_function ~seed ~size () in
+      let m = Gen.module_of_function f in
+      match Semcheck.check_module m with
+      | _ :: _ -> true (* the frontend rejects it; nothing to lower *)
+      | [] ->
+        List.for_all
+          (fun sec ->
+            ignore (Midend.Opt.optimize_section ~level:3 ~verify_each:true sec);
+            Midend.Irverify.check_section sec = [])
+          (Midend.Lower.lower_module m))
+
 (* Pretty-printing is idempotent: print (parse (print m)) = print m. *)
 let prop_pretty_idempotent =
   QCheck.Test.make ~name:"pretty printing is idempotent" ~count:150
@@ -98,6 +116,7 @@ let suites =
         QCheck_alcotest.to_alcotest prop_parser_on_mutated_source;
         QCheck_alcotest.to_alcotest prop_loader_total;
         QCheck_alcotest.to_alcotest prop_loader_random_bytes;
+        QCheck_alcotest.to_alcotest prop_optimized_ir_verifies;
         QCheck_alcotest.to_alcotest prop_pretty_idempotent;
       ] );
   ]

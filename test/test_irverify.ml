@@ -1,0 +1,215 @@
+(* IR verifier tests: the shipped example programs must verify clean
+   through every optimization level with [~verify_each:true], and
+   hand-built invariant violations must each be caught and attributed
+   to the pass after which they were detected. *)
+
+open Midend
+
+let load_module path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  let m = W2.Parser.module_of_string src in
+  W2.Semcheck.check_module_exn m;
+  m
+
+let example_files () =
+  (* [dune runtest] runs in _build/default/test (examples are a sibling
+     via the dune deps); [dune exec] runs from the project root. *)
+  let dir =
+    List.find Sys.file_exists
+      [ Filename.concat ".." "examples"; "examples" ]
+  in
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".w2")
+  |> List.sort compare
+  |> List.map (Filename.concat dir)
+
+(* --- clean programs stay clean at every level --- *)
+
+let test_examples_verify () =
+  let files = example_files () in
+  Alcotest.(check bool) "found example programs" true (List.length files >= 3);
+  List.iter
+    (fun path ->
+      let m = load_module path in
+      List.iter
+        (fun level ->
+          (* Fresh lowering per level: optimization is in-place. *)
+          List.iter
+            (fun sec ->
+              ignore (Opt.optimize_section ~level ~verify_each:true sec);
+              match Irverify.check_section sec with
+              | [] -> ()
+              | vs ->
+                Alcotest.failf "%s at -O%d: %s" path level
+                  (Irverify.violation_to_string (List.hd vs)))
+            (Lower.lower_module m))
+        [ 0; 1; 2; 3 ])
+    files
+
+let test_generated_benchmarks_verify () =
+  List.iter
+    (fun size ->
+      let m = W2.Gen.module_of_function (W2.Gen.sized_function ~name:"b" size) in
+      W2.Semcheck.check_module_exn m;
+      List.iter
+        (fun sec ->
+          ignore (Opt.optimize_section ~level:3 ~verify_each:true sec);
+          Alcotest.(check int) "no violations" 0
+            (List.length (Irverify.check_section sec)))
+        (Lower.lower_module m))
+    [ W2.Gen.Small; W2.Gen.Medium; W2.Gen.Large ]
+
+(* --- seeded violations --- *)
+
+let block instrs term = { Ir.instrs; term }
+
+let mk_func ?(name = "broken") ?(params = []) ?(arrays = []) ?ret_ty ~reg_ty
+    blocks =
+  {
+    Ir.name;
+    params;
+    arrays;
+    blocks = Array.of_list blocks;
+    reg_ty = Array.of_list reg_ty;
+    ret_ty;
+  }
+
+(* Running the broken function through the instrumented pipeline must
+   raise, and the violation must name the pass after which the check
+   failed — for seeded input IR, the initial "lower" checkpoint. *)
+let expect_caught ~substring f =
+  match Opt.optimize ~level:2 ~verify_each:true f with
+  | _ -> Alcotest.failf "expected Irverify.Invalid (%s)" substring
+  | exception Irverify.Invalid (v :: _) ->
+    Alcotest.(check (option string)) "attributed to a pass" (Some "lower")
+      v.Irverify.vi_pass;
+    let msg = Irverify.violation_to_string v in
+    let contains s sub =
+      let n = String.length sub in
+      let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "%S mentions %S" msg substring)
+      true (contains msg substring)
+  | exception Irverify.Invalid [] -> Alcotest.fail "empty violation list"
+
+let test_branch_target_out_of_range () =
+  expect_caught ~substring:"out of range"
+    (mk_func ~reg_ty:[]
+       [ block [] (Ir.Branch (Ir.Imm_int 1, 0, 7)); ])
+
+let test_uninitialized_use () =
+  expect_caught ~substring:"possibly-uninitialized"
+    (mk_func ~reg_ty:[ Ir.Int; Ir.Int ]
+       [ block [ Ir.Mov (1, Ir.Reg 0) ] (Ir.Ret None) ])
+
+let test_type_mismatched_operand () =
+  (* A float immediate fed to an integer add. *)
+  expect_caught ~substring:"class float"
+    (mk_func ~reg_ty:[ Ir.Int ]
+       [ block [ Ir.Bin (Ir.Iadd, 0, Ir.Imm_float 1.0, Ir.Imm_int 2) ] (Ir.Ret None) ])
+
+let test_undeclared_array () =
+  expect_caught ~substring:"undeclared array"
+    (mk_func ~reg_ty:[ Ir.Int ]
+       [ block [ Ir.Load (0, "a", Ir.Imm_int 0) ] (Ir.Ret None) ])
+
+let test_register_out_of_range () =
+  expect_caught ~substring:"outside reg_ty"
+    (mk_func ~reg_ty:[ Ir.Int ]
+       [ block [ Ir.Mov (5, Ir.Imm_int 0) ] (Ir.Ret None) ])
+
+let test_constant_index_out_of_bounds () =
+  expect_caught ~substring:"out of bounds"
+    (mk_func ~reg_ty:[ Ir.Int ] ~arrays:[ ("a", 4, Ir.Int) ]
+       [ block [ Ir.Load (0, "a", Ir.Imm_int 9) ] (Ir.Ret None) ])
+
+let test_empty_block_array () =
+  match Irverify.check_func (mk_func ~reg_ty:[] []) with
+  | [ v ] ->
+    Alcotest.(check int) "function-level" (-1) v.Irverify.vi_block
+  | vs -> Alcotest.failf "expected one violation, got %d" (List.length vs)
+
+(* The if-conversion identity arm [d := sel c ? v : d] merely keeps the
+   old value; it must not count as a use of [d]. *)
+let test_sel_identity_arm_not_a_use () =
+  let f =
+    mk_func ~reg_ty:[ Ir.Int; Ir.Int ]
+      [
+        block
+          [ Ir.Mov (1, Ir.Imm_int 1); Ir.Sel (0, Ir.Reg 1, Ir.Imm_int 5, Ir.Reg 0) ]
+          (Ir.Ret None);
+      ]
+  in
+  Alcotest.(check int) "no violations" 0 (List.length (Irverify.check_func f))
+
+(* --- cross-function call agreement --- *)
+
+let section_of funcs = { Ir.sec_name = "s"; cells = 1; funcs }
+
+let callee =
+  mk_func ~name:"callee"
+    ~params:[ ("x", Ir.Int, 0) ]
+    ~ret_ty:Ir.Int ~reg_ty:[ Ir.Int ]
+    [ block [] (Ir.Ret (Some (Ir.Reg 0))) ]
+
+let test_call_unresolved () =
+  let caller =
+    mk_func ~name:"caller" ~reg_ty:[ Ir.Int ]
+      [ block [ Ir.Call (Some 0, "nowhere", []) ] (Ir.Ret None) ]
+  in
+  match Irverify.check_calls (section_of [ caller; callee ]) with
+  | [ v ] ->
+    Alcotest.(check bool) "names the callee" true
+      (String.length v.Irverify.vi_msg > 0)
+  | vs -> Alcotest.failf "expected one violation, got %d" (List.length vs)
+
+let test_call_arity_mismatch () =
+  let caller =
+    mk_func ~name:"caller" ~reg_ty:[ Ir.Int ]
+      [
+        block
+          [ Ir.Call (Some 0, "callee", [ Ir.Imm_int 1; Ir.Imm_int 2 ]) ]
+          (Ir.Ret None);
+      ]
+  in
+  Alcotest.(check int) "one violation" 1
+    (List.length (Irverify.check_calls (section_of [ caller; callee ])))
+
+let test_call_clean () =
+  let caller =
+    mk_func ~name:"caller" ~reg_ty:[ Ir.Int ]
+      [ block [ Ir.Call (Some 0, "callee", [ Ir.Imm_int 1 ]) ] (Ir.Ret None) ]
+  in
+  Alcotest.(check int) "no violations" 0
+    (List.length (Irverify.check_calls (section_of [ caller; callee ])))
+
+let suites =
+  [
+    ( "irverify",
+      [
+        Alcotest.test_case "examples verify at O0-O3" `Quick test_examples_verify;
+        Alcotest.test_case "generated benchmarks verify" `Quick
+          test_generated_benchmarks_verify;
+        Alcotest.test_case "branch target out of range" `Quick
+          test_branch_target_out_of_range;
+        Alcotest.test_case "uninitialized use" `Quick test_uninitialized_use;
+        Alcotest.test_case "type-mismatched operand" `Quick
+          test_type_mismatched_operand;
+        Alcotest.test_case "undeclared array" `Quick test_undeclared_array;
+        Alcotest.test_case "register out of range" `Quick
+          test_register_out_of_range;
+        Alcotest.test_case "constant index bounds" `Quick
+          test_constant_index_out_of_bounds;
+        Alcotest.test_case "empty block array" `Quick test_empty_block_array;
+        Alcotest.test_case "sel identity arm" `Quick
+          test_sel_identity_arm_not_a_use;
+        Alcotest.test_case "call unresolved" `Quick test_call_unresolved;
+        Alcotest.test_case "call arity" `Quick test_call_arity_mismatch;
+        Alcotest.test_case "call clean" `Quick test_call_clean;
+      ] );
+  ]

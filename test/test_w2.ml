@@ -458,6 +458,147 @@ let test_function_of_lines_sweep () =
         (abs (actual - lines) <= 6))
     [ 5; 10; 20; 30; 50; 100; 200; 300; 400 ]
 
+(* --- lint --- *)
+
+let lint_codes src =
+  List.map (fun d -> d.Diag.d_code) (Lint.lint_module (Parser.module_of_string src))
+
+let wrap body =
+  Printf.sprintf
+    {|
+module m
+  section s cells 1
+%s
+  end
+end
+|}
+    body
+
+let check_code code src =
+  let codes = lint_codes (wrap src) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s in [%s]" code (String.concat "; " codes))
+    true (List.mem code codes)
+
+let test_lint_unused_variable () =
+  check_code "W001"
+    {|
+  function f(x: int) : int
+    var unused : int;
+  begin
+    return x;
+  end
+|}
+
+let test_lint_unused_parameter () =
+  check_code "W002"
+    {|
+  function f(x: int) : int
+  begin
+    return 1;
+  end
+|}
+
+let test_lint_dead_store () =
+  check_code "W003"
+    {|
+  function f(x: int) : int
+    var a : int;
+  begin
+    a := x;
+    a := x + 1;
+    return a;
+  end
+|}
+
+let test_lint_unreachable_after_return () =
+  check_code "W004"
+    {|
+  function f(x: int) : int
+  begin
+    return x;
+    return x + 1;
+  end
+|}
+
+let test_lint_for_var_assignment () =
+  check_code "W005"
+    {|
+  function f(n: int)
+    var i : int;
+  begin
+    for i := 0 to n do
+      i := 0;
+    end;
+  end
+|}
+
+let test_lint_constant_condition () =
+  check_code "W006"
+    {|
+  function f(n: int)
+  begin
+    while false do
+      send(X, n);
+    end;
+  end
+|}
+
+let test_lint_never_called () =
+  check_code "W007"
+    {|
+  function main(n: int)
+  begin
+    send(X, n);
+  end
+  function helper(n: int) : int
+  begin
+    return n;
+  end
+|}
+
+let test_lint_clean () =
+  let codes =
+    lint_codes
+      (wrap
+         {|
+  function main(n: int)
+    var i : int;
+  begin
+    for i := 1 to n do
+      send(X, helper(i));
+    end;
+  end
+  function helper(n: int) : int
+  begin
+    return n + 1;
+  end
+|})
+  in
+  Alcotest.(check (list string)) "no findings" [] codes
+
+let test_lint_diags_sorted_and_promotable () =
+  let ds =
+    Lint.lint_module
+      (Parser.module_of_string
+         (wrap
+            {|
+  function f(x: int) : int
+    var unused : int;
+  begin
+    return 1;
+  end
+|}))
+  in
+  Alcotest.(check bool) "several findings" true (List.length ds >= 2);
+  Alcotest.(check bool) "warnings only" false (Diag.has_errors ds);
+  Alcotest.(check bool) "-Werror promotes" true
+    (Diag.has_errors (Diag.promote_warnings ds));
+  let sorted = Diag.sort ds in
+  Alcotest.(check bool) "stable under re-sort" true (Diag.sort sorted = sorted);
+  List.iter (fun d -> Alcotest.(check bool) "renders" true
+                        (String.length (Diag.to_string d) > 0)) ds
+
 let suites =
   [
     ( "w2.lexer",
@@ -509,6 +650,22 @@ let suites =
         Alcotest.test_case "fuel" `Quick test_interp_fuel;
         Alcotest.test_case "while" `Quick test_interp_while;
         QCheck_alcotest.to_alcotest prop_interp_deterministic;
+      ] );
+    ( "w2.lint",
+      [
+        Alcotest.test_case "unused variable" `Quick test_lint_unused_variable;
+        Alcotest.test_case "unused parameter" `Quick test_lint_unused_parameter;
+        Alcotest.test_case "dead store" `Quick test_lint_dead_store;
+        Alcotest.test_case "unreachable after return" `Quick
+          test_lint_unreachable_after_return;
+        Alcotest.test_case "for-var assignment" `Quick
+          test_lint_for_var_assignment;
+        Alcotest.test_case "constant condition" `Quick
+          test_lint_constant_condition;
+        Alcotest.test_case "never called" `Quick test_lint_never_called;
+        Alcotest.test_case "clean program" `Quick test_lint_clean;
+        Alcotest.test_case "diag plumbing" `Quick
+          test_lint_diags_sorted_and_promotable;
       ] );
     ( "w2.gen",
       [
