@@ -8,6 +8,8 @@
      main.exe saturation      section 4.2.2 processor-saturation sweep
      main.exe ablations       DESIGN.md section-5 ablations
      main.exe summary         the abstract's headline numbers
+     main.exe faults          seeded fault/recovery sweep (docs/FAULTS.md)
+     main.exe json            write machine-readable BENCH_parallel.json
      main.exe bechamel        only the micro-benchmarks
 *)
 
@@ -350,6 +352,116 @@ let print_scaling () =
   Stats.Table.print table;
   print_newline ()
 
+(* --- fault tolerance: the chaos sweep --- *)
+
+let fault_points_cache = ref None
+
+let fault_points () =
+  match !fault_points_cache with
+  | Some points -> points
+  | None ->
+    let points = Experiment.fault_sweep () in
+    fault_points_cache := Some points;
+    points
+
+let print_fault_sweep () =
+  let table =
+    t
+      ~title:
+        "Fault sweep: S_8 f_medium under seeded crash/reclaim/slowdown plans          (inflation = elapsed / fault-free elapsed on the same pool)"
+      ~columns:
+        [
+          "stations @ rate";
+          "elapsed (min)";
+          "inflation";
+          "retries";
+          "fallbacks";
+          "lost";
+          "wasted cpu (min)";
+        ]
+  in
+  let table =
+    List.fold_left
+      (fun table (p : Experiment.fault_point) ->
+        Stats.Table.add_float_row table
+          ~label:
+            (Printf.sprintf "%2d @ %.2f" p.Experiment.fp_stations
+               p.Experiment.fp_rate)
+          [
+            minutes p.Experiment.fp_elapsed;
+            p.Experiment.fp_inflation;
+            float_of_int p.Experiment.fp_retries;
+            float_of_int p.Experiment.fp_fallbacks;
+            float_of_int p.Experiment.fp_lost;
+            minutes p.Experiment.fp_wasted_cpu;
+          ])
+      table (fault_points ())
+  in
+  Stats.Table.print table;
+  print_newline ()
+
+(* --- machine-readable perf trajectory: BENCH_parallel.json --- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_bench_json () =
+  let b = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pr "{\n";
+  pr "  \"schema\": \"warpcc-bench-parallel/1\",\n";
+  pr "  \"speedup\": [\n";
+  let first = ref true in
+  List.iter
+    (fun size ->
+      List.iter
+        (fun (p : Experiment.point) ->
+          let c = p.Experiment.comparison in
+          if not !first then pr ",\n";
+          first := false;
+          pr
+            "    {\"size\": \"%s\", \"functions\": %d, \"elapsed_seq\": %.3f, \
+             \"elapsed_par\": %.3f, \"speedup\": %.4f, \"retries\": %d, \
+             \"fallback_tasks\": %d}"
+            (json_escape (W2.Gen.size_name size))
+            p.Experiment.n_functions c.Timings.seq.Timings.elapsed
+            c.Timings.par.Timings.elapsed c.Timings.speedup
+            c.Timings.par.Timings.retries c.Timings.par.Timings.fallback_tasks)
+        (points_for size))
+    W2.Gen.all_sizes;
+  pr "\n  ],\n";
+  pr "  \"fault_sweep\": [\n";
+  let first = ref true in
+  List.iter
+    (fun (p : Experiment.fault_point) ->
+      if not !first then pr ",\n";
+      first := false;
+      pr
+        "    {\"stations\": %d, \"rate\": %.2f, \"elapsed\": %.3f, \
+         \"inflation\": %.4f, \"retries\": %d, \"fallback_tasks\": %d, \
+         \"stations_lost\": %d, \"wasted_cpu\": %.3f}"
+        p.Experiment.fp_stations p.Experiment.fp_rate p.Experiment.fp_elapsed
+        p.Experiment.fp_inflation p.Experiment.fp_retries
+        p.Experiment.fp_fallbacks p.Experiment.fp_lost
+        p.Experiment.fp_wasted_cpu)
+    (fault_points ());
+  pr "\n  ]\n";
+  pr "}\n";
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "wrote BENCH_parallel.json (%d speedup points, %d fault points)\n\n"
+    (List.length W2.Gen.all_sizes * List.length Experiment.function_counts)
+    (List.length (fault_points ()))
+
 (* --- code quality: what the optimizer levels buy on the machine --- *)
 
 let print_codegen_ablation () =
@@ -532,6 +644,8 @@ let () =
     | "inlining" -> print_inlining_study ()
     | "ablations" -> print_ablations ()
     | "summary" -> print_summary ()
+    | "faults" -> print_fault_sweep ()
+    | "json" -> write_bench_json ()
     | "bechamel" -> print_bechamel ()
     | "all" ->
       all_figures ();
@@ -541,6 +655,8 @@ let () =
       print_grain_study ();
       print_inlining_study ();
       print_ablations ();
+      print_fault_sweep ();
+      write_bench_json ();
       print_bechamel ()
     | other ->
       Printf.eprintf "unknown target %S\n" other;

@@ -323,7 +323,19 @@ let simulate_cmd =
   let level =
     Arg.(value & opt int 2 & info [ "O"; "opt-level" ] ~docv:"LEVEL" ~doc:"Optimization level")
   in
-  let action file processors level =
+  let fault_seed =
+    Arg.(value & opt int 0 & info [ "fault-seed" ] ~docv:"SEED"
+           ~doc:"Seed of the injected fault plan (0 = no faults unless --fault-rate is set)")
+  in
+  let fault_rate =
+    Arg.(value & opt float 0.0 & info [ "fault-rate" ] ~docv:"RATE"
+           ~doc:"Fault rate in [0,1]: fraction of pool stations hit by crashes/reclaims/slowdowns")
+  in
+  let retries =
+    Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N"
+           ~doc:"Re-dispatches per task before sequential fallback")
+  in
+  let action file processors level fault_seed fault_rate retries =
     or_compile_error (fun () ->
         let mw = Driver.Compile.compile_source ~level ~file (read_file file) in
         let c = Parallel_cc.Experiment.measure ?processors mw in
@@ -343,9 +355,54 @@ let simulate_cmd =
           c.Timings.rel_sys_overhead;
         Printf.printf "per-station CPU (s): %s\n"
           (String.concat ", "
-             (List.map (Printf.sprintf "%.0f") c.Timings.par.Timings.cpu_per_station)))
+             (List.map (Printf.sprintf "%.0f") c.Timings.par.Timings.cpu_per_station));
+        if fault_seed <> 0 || fault_rate > 0.0 then begin
+          (* Replay the parallel compilation under an injected fault
+             plan: same plan choice as the comparison above, fault-free
+             run first to size the fault horizon. *)
+          let plan, n_fm =
+            match processors with
+            | None ->
+              let plan = Plan.one_per_station mw in
+              (plan, Plan.task_count plan)
+            | Some p -> (Plan.grouped mw ~processors:p, p)
+          in
+          let cfg =
+            {
+              Config.default with
+              Config.stations = n_fm + 1;
+              noise_seed = 1 + (17 * n_fm);
+              retry_budget = retries;
+            }
+          in
+          let free = (Parrun.run cfg mw plan).Parrun.run in
+          let faults =
+            Netsim.Fault.random
+              ~seed:(if fault_seed = 0 then 1 else fault_seed)
+              ~stations:(n_fm + 1)
+              ~rate:(if fault_rate > 0.0 then fault_rate else 0.5)
+              ~horizon:(free.Timings.elapsed *. 1.5) ()
+          in
+          let faulty = (Parrun.run { cfg with Config.faults } mw plan).Parrun.run in
+          Printf.printf "\nfault injection (seed %d):\n" fault_seed;
+          List.iter
+            (fun line -> Printf.printf "  %s\n" line)
+            (Netsim.Fault.describe faults);
+          Printf.printf "faulty elapsed     : %8.1f s  (%.2fx fault-free)\n"
+            faulty.Timings.elapsed
+            (faulty.Timings.elapsed /. free.Timings.elapsed);
+          Printf.printf "retries            : %8d\n" faulty.Timings.retries;
+          Printf.printf "stations lost      : %8d\n" faulty.Timings.stations_lost;
+          Printf.printf "fallback tasks     : %8d  (budget %d per task)\n"
+            faulty.Timings.fallback_tasks retries;
+          Printf.printf "wasted CPU         : %8.1f s\n" faulty.Timings.wasted_cpu
+        end)
   in
-  let term = Term.(term_result (const action $ file $ processors $ level)) in
+  let term =
+    Term.(
+      term_result
+        (const action $ file $ processors $ level $ fault_seed $ fault_rate $ retries))
+  in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Replay sequential vs parallel compilation on the simulated network")

@@ -7,7 +7,15 @@
    the host only tracks residency).
 
    The cluster is the pool of workstations the section masters draw
-   from (first-come-first-served, per section 3.3). *)
+   from (first-come-first-served, per section 3.3).
+
+   Faults: a cluster can carry a [Fault.plan].  Crashed stations make
+   [compute] return [Fault.Station_failed] (checked once per slice, so
+   detection latency is bounded by the slice length); crashed and
+   owner-reclaimed stations are dropped from the pool by [claim] and
+   [release_station].  Station 0 — the master's own workstation — is
+   never wired to the plan, so the parallel driver's sequential
+   fallback always has a live machine. *)
 
 type workstation = {
   ws_id : int;
@@ -16,10 +24,22 @@ type workstation = {
   mutable resident_mb : float;
   mutable busy_seconds : float; (* accumulated CPU time: the paper's
                                    per-processor "CPU time" metric *)
+  mutable crash_at : float; (* [infinity] = never *)
+  mutable reclaim_at : float;
+  mutable fault_slow : float -> float; (* time -> transient load factor *)
 }
 
 let workstation ~id ~mem_mb =
-  { ws_id = id; cpu = Sync.resource 1; mem_mb; resident_mb = 0.0; busy_seconds = 0.0 }
+  {
+    ws_id = id;
+    cpu = Sync.resource 1;
+    mem_mb;
+    resident_mb = 0.0;
+    busy_seconds = 0.0;
+    crash_at = infinity;
+    reclaim_at = infinity;
+    fault_slow = (fun _ -> 1.0);
+  }
 
 (* Occupancy ratio used by paging models. *)
 let memory_pressure ws = ws.resident_mb /. ws.mem_mb
@@ -27,21 +47,44 @@ let memory_pressure ws = ws.resident_mb /. ws.mem_mb
 let add_resident ws mb = ws.resident_mb <- ws.resident_mb +. mb
 let remove_resident ws mb = ws.resident_mb <- max 0.0 (ws.resident_mb -. mb)
 
+let crashed ws ~now =
+  if now >= ws.crash_at then
+    Some { Fault.failed_station = ws.ws_id; failed_at = ws.crash_at }
+  else None
+
+(* A station that crashed or was reclaimed is gone from the pool. *)
+let available ws ~now = now < ws.crash_at && now < ws.reclaim_at
+
 (* Run [seconds] of nominal CPU work on [ws].  The work is executed in
    slices; before each slice [factor] is consulted (e.g. paging or GC
-   overhead given current residency), so the effective time adapts as
-   other processes come and go. *)
+   overhead given current residency) along with the fault plan's
+   transient slowdown, so the effective time adapts as other processes
+   come and go.  If the station crashes, the partial work is kept in
+   [busy_seconds] (it really burned CPU) and the call reports
+   [Fault.Station_failed] instead of completing. *)
 let compute ?(slice = 1.0) sim ws ~factor ~seconds =
   if seconds < 0.0 then invalid_arg "Host.compute: negative work";
   let remaining = ref seconds in
-  while !remaining > 0.0 do
-    let nominal = min slice !remaining in
-    let f = max 1.0 (factor ws) in
-    let actual = nominal *. f in
-    Sync.use sim ws.cpu actual;
-    ws.busy_seconds <- ws.busy_seconds +. actual;
-    remaining := !remaining -. nominal
-  done
+  let failed = ref None in
+  while !failed = None && !remaining > 0.0 do
+    match crashed ws ~now:(Des.now sim) with
+    | Some f -> failed := Some f
+    | None ->
+      let nominal = min slice !remaining in
+      let f = max 1.0 (factor ws) *. max 1.0 (ws.fault_slow (Des.now sim)) in
+      let actual = nominal *. f in
+      Sync.use sim ws.cpu actual;
+      ws.busy_seconds <- ws.busy_seconds +. actual;
+      remaining := !remaining -. nominal
+  done;
+  match !failed with
+  | Some f -> Fault.Station_failed f
+  | None -> (
+    (* The station may have died under the final slice: the work is
+       done but its output is lost with the machine. *)
+    match crashed ws ~now:(Des.now sim) with
+    | Some f -> Fault.Station_failed f
+    | None -> Fault.Completed)
 
 type cluster = {
   stations : workstation array;
@@ -49,29 +92,56 @@ type cluster = {
   fs : Net.fileserver;
   free : int Queue.t; (* workstation pool, FCFS *)
   pool_waiters : (int -> unit) Queue.t;
+  faults : Fault.plan;
 }
 
-let cluster ?(mem_mb = 16.0) ?ether ?fs ~stations () =
+let cluster ?(mem_mb = 16.0) ?ether ?fs ?(faults = Fault.none) ~stations () =
   let ether = match ether with Some e -> e | None -> Net.ethernet () in
   let fs = match fs with Some f -> f | None -> Net.fileserver () in
   let ws = Array.init stations (fun id -> workstation ~id ~mem_mb) in
+  (* Wire the fault plan; station 0 (the master's own machine) stays
+     immune so the degradation ladder always terminates. *)
+  Array.iter
+    (fun w ->
+      if w.ws_id > 0 then begin
+        w.crash_at <- Fault.crash_time faults ~station:w.ws_id;
+        w.reclaim_at <- Fault.reclaim_time faults ~station:w.ws_id;
+        w.fault_slow <-
+          (fun at -> Fault.station_slowdown faults ~station:w.ws_id ~at)
+      end)
+    ws;
+  ether.Net.degrade <- (fun at -> Fault.ether_factor faults ~at);
+  fs.Net.brownout <- (fun at -> Fault.fs_factor faults ~at);
   let free = Queue.create () in
   Array.iter (fun w -> Queue.push w.ws_id free) ws;
-  { stations = ws; ether; fs; free; pool_waiters = Queue.create () }
+  { stations = ws; ether; fs; free; pool_waiters = Queue.create (); faults }
 
 (* Claim a free workstation (FCFS), blocking while none is available —
-   the paper's first-come-first-served task distribution. *)
-let claim (c : cluster) : workstation =
+   the paper's first-come-first-served task distribution.  Stations
+   that died while queued are silently discarded. *)
+let rec claim sim (c : cluster) : workstation =
   match Queue.take_opt c.free with
-  | Some id -> c.stations.(id)
+  | Some id ->
+    let ws = c.stations.(id) in
+    if available ws ~now:(Des.now sim) then ws else claim sim c
   | None ->
     let id = Des.suspend (fun wake -> Queue.push wake c.pool_waiters) in
-    c.stations.(id)
+    let ws = c.stations.(id) in
+    if available ws ~now:(Des.now sim) then ws else claim sim c
 
-let release_station (c : cluster) (ws : workstation) =
-  match Queue.take_opt c.pool_waiters with
-  | Some wake -> wake ws.ws_id
-  | None -> Queue.push ws.ws_id c.free
+(* A crashed or reclaimed station never rejoins the pool. *)
+let release_station sim (c : cluster) (ws : workstation) =
+  if available ws ~now:(Des.now sim) then
+    match Queue.take_opt c.pool_waiters with
+    | Some wake -> wake ws.ws_id
+    | None -> Queue.push ws.ws_id c.free
+
+(* Stations the fault plan has removed from the pool by [now] (the
+   master's station is immune and never counted). *)
+let lost_stations (c : cluster) ~now =
+  Array.fold_left
+    (fun acc w -> if w.ws_id > 0 && not (available w ~now) then acc + 1 else acc)
+    0 c.stations
 
 (* Aggregate CPU seconds per station (only stations that worked). *)
 let cpu_times (c : cluster) : float list =

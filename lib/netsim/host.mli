@@ -4,7 +4,11 @@
     memory; processes register their working sets so that CPU work can
     be slowed down by a caller-supplied factor reflecting paging and
     garbage collection (the cost model lives with the compiler driver —
-    the host only tracks residency). *)
+    the host only tracks residency).
+
+    A cluster can carry a {!Fault.plan}; crashed stations surface as
+    {!Fault.Station_failed} compute outcomes and leave the pool, never
+    as exceptions. *)
 
 type workstation = {
   ws_id : int;
@@ -13,6 +17,10 @@ type workstation = {
   mutable resident_mb : float;
   mutable busy_seconds : float;
       (** accumulated CPU time: the paper's per-processor "CPU time" *)
+  mutable crash_at : float; (** fault plan: crash time, [infinity] = never *)
+  mutable reclaim_at : float; (** fault plan: owner-reclaim time *)
+  mutable fault_slow : float -> float;
+      (** fault plan: transient load factor at a simulated time *)
 }
 
 val workstation : id:int -> mem_mb:float -> workstation
@@ -23,17 +31,28 @@ val memory_pressure : workstation -> float
 val add_resident : workstation -> float -> unit
 val remove_resident : workstation -> float -> unit
 
+val crashed : workstation -> now:float -> Fault.failure option
+(** [Some failure] when the station's crash time has passed — used by
+    fault-aware callers after network operations. *)
+
+val available : workstation -> now:float -> bool
+(** False once the station crashed or its owner reclaimed it. *)
+
 val compute :
   ?slice:float ->
   Des.t ->
   workstation ->
   factor:(workstation -> float) ->
   seconds:float ->
-  unit
+  Fault.outcome
 (** Run [seconds] of nominal CPU work.  The work executes in slices;
     before each slice [factor] is consulted (e.g. the GC/paging model
-    given current residency), so the effective time adapts as other
-    processes come and go.  @raise Invalid_argument on negative work. *)
+    given current residency) together with the fault plan's transient
+    slowdown, so the effective time adapts as other processes come and
+    go.  Returns [Fault.Station_failed] if the station crashes under
+    the work (partial CPU is still charged to [busy_seconds]); the
+    slice length bounds detection latency.
+    @raise Invalid_argument on negative work. *)
 
 type cluster = {
   stations : workstation array;
@@ -41,23 +60,33 @@ type cluster = {
   fs : Net.fileserver;
   free : int Queue.t;
   pool_waiters : (int -> unit) Queue.t;
+  faults : Fault.plan;
 }
 (** The workstation pool the section masters draw from, with the shared
-    Ethernet and file server. *)
+    Ethernet and file server and the fault plan wired at creation. *)
 
 val cluster :
   ?mem_mb:float ->
   ?ether:Net.ethernet ->
   ?fs:Net.fileserver ->
+  ?faults:Fault.plan ->
   stations:int ->
   unit ->
   cluster
+(** Station 0 — the master's own workstation — is never wired to the
+    fault plan, so a sequential fallback always has a live machine. *)
 
-val claim : cluster -> workstation
+val claim : Des.t -> cluster -> workstation
 (** Take a free workstation, blocking FCFS while none is available —
-    the paper's first-come-first-served task distribution. *)
+    the paper's first-come-first-served task distribution.  Stations
+    that crashed or were reclaimed while queued are discarded. *)
 
-val release_station : cluster -> workstation -> unit
+val release_station : Des.t -> cluster -> workstation -> unit
+(** Return a station to the pool (hand-off to a waiter first); a
+    crashed or reclaimed station is dropped instead. *)
+
+val lost_stations : cluster -> now:float -> int
+(** Stations the fault plan removed from the pool by [now]. *)
 
 val cpu_times : cluster -> float list
 (** Busy seconds of every station that did any work. *)

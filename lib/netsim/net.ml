@@ -14,24 +14,35 @@ type ethernet = {
   mutable active : int;
   mutable total_bytes : float;
   mutable transfers : int;
+  mutable degrade : float -> float; (* fault plan: time -> factor (>= 1) *)
 }
 
 let ethernet ?(bytes_per_sec = 1.25e6) ?(contention_alpha = 0.6)
     ?(chunk_bytes = 16384.0) () =
-  { bytes_per_sec; contention_alpha; chunk_bytes; active = 0; total_bytes = 0.0; transfers = 0 }
+  {
+    bytes_per_sec;
+    contention_alpha;
+    chunk_bytes;
+    active = 0;
+    total_bytes = 0.0;
+    transfers = 0;
+    degrade = (fun _ -> 1.0);
+  }
 
 (* Move [bytes] over the segment; blocks the calling process for the
    (contention-dependent) transfer time. *)
 let transfer sim (e : ethernet) ~bytes =
   if bytes < 0.0 then invalid_arg "Net.transfer: negative size";
-  ignore sim;
   e.active <- e.active + 1;
   e.transfers <- e.transfers + 1;
   e.total_bytes <- e.total_bytes +. bytes;
   let remaining = ref bytes in
   while !remaining > 0.0 do
     let chunk = min e.chunk_bytes !remaining in
-    let factor = 1.0 +. (e.contention_alpha *. float_of_int (e.active - 1)) in
+    let factor =
+      (1.0 +. (e.contention_alpha *. float_of_int (e.active - 1)))
+      *. max 1.0 (e.degrade (Des.now sim))
+    in
     Des.delay (chunk /. e.bytes_per_sec *. factor);
     remaining := !remaining -. chunk
   done;
@@ -43,6 +54,7 @@ type fileserver = {
   disk_bytes_per_sec : float;
   mutable requests : int;
   mutable bytes_served : float;
+  mutable brownout : float -> float; (* fault plan: time -> factor (>= 1) *)
 }
 
 let fileserver ?(seek_seconds = 0.025) ?(disk_bytes_per_sec = 2.0e6) () =
@@ -52,13 +64,15 @@ let fileserver ?(seek_seconds = 0.025) ?(disk_bytes_per_sec = 2.0e6) () =
     disk_bytes_per_sec;
     requests = 0;
     bytes_served = 0.0;
+    brownout = (fun _ -> 1.0);
   }
 
 (* One file-server disk operation (read or write) of [bytes]. *)
 let disk_io sim (fs : fileserver) ~bytes =
   fs.requests <- fs.requests + 1;
   fs.bytes_served <- fs.bytes_served +. bytes;
-  Sync.use sim fs.disk (fs.seek_seconds +. (bytes /. fs.disk_bytes_per_sec))
+  let service = fs.seek_seconds +. (bytes /. fs.disk_bytes_per_sec) in
+  Sync.use sim fs.disk (service *. max 1.0 (fs.brownout (Des.now sim)))
 
 (* Fetch a file from the server to a diskless client: disk read, then
    the transfer over the shared segment. *)

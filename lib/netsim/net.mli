@@ -9,6 +9,9 @@ type ethernet = {
   mutable active : int; (** transfers currently in flight *)
   mutable total_bytes : float;
   mutable transfers : int;
+  mutable degrade : float -> float;
+      (** fault plan: extra slowdown factor at a simulated time
+          (identity — exactly 1.0 — when no plan is wired) *)
 }
 (** A shared segment.  Transfers proceed chunk by chunk; each chunk's
     effective rate is divided by [1 + alpha * (active - 1)] (collisions
@@ -32,6 +35,8 @@ type fileserver = {
   disk_bytes_per_sec : float;
   mutable requests : int;
   mutable bytes_served : float;
+  mutable brownout : float -> float;
+      (** fault plan: disk service-time factor at a simulated time *)
 }
 (** One FCFS disk with a per-request seek. *)
 

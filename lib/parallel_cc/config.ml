@@ -11,6 +11,10 @@ type t = {
   opt_level : int;
   noise_seed : int; (* 0 = no measurement noise *)
   noise_amplitude : float; (* +/- fraction on CPU times *)
+  faults : Netsim.Fault.plan; (* station crashes etc.; [none] = ideal *)
+  deadline_factor : float; (* task deadline = factor * cost estimate *)
+  retry_budget : int; (* re-dispatches before sequential fallback *)
+  retry_backoff_seconds : float; (* base of the exponential backoff *)
 }
 
 let default =
@@ -24,6 +28,10 @@ let default =
     opt_level = 2;
     noise_seed = 0;
     noise_amplitude = 0.04;
+    faults = Netsim.Fault.none;
+    deadline_factor = 6.0;
+    retry_budget = 2;
+    retry_backoff_seconds = 30.0;
   }
 
 (* Deterministic multiplicative noise, mirroring the paper's repeated
@@ -50,7 +58,7 @@ let cluster (cfg : t) : Netsim.Host.cluster =
     else Netsim.Net.fileserver ()
   in
   Netsim.Host.cluster ~mem_mb:cfg.cost.Driver.Cost.workstation_mb ~ether ~fs
-    ~stations:cfg.stations ()
+    ~faults:cfg.faults ~stations:cfg.stations ()
 
 (* Memory-pressure slowdown for a station, honouring the ablation.  The
    paging term is coupled to the whole cluster: diskless stations page

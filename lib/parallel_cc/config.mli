@@ -11,6 +11,14 @@ type t = {
   opt_level : int;
   noise_seed : int; (** 0 = no measurement noise *)
   noise_amplitude : float; (** +/- fraction on CPU times *)
+  faults : Netsim.Fault.plan;
+      (** fault schedule wired into the cluster ({!Netsim.Fault.none} =
+          the ideal host; anything else enables supervision in
+          {!Parrun}) *)
+  deadline_factor : float;
+      (** a task is presumed lost after [factor × cost estimate] *)
+  retry_budget : int; (** re-dispatches before sequential fallback *)
+  retry_backoff_seconds : float; (** base of the exponential backoff *)
 }
 
 val default : t

@@ -246,6 +246,59 @@ let run_grain_study ?(cfg = Config.default) ?(size = W2.Gen.Medium) ?(count = 8)
       { gp_stations = stations; coarse = elapsed false; fine = elapsed true })
     [ 3; 5; 9 ]
 
+(* --- fault tolerance: elapsed-time inflation under faults --- *)
+
+type fault_point = {
+  fp_stations : int;
+  fp_rate : float;
+  fp_elapsed : float;
+  fp_inflation : float; (* elapsed / fault-free elapsed *)
+  fp_retries : int;
+  fp_fallbacks : int;
+  fp_lost : int;
+  fp_wasted_cpu : float;
+}
+
+let fault_rates = [ 0.0; 0.25; 0.5; 1.0 ]
+
+(* In the spirit of the paper's S_n series: the same module compiled on
+   pools of 2/4/8/16 stations while the crash rate grows.  The plan for
+   one pool size is drawn once per rate from the same seed, so a higher
+   rate strictly adds faults; the fault horizon is 1.5x the fault-free
+   elapsed time, placing every event inside (or near) the useful part
+   of the run. *)
+let fault_sweep ?(cfg = Config.default) ?(size = W2.Gen.Medium) ?(count = 8) ()
+    : fault_point list =
+  let mw = s_program_work ~level:cfg.Config.opt_level ~size ~count () in
+  let plan = Plan.one_per_station mw in
+  List.concat_map
+    (fun pool ->
+      let base =
+        { cfg with Config.stations = pool + 1; noise_seed = 3; faults = Netsim.Fault.none }
+      in
+      let free = (Parrun.run base mw plan).Parrun.run.Timings.elapsed in
+      List.map
+        (fun rate ->
+          let faults =
+            if rate <= 0.0 then Netsim.Fault.none
+            else
+              Netsim.Fault.random ~seed:(41 + pool) ~stations:(pool + 1) ~rate
+                ~horizon:(free *. 1.5) ()
+          in
+          let r = (Parrun.run { base with Config.faults } mw plan).Parrun.run in
+          {
+            fp_stations = pool;
+            fp_rate = rate;
+            fp_elapsed = r.Timings.elapsed;
+            fp_inflation = r.Timings.elapsed /. free;
+            fp_retries = r.Timings.retries;
+            fp_fallbacks = r.Timings.fallback_tasks;
+            fp_lost = r.Timings.stations_lost;
+            fp_wasted_cpu = r.Timings.wasted_cpu;
+          })
+        fault_rates)
+    [ 2; 4; 8; 16 ]
+
 (* --- section 6: how far does this scale? --- *)
 
 (* "For the style of parallelism exploited by this compiler, on the

@@ -81,6 +81,28 @@ type grain_point = {
 val run_grain_study :
   ?cfg:Config.t -> ?size:W2.Gen.size -> ?count:int -> unit -> grain_point list
 
+(** {1 Fault tolerance} *)
+
+type fault_point = {
+  fp_stations : int; (** pool size available to function masters *)
+  fp_rate : float; (** crash rate fed to {!Netsim.Fault.random} *)
+  fp_elapsed : float;
+  fp_inflation : float; (** elapsed / fault-free elapsed (1.0 = free) *)
+  fp_retries : int;
+  fp_fallbacks : int;
+  fp_lost : int; (** stations crashed or reclaimed *)
+  fp_wasted_cpu : float;
+}
+
+val fault_rates : float list
+(** 0, 0.25, 0.5, 1.0. *)
+
+val fault_sweep :
+  ?cfg:Config.t -> ?size:W2.Gen.size -> ?count:int -> unit -> fault_point list
+(** Elapsed-time inflation, recovery work and wasted CPU of the
+    parallel compiler on 2/4/8/16-station pools as the fault rate
+    grows; seeded, so the series is reproducible. *)
+
 (** {1 Section 6: scaling limit} *)
 
 val run_scaling_study :

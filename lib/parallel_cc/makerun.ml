@@ -47,14 +47,7 @@ let run (cfg : Config.t) ~stations (modules : Driver.Compile.module_work list)
     incr done_count;
     if !done_count = total then finish := t
   in
-  let stats =
-    {
-      Parrun.master_cpu = 0.0;
-      section_cpu = 0.0;
-      extra_parse_cpu = 0.0;
-      placements = [];
-    }
-  in
+  let stats = Parrun.fresh_stats () in
   let seq_body ~salt mw = Seqrun.compile_process cfg sim cluster ~noise ~salt mw in
   let par_body ~salt mw =
     Parrun.master_process cfg sim cluster ~noise ~salt mw

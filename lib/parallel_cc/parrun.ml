@@ -21,7 +21,22 @@
    "finer grain parallelism" the paper's section 5 anticipates): the
    phase-2 master releases its workstation before the phase-3 master
    claims one, so stages of different tasks pipeline through a small
-   pool — at the price of a second Lisp startup and the IR shipping. *)
+   pool — at the price of a second Lisp startup and the IR shipping.
+
+   Fault tolerance.  When the configuration carries a fault plan, each
+   task runs under a supervisor: the section master gives every attempt
+   a deadline (Config.deadline_factor times the cost-model estimate),
+   detects crashes ([Fault.Station_failed] from the attempt) and
+   timeouts (a watchdog process), and re-dispatches the task FCFS to
+   another pool station with exponential backoff, up to
+   [Config.retry_budget] times.  Write-back is idempotent: a
+   [completed] token makes the first finishing attempt win; stragglers
+   only add to the wasted-CPU account.  When the budget is exhausted
+   the task degrades to a sequential compile in the master's own Lisp
+   (whose workstation is never faulted), so every compilation
+   terminates with the same output — only slower.  With an empty fault
+   plan the legacy unsupervised code path runs, preserving today's
+   event schedule (and therefore timings) bit for bit. *)
 
 let set_resident = Seqrun.set_resident
 
@@ -35,7 +50,33 @@ type stats = {
   mutable section_cpu : float;
   mutable extra_parse_cpu : float;
   mutable placements : (string * int) list;
+  mutable retries : int;
+  mutable fallback_tasks : int;
+  mutable wasted_cpu : float;
 }
+
+let fresh_stats () =
+  {
+    master_cpu = 0.0;
+    section_cpu = 0.0;
+    extra_parse_cpu = 0.0;
+    placements = [];
+    retries = 0;
+    fallback_tasks = 0;
+    wasted_cpu = 0.0;
+  }
+
+(* A function-master attempt lost its station.  Raised and caught
+   within the same simulated process — it never escapes the DES. *)
+exception Lost of Netsim.Fault.failure
+
+let check = function
+  | Netsim.Fault.Completed -> ()
+  | Netsim.Fault.Station_failed f -> raise (Lost f)
+
+(* Supervision messages; attempt-numbered so a supervisor can ignore
+   verdicts about attempts it has already given up on. *)
+type sup_msg = Msg_completed | Msg_failed of int | Msg_timed_out of int
 
 (* The master process body; spawnable so that several modules can be
    compiled concurrently on one cluster (the parallel-make study). *)
@@ -43,16 +84,28 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
     ~salt (mw : Driver.Compile.module_work) (plan : Plan.t) ~(stats : stats)
     ~on_finish () =
   let cost = cfg.Config.cost in
+  let supervised = not (Netsim.Fault.is_none cfg.Config.faults) in
   let fetch bytes =
     Netsim.Net.fetch sim cluster.Netsim.Host.fs cluster.Netsim.Host.ether ~bytes
   in
   let store bytes =
     Netsim.Net.store sim cluster.Netsim.Host.fs cluster.Netsim.Host.ether ~bytes
   in
-  let ws_m = Netsim.Host.claim cluster in
+  let ws_m = Netsim.Host.claim sim cluster in
   let factor w = Config.cluster_slowdown cfg cluster w in
+  (* The master's workstation is never faulted (Host wires station 0
+     out of the plan); anything else is a simulation bug. *)
+  let must = function
+    | Netsim.Fault.Completed -> ()
+    | Netsim.Fault.Station_failed f ->
+      failwith
+        (Printf.sprintf "Parrun: master workstation %d failed at %.1fs"
+           f.Netsim.Fault.failed_station f.Netsim.Fault.failed_at)
+  in
   let compute_m seconds salt' =
-    Netsim.Host.compute sim ws_m ~factor ~seconds:(seconds *. noise (salt + salt'))
+    must
+      (Netsim.Host.compute sim ws_m ~factor
+         ~seconds:(seconds *. noise (salt + salt')))
   in
   (* C master: cheap startup, then read the source. *)
   Netsim.Des.delay cost.Driver.Cost.c_process_seconds;
@@ -68,11 +121,11 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
   compute_m cost.Driver.Cost.lisp_init_seconds 11;
   compute_m (Driver.Cost.phase1_seconds cost mw) 12;
   let setup = Driver.Cost.setup_parse_seconds cost mw *. noise (salt + 13) in
-  Netsim.Host.compute sim ws_m ~factor ~seconds:setup;
+  must (Netsim.Host.compute sim ws_m ~factor ~seconds:setup);
   stats.master_cpu <- stats.master_cpu +. setup;
   (* Scheduling: derive the task placement directives. *)
   let sched = 0.1 *. float_of_int (Plan.task_count plan) *. noise (salt + 14) in
-  Netsim.Host.compute sim ws_m ~factor ~seconds:sched;
+  must (Netsim.Host.compute sim ws_m ~factor ~seconds:sched);
   stats.master_cpu <- stats.master_cpu +. sched;
   (* Fork the section masters. *)
   let sections_done = Netsim.Sync.join (List.length plan.Plan.tasks_per_section) in
@@ -84,7 +137,7 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
           let interpret =
             0.05 *. float_of_int (List.length tasks) *. noise (salt + 20 + si)
           in
-          Netsim.Host.compute sim ws_m ~factor ~seconds:interpret;
+          must (Netsim.Host.compute sim ws_m ~factor ~seconds:interpret);
           stats.section_cpu <- stats.section_cpu +. interpret;
           let tasks_done = Netsim.Sync.join (List.length tasks) in
           List.iteri
@@ -93,114 +146,280 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                  parent (rsh-style), a real cost of UNIX process
                  hierarchies the paper complains about. *)
               Netsim.Des.delay cost.Driver.Cost.fm_fork_seconds;
-              Netsim.Des.spawn sim (fun () ->
-                  let compute_f w seconds salt' =
-                    Netsim.Host.compute sim w ~factor
-                      ~seconds:(seconds *. noise (salt + salt'))
+              (* Per-task quantities (pure, shared by every attempt). *)
+              let head_name =
+                match task.Plan.t_funcs with
+                | fw :: _ -> Some fw.Driver.Compile.fw_name
+                | [] -> None
+              in
+              let task_loc = Plan.task_loc task in
+              let task_tokens =
+                List.fold_left
+                  (fun acc fw -> acc + fw.Driver.Compile.fw_tokens)
+                  0 task.Plan.t_funcs
+              in
+              let out_wides =
+                List.fold_left
+                  (fun acc fw -> acc + fw.Driver.Compile.fw_wides)
+                  0 task.Plan.t_funcs
+              in
+              (* Write-back: code, fixed framing, and the rendered
+                 diagnostics the section master will combine. *)
+              let output_bytes =
+                (16.0 *. float_of_int out_wides)
+                +. cost.Driver.Cost.diagnostic_bytes
+                +. Driver.Cost.task_diag_bytes task.Plan.t_funcs
+              in
+              (* --- one function-master attempt ---
+                 [note] records a placement; [spent] accumulates the
+                 CPU this attempt burned (for the wasted-work account
+                 if its output is lost).  [Lost] is raised when the
+                 attempt's station crashes (checked by [compute] during
+                 CPU work and explicitly after network operations,
+                 which do not touch the station's CPU).  On the
+                 fault-free path every check is a no-op, so the event
+                 schedule is exactly the pre-fault-tolerance one. *)
+              let attempt ~note ~spent () =
+                let alive ws =
+                  match Netsim.Host.crashed ws ~now:(Netsim.Des.now sim) with
+                  | Some f -> raise (Lost f)
+                  | None -> ()
+                in
+                (* Pool stations are held exclusively, so the
+                   busy-seconds delta around one compute call is
+                   exactly this attempt's CPU (partial work of a
+                   crashed slice included). *)
+                let charged w thunk =
+                  let before = w.Netsim.Host.busy_seconds in
+                  let r = thunk () in
+                  spent := !spent +. (w.Netsim.Host.busy_seconds -. before);
+                  check r
+                in
+                let compute_f w seconds salt' =
+                  charged w (fun () ->
+                      Netsim.Host.compute sim w ~factor
+                        ~seconds:(seconds *. noise (salt + salt')))
+                in
+                (* --- the function master proper --- *)
+                let ws = Netsim.Host.claim sim cluster in
+                (match head_name with
+                | Some name -> note name ws.Netsim.Host.ws_id
+                | None -> ());
+                (* Lisp startup: every function master downloads the
+                   core image and initializes. *)
+                (if cfg.Config.core_download then
+                   fetch cost.Driver.Cost.lisp_core_bytes);
+                alive ws;
+                set_resident ws cost.Driver.Cost.lisp_core_mb;
+                compute_f ws cost.Driver.Cost.lisp_init_seconds (100 + ti);
+                (* Read and re-parse its share of the source. *)
+                fetch (Driver.Cost.source_bytes cost task_loc);
+                alive ws;
+                let reparse =
+                  cost.Driver.Cost.sec_per_token *. float_of_int task_tokens
+                  *. noise (salt + 200 + ti)
+                in
+                charged ws (fun () ->
+                    Netsim.Host.compute sim ws ~factor ~seconds:reparse);
+                stats.extra_parse_cpu <- stats.extra_parse_cpu +. reparse;
+                if not cfg.Config.fine_grained then begin
+                  (* Coarse grain (the paper): phases 2+3 together. *)
+                  List.iteri
+                    (fun fi (fw : Driver.Compile.func_work) ->
+                      set_resident ws (Driver.Cost.function_master_mb cost fw);
+                      compute_f ws
+                        (Driver.Cost.phase23_seconds cost fw)
+                        (300 + (31 * ti) + fi))
+                    task.Plan.t_funcs;
+                  store output_bytes;
+                  alive ws;
+                  set_resident ws 0.0;
+                  Netsim.Host.release_station sim cluster ws
+                end
+                else begin
+                  (* Fine grain: phase 2 here, then hand the IR to a
+                     phase-3 master on a (possibly different) pool
+                     station. *)
+                  List.iteri
+                    (fun fi (fw : Driver.Compile.func_work) ->
+                      set_resident ws (Driver.Cost.function_master_mb cost fw);
+                      compute_f ws
+                        (Driver.Cost.phase2_seconds cost fw)
+                        (300 + (31 * ti) + fi))
+                    task.Plan.t_funcs;
+                  let ir_bytes =
+                    List.fold_left
+                      (fun acc fw -> acc +. Driver.Cost.ir_bytes fw)
+                      0.0 task.Plan.t_funcs
                   in
-                  (* --- the function master proper --- *)
-                  let ws = Netsim.Host.claim cluster in
-                  (match task.Plan.t_funcs with
-                  | fw :: _ ->
-                    stats.placements <-
-                      (fw.Driver.Compile.fw_name, ws.Netsim.Host.ws_id)
-                      :: stats.placements
-                  | [] -> ());
-                  (* Lisp startup: every function master downloads the
-                     core image and initializes. *)
+                  store ir_bytes;
+                  alive ws;
+                  set_resident ws 0.0;
+                  Netsim.Host.release_station sim cluster ws;
+                  (* Phase-3 master: a fresh Lisp on a pool station. *)
+                  let ws3 = Netsim.Host.claim sim cluster in
+                  (match head_name with
+                  | Some name -> note (name ^ "#p3") ws3.Netsim.Host.ws_id
+                  | None -> ());
                   (if cfg.Config.core_download then
                      fetch cost.Driver.Cost.lisp_core_bytes);
-                  set_resident ws cost.Driver.Cost.lisp_core_mb;
-                  compute_f ws cost.Driver.Cost.lisp_init_seconds (100 + ti);
-                  (* Read and re-parse its share of the source. *)
-                  let task_loc = Plan.task_loc task in
-                  fetch (Driver.Cost.source_bytes cost task_loc);
-                  let task_tokens =
-                    List.fold_left
-                      (fun acc fw -> acc + fw.Driver.Compile.fw_tokens)
-                      0 task.Plan.t_funcs
-                  in
-                  let reparse =
-                    cost.Driver.Cost.sec_per_token *. float_of_int task_tokens
-                    *. noise (salt + 200 + ti)
-                  in
-                  Netsim.Host.compute sim ws ~factor ~seconds:reparse;
-                  stats.extra_parse_cpu <- stats.extra_parse_cpu +. reparse;
-                  let out_wides =
-                    List.fold_left
-                      (fun acc fw -> acc + fw.Driver.Compile.fw_wides)
-                      0 task.Plan.t_funcs
-                  in
-                  (* Write-back: code, fixed framing, and the rendered
-                     diagnostics the section master will combine. *)
-                  let output_bytes =
-                    (16.0 *. float_of_int out_wides)
-                    +. cost.Driver.Cost.diagnostic_bytes
-                    +. Driver.Cost.task_diag_bytes task.Plan.t_funcs
-                  in
-                  if not cfg.Config.fine_grained then begin
-                    (* Coarse grain (the paper): phases 2+3 together. *)
-                    List.iteri
-                      (fun fi (fw : Driver.Compile.func_work) ->
-                        set_resident ws (Driver.Cost.function_master_mb cost fw);
-                        compute_f ws
-                          (Driver.Cost.phase23_seconds cost fw)
-                          (300 + (31 * ti) + fi))
-                      task.Plan.t_funcs;
-                    store output_bytes;
-                    set_resident ws 0.0;
-                    Netsim.Host.release_station cluster ws;
-                    Netsim.Sync.signal tasks_done
-                  end
-                  else begin
-                    (* Fine grain: phase 2 here, then hand the IR to a
-                       phase-3 master on a (possibly different) pool
-                       station. *)
-                    List.iteri
-                      (fun fi (fw : Driver.Compile.func_work) ->
-                        set_resident ws (Driver.Cost.function_master_mb cost fw);
-                        compute_f ws
-                          (Driver.Cost.phase2_seconds cost fw)
-                          (300 + (31 * ti) + fi))
-                      task.Plan.t_funcs;
-                    let ir_bytes =
-                      List.fold_left
-                        (fun acc fw -> acc +. Driver.Cost.ir_bytes fw)
-                        0.0 task.Plan.t_funcs
+                  alive ws3;
+                  set_resident ws3 cost.Driver.Cost.lisp_core_mb;
+                  compute_f ws3 cost.Driver.Cost.lisp_init_seconds (400 + ti);
+                  fetch ir_bytes;
+                  alive ws3;
+                  List.iteri
+                    (fun fi (fw : Driver.Compile.func_work) ->
+                      set_resident ws3 (Driver.Cost.function_master_mb cost fw);
+                      compute_f ws3
+                        (Driver.Cost.phase3_seconds cost fw)
+                        (500 + (31 * ti) + fi))
+                    task.Plan.t_funcs;
+                  store output_bytes;
+                  alive ws3;
+                  set_resident ws3 0.0;
+                  Netsim.Host.release_station sim cluster ws3
+                end
+              in
+              if not supervised then
+                (* Legacy path: no supervisor, no watchdog — the exact
+                   event schedule (and timings) of the fault-free
+                   compiler. *)
+                Netsim.Des.spawn sim (fun () ->
+                    attempt
+                      ~note:(fun name id ->
+                        stats.placements <- (name, id) :: stats.placements)
+                      ~spent:(ref 0.0) ();
+                    Netsim.Sync.signal tasks_done)
+              else begin
+                (* Supervised path: attempts run under a deadline and a
+                   retry budget, then the task falls back to the
+                   master's own Lisp. *)
+                let work_estimate =
+                  cost.Driver.Cost.lisp_init_seconds
+                  +. (cost.Driver.Cost.sec_per_token *. float_of_int task_tokens)
+                  +. List.fold_left
+                       (fun acc fw -> acc +. Driver.Cost.phase23_seconds cost fw)
+                       0.0 task.Plan.t_funcs
+                  +. (if cfg.Config.fine_grained then
+                        cost.Driver.Cost.lisp_init_seconds
+                      else 0.0)
+                  +. 60.0 (* grace for downloads and queueing *)
+                in
+                let deadline = cfg.Config.deadline_factor *. work_estimate in
+                let sup : sup_msg Netsim.Sync.mailbox = Netsim.Sync.mailbox () in
+                let completed = ref false in
+                let attempt_no = ref 0 in
+                let launch () =
+                  incr attempt_no;
+                  let n = !attempt_no in
+                  (* Watchdog: the section master presumes the attempt
+                     lost if it has not reported by the deadline. *)
+                  Netsim.Des.spawn sim (fun () ->
+                      Netsim.Des.delay deadline;
+                      if not !completed then
+                        Netsim.Sync.send sup (Msg_timed_out n));
+                  let noted = ref [] in
+                  let spent = ref 0.0 in
+                  let note name id = noted := (name, id) :: !noted in
+                  Netsim.Des.spawn sim (fun () ->
+                      match attempt ~note ~spent () with
+                      | () ->
+                        if !completed then
+                          (* A re-dispatch beat this straggler: its
+                             write-back is superseded, not repeated. *)
+                          stats.wasted_cpu <- stats.wasted_cpu +. !spent
+                        else begin
+                          completed := true;
+                          stats.placements <- !noted @ stats.placements;
+                          Netsim.Sync.send sup Msg_completed
+                        end
+                      | exception Lost _ ->
+                        stats.wasted_cpu <- stats.wasted_cpu +. !spent;
+                        Netsim.Sync.send sup (Msg_failed n))
+                in
+                let fallback () =
+                  (* Budget exhausted: compile the task in the master's
+                     Lisp, which already holds the parsed module — the
+                     sequential degradation rung.  Claim the completion
+                     token first so any straggler counts as wasted. *)
+                  completed := true;
+                  stats.fallback_tasks <- stats.fallback_tasks + 1;
+                  List.iteri
+                    (fun fi (fw : Driver.Compile.func_work) ->
+                      let mb =
+                        cost.Driver.Cost.data_mb_per_loc
+                        *. float_of_int fw.Driver.Compile.fw_loc
+                      in
+                      Netsim.Host.add_resident ws_m mb;
+                      must
+                        (Netsim.Host.compute sim ws_m ~factor
+                           ~seconds:
+                             (Driver.Cost.phase23_seconds cost fw
+                             *. noise (salt + 600 + (31 * ti) + fi)));
+                      Netsim.Host.remove_resident ws_m mb)
+                    task.Plan.t_funcs;
+                  store output_bytes;
+                  match head_name with
+                  | Some name ->
+                    stats.placements <-
+                      (name, ws_m.Netsim.Host.ws_id) :: stats.placements
+                  | None -> ()
+                in
+                Netsim.Des.spawn sim (fun () ->
+                    launch ();
+                    let rec await budget =
+                      match Netsim.Sync.recv sup with
+                      | Msg_completed -> ()
+                      | (Msg_failed n | Msg_timed_out n)
+                        when n = !attempt_no && not !completed ->
+                        if budget > 0 then begin
+                          let step = cfg.Config.retry_budget - budget in
+                          Netsim.Des.delay
+                            (cfg.Config.retry_backoff_seconds
+                            *. (2.0 ** float_of_int step));
+                          (* A straggler may have finished during the
+                             backoff; its Msg_completed is queued. *)
+                          if !completed then ()
+                          else begin
+                            stats.retries <- stats.retries + 1;
+                            launch ();
+                            await (budget - 1)
+                          end
+                        end
+                        else fallback ()
+                      | Msg_failed _ | Msg_timed_out _ ->
+                        (* Stale attempt, or the task completed since
+                           this verdict was posted. *)
+                        await budget
                     in
-                    store ir_bytes;
-                    set_resident ws 0.0;
-                    Netsim.Host.release_station cluster ws;
-                    (* Phase-3 master: a fresh Lisp on a pool station. *)
-                    let ws3 = Netsim.Host.claim cluster in
-                    (if cfg.Config.core_download then
-                       fetch cost.Driver.Cost.lisp_core_bytes);
-                    set_resident ws3 cost.Driver.Cost.lisp_core_mb;
-                    compute_f ws3 cost.Driver.Cost.lisp_init_seconds (400 + ti);
-                    fetch ir_bytes;
-                    List.iteri
-                      (fun fi (fw : Driver.Compile.func_work) ->
-                        set_resident ws3 (Driver.Cost.function_master_mb cost fw);
-                        compute_f ws3
-                          (Driver.Cost.phase3_seconds cost fw)
-                          (500 + (31 * ti) + fi))
-                      task.Plan.t_funcs;
-                    store output_bytes;
-                    set_resident ws3 0.0;
-                    Netsim.Host.release_station cluster ws3;
-                    Netsim.Sync.signal tasks_done
-                  end))
+                    await cfg.Config.retry_budget;
+                    Netsim.Sync.signal tasks_done)
+              end)
             tasks;
           Netsim.Sync.wait tasks_done;
           (* Combine per-function results and diagnostics. *)
           let sw =
-            List.find
-              (fun (s : Driver.Compile.section_work) ->
-                s.Driver.Compile.sw_name = section_name)
-              mw.Driver.Compile.mw_sections
+            match
+              List.find_opt
+                (fun (s : Driver.Compile.section_work) ->
+                  s.Driver.Compile.sw_name = section_name)
+                mw.Driver.Compile.mw_sections
+            with
+            | Some sw -> sw
+            | None ->
+              failwith
+                (Printf.sprintf
+                   "Parrun: plan names section %S, but module %s only has: %s"
+                   section_name mw.Driver.Compile.mw_name
+                   (String.concat ", "
+                      (List.map
+                         (fun (s : Driver.Compile.section_work) ->
+                           s.Driver.Compile.sw_name)
+                         mw.Driver.Compile.mw_sections)))
           in
           let combine = Driver.Cost.combine_seconds sw *. noise (salt + 40 + si) in
-          Netsim.Host.compute sim ws_m ~factor ~seconds:combine;
+          must (Netsim.Host.compute sim ws_m ~factor ~seconds:combine);
           stats.section_cpu <- stats.section_cpu +. combine;
           Netsim.Sync.signal sections_done))
     plan.Plan.tasks_per_section;
@@ -212,7 +431,7 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
   compute_m (Driver.Cost.phase4_seconds cost mw) 50;
   store (float_of_int (Driver.Compile.total_image_bytes mw));
   set_resident ws_m 0.0;
-  Netsim.Host.release_station cluster ws_m;
+  Netsim.Host.release_station sim cluster ws_m;
   on_finish (Netsim.Des.now sim)
 
 let run (cfg : Config.t) (mw : Driver.Compile.module_work) (plan : Plan.t) : outcome =
@@ -220,9 +439,7 @@ let run (cfg : Config.t) (mw : Driver.Compile.module_work) (plan : Plan.t) : out
   let cluster = Config.cluster cfg in
   let noise = Config.noise cfg in
   let finish = ref 0.0 in
-  let stats =
-    { master_cpu = 0.0; section_cpu = 0.0; extra_parse_cpu = 0.0; placements = [] }
-  in
+  let stats = fresh_stats () in
   Netsim.Des.spawn sim
     (master_process cfg sim cluster ~noise ~salt:0 mw plan ~stats
        ~on_finish:(fun t -> finish := t));
@@ -237,6 +454,10 @@ let run (cfg : Config.t) (mw : Driver.Compile.module_work) (plan : Plan.t) : out
         section_cpu = stats.section_cpu;
         extra_parse_cpu = stats.extra_parse_cpu;
         stations_used = List.length cpu;
+        retries = stats.retries;
+        stations_lost = Netsim.Host.lost_stations cluster ~now:!finish;
+        fallback_tasks = stats.fallback_tasks;
+        wasted_cpu = stats.wasted_cpu;
       };
     station_of_task = List.rev stats.placements;
   }

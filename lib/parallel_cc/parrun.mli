@@ -5,12 +5,22 @@
 
     With {!Config.t.fine_grained} set, each task splits into a phase-2
     and a phase-3 task connected by an IR file on the server — the
-    "finer grain parallelism" the paper's section 5 anticipates. *)
+    "finer grain parallelism" the paper's section 5 anticipates.
+
+    When {!Config.t.faults} is non-empty, every task runs under a
+    supervisor in its section master: per-attempt deadlines from the
+    cost model, crash/timeout detection, FCFS re-dispatch with
+    exponential backoff up to {!Config.t.retry_budget}, idempotent
+    write-back, and — once the budget is exhausted — sequential
+    fallback in the master's own Lisp, so the compilation terminates
+    with identical output no matter the fault plan.  With an empty
+    plan the legacy unsupervised schedule runs bit-for-bit. *)
 
 type outcome = {
   run : Timings.run;
   station_of_task : (string * int) list;
-      (** head function of each task → workstation id *)
+      (** head function of each task → workstation id; fine-grained
+          phase-3 placements appear as ["name#p3"] *)
 }
 
 type stats = {
@@ -18,7 +28,12 @@ type stats = {
   mutable section_cpu : float;
   mutable extra_parse_cpu : float;
   mutable placements : (string * int) list;
+  mutable retries : int;
+  mutable fallback_tasks : int;
+  mutable wasted_cpu : float;
 }
+
+val fresh_stats : unit -> stats
 
 val master_process :
   Config.t ->

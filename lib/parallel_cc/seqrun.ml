@@ -20,10 +20,19 @@ let set_resident ws mb =
 let compile_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster)
     ~noise ~salt (mw : Driver.Compile.module_work) ~on_finish () =
   let cost = cfg.Config.cost in
-  let ws = Netsim.Host.claim cluster in
+  let ws = Netsim.Host.claim sim cluster in
   let factor w = Config.cluster_slowdown cfg cluster w in
+  (* The sequential compiler has no recovery protocol: it is only run
+     on fault-free stations (fault plans are a Parrun concern). *)
   let compute seconds salt' =
-    Netsim.Host.compute sim ws ~factor ~seconds:(seconds *. noise (salt + salt'))
+    match
+      Netsim.Host.compute sim ws ~factor ~seconds:(seconds *. noise (salt + salt'))
+    with
+    | Netsim.Fault.Completed -> ()
+    | Netsim.Fault.Station_failed f ->
+      failwith
+        (Printf.sprintf "Seqrun: workstation %d failed at %.1fs"
+           f.Netsim.Fault.failed_station f.Netsim.Fault.failed_at)
   in
   (* Lisp startup: core image download plus initialization. *)
   (if cfg.Config.core_download then
@@ -60,7 +69,7 @@ let compile_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster)
   Netsim.Net.store sim cluster.Netsim.Host.fs cluster.Netsim.Host.ether
     ~bytes:(float_of_int (Driver.Compile.total_image_bytes mw));
   set_resident ws 0.0;
-  Netsim.Host.release_station cluster ws;
+  Netsim.Host.release_station sim cluster ws;
   on_finish (Netsim.Des.now sim)
 
 let run (cfg : Config.t) (mw : Driver.Compile.module_work) : Timings.run =
@@ -79,4 +88,8 @@ let run (cfg : Config.t) (mw : Driver.Compile.module_work) : Timings.run =
     section_cpu = 0.0;
     extra_parse_cpu = 0.0;
     stations_used = 1;
+    retries = 0;
+    stations_lost = 0;
+    fallback_tasks = 0;
+    wasted_cpu = 0.0;
   }

@@ -18,6 +18,10 @@ type run = {
   section_cpu : float; (* section-master work *)
   extra_parse_cpu : float; (* function masters re-parsing *)
   stations_used : int;
+  retries : int; (* task re-dispatches after crash or timeout *)
+  stations_lost : int; (* stations crashed or reclaimed by run's end *)
+  fallback_tasks : int; (* tasks finished sequentially on the master *)
+  wasted_cpu : float; (* CPU burned by attempts whose output was lost *)
 }
 
 type comparison = {

@@ -8,6 +8,12 @@ type run = {
   section_cpu : float; (** section-master work *)
   extra_parse_cpu : float; (** function masters re-parsing *)
   stations_used : int;
+  retries : int; (** task re-dispatches after crash or timeout *)
+  stations_lost : int; (** stations crashed or reclaimed by run's end *)
+  fallback_tasks : int; (** tasks finished sequentially on the master *)
+  wasted_cpu : float;
+      (** CPU seconds burned by attempts whose output was lost (crashed
+          or superseded by a re-dispatch) *)
 }
 
 type comparison = {

@@ -156,7 +156,13 @@ let test_workstation_compute_factor () =
   Host.add_resident ws 32.0; (* pressure 2.0 *)
   let t = ref 0.0 in
   Des.spawn sim (fun () ->
-      Host.compute sim ws ~factor:(fun w -> 1.0 +. Host.memory_pressure w) ~seconds:10.0;
+      (match
+         Host.compute sim ws
+           ~factor:(fun w -> 1.0 +. Host.memory_pressure w)
+           ~seconds:10.0
+       with
+      | Fault.Completed -> ()
+      | Fault.Station_failed _ -> Alcotest.fail "fault-free station failed");
       t := Des.now sim);
   ignore (Des.run sim);
   Alcotest.check feq "slowed 3x" 30.0 !t;
@@ -168,10 +174,10 @@ let test_cluster_claim_fcfs () =
   let order = ref [] in
   for i = 1 to 3 do
     Des.spawn sim (fun () ->
-        let ws = Host.claim cluster in
+        let ws = Host.claim sim cluster in
         Des.delay 10.0;
         order := (i, ws.Host.ws_id, Des.now sim) :: !order;
-        Host.release_station cluster ws)
+        Host.release_station sim cluster ws)
   done;
   ignore (Des.run sim);
   match List.rev !order with
@@ -179,6 +185,54 @@ let test_cluster_claim_fcfs () =
     Alcotest.check feq "first two together" t1 t2;
     Alcotest.check feq "third waits" 20.0 t3
   | _ -> Alcotest.fail "unexpected claim order"
+
+(* Invariants under churn: a claim/release storm with jittered hold
+   times never duplicates a station (claimed + free <= total at every
+   instant; a just-released station handed straight to a waiter is
+   momentarily in transit), and conservation is exact once the storm
+   drains: every station is back in the free queue. *)
+let test_cluster_claim_storm () =
+  let stations = 4 in
+  let sim = Des.create () in
+  let cluster = Host.cluster ~stations () in
+  let claimed = ref 0 in
+  let violations = ref 0 in
+  let check_no_duplication () =
+    if !claimed + Queue.length cluster.Host.free > stations then incr violations
+  in
+  for i = 1 to 40 do
+    Des.spawn sim (fun () ->
+        Des.delay (0.1 *. float_of_int (i mod 7));
+        let ws = Host.claim sim cluster in
+        incr claimed;
+        check_no_duplication ();
+        Des.delay (1.0 +. float_of_int (i mod 3));
+        decr claimed;
+        Host.release_station sim cluster ws;
+        check_no_duplication ())
+  done;
+  ignore (Des.run sim);
+  Alcotest.(check int) "claimed + free <= stations throughout" 0 !violations;
+  Alcotest.(check int) "all stations back in the pool" stations
+    (Queue.length cluster.Host.free);
+  Alcotest.(check int) "no waiters left" 0 (Queue.length cluster.Host.pool_waiters)
+
+(* The ethernet's active-transfer count must drain to zero however the
+   concurrent transfers interleave. *)
+let test_ethernet_active_drains () =
+  let sim = Des.create () in
+  let e = Net.ethernet ~bytes_per_sec:1e6 () in
+  let peak = ref 0 in
+  for i = 1 to 12 do
+    Des.spawn sim (fun () ->
+        Des.delay (0.05 *. float_of_int (i mod 5));
+        Net.transfer sim e ~bytes:(1e5 *. float_of_int (1 + (i mod 4)));
+        peak := max !peak e.Net.active)
+  done;
+  ignore (Des.run sim);
+  Alcotest.(check bool) "transfers overlapped" true (!peak >= 1);
+  Alcotest.(check int) "active drains to zero" 0 e.Net.active;
+  Alcotest.(check int) "all transfers counted" 12 e.Net.transfers
 
 let prop_heap_order =
   QCheck.Test.make ~name:"events fire in time order" ~count:100
@@ -214,11 +268,13 @@ let suites =
       [
         Alcotest.test_case "ethernet solo" `Quick test_ethernet_uncontended;
         Alcotest.test_case "ethernet contention" `Quick test_ethernet_contention;
+        Alcotest.test_case "ethernet active drains" `Quick test_ethernet_active_drains;
         Alcotest.test_case "fileserver queue" `Quick test_fileserver_queues;
       ] );
     ( "netsim.host",
       [
         Alcotest.test_case "compute with factor" `Quick test_workstation_compute_factor;
         Alcotest.test_case "cluster fcfs" `Quick test_cluster_claim_fcfs;
+        Alcotest.test_case "claim/release storm" `Quick test_cluster_claim_storm;
       ] );
   ]
