@@ -10,6 +10,7 @@
      main.exe summary         the abstract's headline numbers
      main.exe faults          seeded fault/recovery sweep (docs/FAULTS.md)
      main.exe json            write machine-readable BENCH_parallel.json
+     main.exe trace           traced parallel run: warpcc_trace.json + Gantt
      main.exe bechamel        only the micro-benchmarks
 *)
 
@@ -599,6 +600,40 @@ let print_bechamel () =
     (bechamel_tests ());
   print_newline ()
 
+(* --- traced demo run: Chrome trace, Gantt timeline, metrics --- *)
+
+let print_trace_demo () =
+  let mw = Experiment.s_program_work ~size:W2.Gen.Small ~count:8 () in
+  let plan = Plan.one_per_station mw in
+  let n_fm = Plan.task_count plan in
+  let tr = Trace.create () in
+  let cfg =
+    {
+      Config.default with
+      Config.stations = n_fm + 1;
+      noise_seed = 1 + (17 * n_fm);
+      trace = tr;
+    }
+  in
+  let seq = Seqrun.run { cfg with Config.stations = 1; trace = Trace.none } mw in
+  let par = (Parrun.run cfg mw plan).Parrun.run in
+  let path = "warpcc_trace.json" in
+  let oc = open_out path in
+  output_string oc (Trace.to_chrome_json tr);
+  close_out oc;
+  Printf.printf "wrote %s (%d spans, %d instants, %d tracks)\n\n" path
+    (Trace.span_count tr) (Trace.instant_count tr)
+    (List.length (Trace.used_tracks tr));
+  Stats.Table.print (Trace.gantt tr);
+  print_newline ();
+  Stats.Table.print (Metrics.to_table (Metrics.of_trace tr));
+  print_newline ();
+  Stats.Table.print
+    (Traceview.decomposition_table
+       (Traceview.decompose ~processors:n_fm ~seq_elapsed:seq.Timings.elapsed tr));
+  Printf.printf "parallel elapsed %.1f s, speedup %.2f\n\n" par.Timings.elapsed
+    (seq.Timings.elapsed /. par.Timings.elapsed)
+
 (* --- main --- *)
 
 let all_figures () =
@@ -646,6 +681,7 @@ let () =
     | "summary" -> print_summary ()
     | "faults" -> print_fault_sweep ()
     | "json" -> write_bench_json ()
+    | "trace" -> print_trace_demo ()
     | "bechamel" -> print_bechamel ()
     | "all" ->
       all_figures ();

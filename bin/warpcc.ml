@@ -335,7 +335,26 @@ let simulate_cmd =
     Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N"
            ~doc:"Re-dispatches per task before sequential fallback")
   in
-  let action file processors level fault_seed fault_rate retries =
+  let trace_out =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Replay one traced parallel run and write it as Chrome \
+                 trace-event JSON (load in Perfetto or chrome://tracing)")
+  in
+  let gantt =
+    Arg.(value & flag & info [ "gantt" ]
+           ~doc:"Print an ASCII Gantt timeline of the traced run")
+  in
+  let metrics =
+    Arg.(value & flag & info [ "metrics" ]
+           ~doc:"Print the metrics registry and the trace-derived overhead \
+                 decomposition of the traced run")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the timings comparison as JSON (\"-\" = stdout)")
+  in
+  let action file processors level fault_seed fault_rate retries trace_out
+      gantt metrics json_out =
     or_compile_error (fun () ->
         let mw = Driver.Compile.compile_source ~level ~file (read_file file) in
         let c = Parallel_cc.Experiment.measure ?processors mw in
@@ -356,52 +375,99 @@ let simulate_cmd =
         Printf.printf "per-station CPU (s): %s\n"
           (String.concat ", "
              (List.map (Printf.sprintf "%.0f") c.Timings.par.Timings.cpu_per_station));
-        if fault_seed <> 0 || fault_rate > 0.0 then begin
-          (* Replay the parallel compilation under an injected fault
-             plan: same plan choice as the comparison above, fault-free
-             run first to size the fault horizon. *)
-          let plan, n_fm =
-            match processors with
-            | None ->
-              let plan = Plan.one_per_station mw in
-              (plan, Plan.task_count plan)
-            | Some p -> (Plan.grouped mw ~processors:p, p)
+        (match json_out with
+        | Some "-" -> print_string (Timings.comparison_to_json c)
+        | Some path ->
+          let oc = open_out path in
+          output_string oc (Timings.comparison_to_json c);
+          close_out oc;
+          Printf.printf "wrote %s\n" path
+        | None -> ());
+        (* The fault-injection replay and the traced replay share the
+           plan choice and configuration of the comparison above. *)
+        let plan, n_fm =
+          match processors with
+          | None ->
+            let plan = Plan.one_per_station mw in
+            (plan, Plan.task_count plan)
+          | Some p -> (Plan.grouped mw ~processors:p, p)
+        in
+        let cfg =
+          {
+            Config.default with
+            Config.stations = n_fm + 1;
+            noise_seed = 1 + (17 * n_fm);
+            retry_budget = retries;
+          }
+        in
+        let fault_requested = fault_seed <> 0 || fault_rate > 0.0 in
+        let faults =
+          if fault_requested then begin
+            (* Fault-free run first, to size the fault horizon. *)
+            let free = (Parrun.run cfg mw plan).Parrun.run in
+            let faults =
+              Netsim.Fault.random
+                ~seed:(if fault_seed = 0 then 1 else fault_seed)
+                ~stations:(n_fm + 1)
+                ~rate:(if fault_rate > 0.0 then fault_rate else 0.5)
+                ~horizon:(free.Timings.elapsed *. 1.5) ()
+            in
+            let faulty =
+              (Parrun.run { cfg with Config.faults } mw plan).Parrun.run
+            in
+            Printf.printf "\nfault injection (seed %d):\n" fault_seed;
+            List.iter
+              (fun line -> Printf.printf "  %s\n" line)
+              (Netsim.Fault.describe faults);
+            Printf.printf "faulty elapsed     : %8.1f s  (%.2fx fault-free)\n"
+              faulty.Timings.elapsed
+              (faulty.Timings.elapsed /. free.Timings.elapsed);
+            Printf.printf "retries            : %8d\n" faulty.Timings.retries;
+            Printf.printf "stations lost      : %8d\n" faulty.Timings.stations_lost;
+            Printf.printf "fallback tasks     : %8d  (budget %d per task)\n"
+              faulty.Timings.fallback_tasks retries;
+            Printf.printf "wasted CPU         : %8.1f s\n" faulty.Timings.wasted_cpu;
+            faults
+          end
+          else Netsim.Fault.none
+        in
+        if trace_out <> None || gantt || metrics then begin
+          (* One traced parallel run with the span sink wired in; the
+             run itself asserts that the trace reproduces its counters. *)
+          let tr = Trace.create () in
+          let traced =
+            (Parrun.run { cfg with Config.faults; trace = tr } mw plan).Parrun.run
           in
-          let cfg =
-            {
-              Config.default with
-              Config.stations = n_fm + 1;
-              noise_seed = 1 + (17 * n_fm);
-              retry_budget = retries;
-            }
-          in
-          let free = (Parrun.run cfg mw plan).Parrun.run in
-          let faults =
-            Netsim.Fault.random
-              ~seed:(if fault_seed = 0 then 1 else fault_seed)
-              ~stations:(n_fm + 1)
-              ~rate:(if fault_rate > 0.0 then fault_rate else 0.5)
-              ~horizon:(free.Timings.elapsed *. 1.5) ()
-          in
-          let faulty = (Parrun.run { cfg with Config.faults } mw plan).Parrun.run in
-          Printf.printf "\nfault injection (seed %d):\n" fault_seed;
-          List.iter
-            (fun line -> Printf.printf "  %s\n" line)
-            (Netsim.Fault.describe faults);
-          Printf.printf "faulty elapsed     : %8.1f s  (%.2fx fault-free)\n"
-            faulty.Timings.elapsed
-            (faulty.Timings.elapsed /. free.Timings.elapsed);
-          Printf.printf "retries            : %8d\n" faulty.Timings.retries;
-          Printf.printf "stations lost      : %8d\n" faulty.Timings.stations_lost;
-          Printf.printf "fallback tasks     : %8d  (budget %d per task)\n"
-            faulty.Timings.fallback_tasks retries;
-          Printf.printf "wasted CPU         : %8.1f s\n" faulty.Timings.wasted_cpu
+          (match trace_out with
+          | Some path ->
+            let oc = open_out path in
+            output_string oc (Trace.to_chrome_json tr);
+            close_out oc;
+            Printf.printf "wrote %s (%d spans, %d instants, %d tracks)\n" path
+              (Trace.span_count tr) (Trace.instant_count tr)
+              (List.length (Trace.used_tracks tr))
+          | None -> ());
+          if gantt then begin
+            print_newline ();
+            Stats.Table.print (Trace.gantt tr)
+          end;
+          if metrics then begin
+            print_newline ();
+            Stats.Table.print (Metrics.to_table (Metrics.of_trace tr));
+            print_newline ();
+            Stats.Table.print
+              (Traceview.decomposition_table
+                 (Traceview.decompose ~processors:n_fm
+                    ~seq_elapsed:c.Timings.seq.Timings.elapsed tr));
+            Printf.printf "traced elapsed     : %8.1f s\n" traced.Timings.elapsed
+          end
         end)
   in
   let term =
     Term.(
       term_result
-        (const action $ file $ processors $ level $ fault_seed $ fault_rate $ retries))
+        (const action $ file $ processors $ level $ fault_seed $ fault_rate
+        $ retries $ trace_out $ gantt $ metrics $ json_out))
   in
   Cmd.v
     (Cmd.info "simulate"

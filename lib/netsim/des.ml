@@ -68,6 +68,7 @@ type t = {
 
 let create () = { now = 0.0; seq = 0; queue = Pq.create (); events_processed = 0 }
 let now sim = sim.now
+let events_processed sim = sim.events_processed
 
 let schedule sim ~at action =
   if at < sim.now then invalid_arg "Des.schedule: time in the past";

@@ -27,6 +27,7 @@ type workstation = {
   mutable crash_at : float; (* [infinity] = never *)
   mutable reclaim_at : float;
   mutable fault_slow : float -> float; (* time -> transient load factor *)
+  mutable ws_trace : Trace.t; (* span sink; [Trace.none] = no recording *)
 }
 
 let workstation ~id ~mem_mb =
@@ -39,6 +40,7 @@ let workstation ~id ~mem_mb =
     crash_at = infinity;
     reclaim_at = infinity;
     fault_slow = (fun _ -> 1.0);
+    ws_trace = Trace.none;
   }
 
 (* Occupancy ratio used by paging models. *)
@@ -62,9 +64,11 @@ let available ws ~now = now < ws.crash_at && now < ws.reclaim_at
    come and go.  If the station crashes, the partial work is kept in
    [busy_seconds] (it really burned CPU) and the call reports
    [Fault.Station_failed] instead of completing. *)
-let compute ?(slice = 1.0) sim ws ~factor ~seconds =
+let compute ?(slice = 1.0) ?(tag = "cpu") sim ws ~factor ~seconds =
   if seconds < 0.0 then invalid_arg "Host.compute: negative work";
+  let t0 = Des.now sim in
   let remaining = ref seconds in
+  let burned = ref 0.0 in
   let failed = ref None in
   while !failed = None && !remaining > 0.0 do
     match crashed ws ~now:(Des.now sim) with
@@ -75,16 +79,36 @@ let compute ?(slice = 1.0) sim ws ~factor ~seconds =
       let actual = nominal *. f in
       Sync.use sim ws.cpu actual;
       ws.busy_seconds <- ws.busy_seconds +. actual;
+      burned := !burned +. actual;
       remaining := !remaining -. nominal
   done;
-  match !failed with
-  | Some f -> Fault.Station_failed f
-  | None -> (
-    (* The station may have died under the final slice: the work is
-       done but its output is lost with the machine. *)
-    match crashed ws ~now:(Des.now sim) with
+  let outcome =
+    match !failed with
     | Some f -> Fault.Station_failed f
-    | None -> Fault.Completed)
+    | None -> (
+      (* The station may have died under the final slice: the work is
+         done but its output is lost with the machine. *)
+      match crashed ws ~now:(Des.now sim) with
+      | Some f -> Fault.Station_failed f
+      | None -> Fault.Completed)
+  in
+  (* One span per compute call: [nominal] is the work requested,
+     [done] the nominal seconds actually consumed (less under a
+     crash), [actual] the slowed CPU seconds burned.  The mean
+     slowdown experienced is actual/done. *)
+  if Trace.enabled ws.ws_trace then
+    Trace.span ws.ws_trace ~track:ws.ws_id ~cat:"cpu" ~name:tag
+      ~args:
+        [
+          ("tag", tag);
+          ("nominal", Trace.farg seconds);
+          ("done", Trace.farg (seconds -. !remaining));
+          ("actual", Trace.farg !burned);
+          ( "outcome",
+            match outcome with Fault.Completed -> "ok" | _ -> "crashed" );
+        ]
+      ~t0 ~t1:(Des.now sim) ();
+  outcome
 
 type cluster = {
   stations : workstation array;
@@ -93,9 +117,40 @@ type cluster = {
   free : int Queue.t; (* workstation pool, FCFS *)
   pool_waiters : (int -> unit) Queue.t;
   faults : Fault.plan;
+  trace : Trace.t;
 }
 
-let cluster ?(mem_mb = 16.0) ?ether ?fs ?(faults = Fault.none) ~stations () =
+(* The fault plan is a static schedule, so its events can be traced up
+   front; crash/reclaim instants and slowdown windows land on the
+   affected station's track, brownouts and degradations on the
+   file-server and Ethernet tracks. *)
+let trace_fault_plan trace ~stations (faults : Fault.plan) =
+  if Trace.enabled trace then
+    List.iter
+      (fun (e : Fault.event) ->
+        let wired s = s > 0 && s < stations in
+        match e with
+        | Fault.Crash { station; at } when wired station ->
+          Trace.instant trace ~track:station ~cat:"fault" ~name:"crash" ~at ()
+        | Fault.Reclaim { station; at } when wired station ->
+          Trace.instant trace ~track:station ~cat:"fault" ~name:"reclaim" ~at ()
+        | Fault.Slowdown { station; from_; until; factor } when wired station ->
+          Trace.span trace ~track:station ~cat:"fault" ~name:"slowdown"
+            ~args:[ ("factor", Trace.farg factor) ]
+            ~t0:from_ ~t1:until ()
+        | Fault.Fs_brownout { from_; until; factor } ->
+          Trace.span trace ~track:Trace.fs_track ~cat:"fault" ~name:"brownout"
+            ~args:[ ("factor", Trace.farg factor) ]
+            ~t0:from_ ~t1:until ()
+        | Fault.Ether_degrade { from_; until; factor } ->
+          Trace.span trace ~track:Trace.ether_track ~cat:"fault" ~name:"degrade"
+            ~args:[ ("factor", Trace.farg factor) ]
+            ~t0:from_ ~t1:until ()
+        | Fault.Crash _ | Fault.Reclaim _ | Fault.Slowdown _ -> ())
+      faults.Fault.events
+
+let cluster ?(mem_mb = 16.0) ?ether ?fs ?(faults = Fault.none)
+    ?(trace = Trace.none) ~stations () =
   let ether = match ether with Some e -> e | None -> Net.ethernet () in
   let fs = match fs with Some f -> f | None -> Net.fileserver () in
   let ws = Array.init stations (fun id -> workstation ~id ~mem_mb) in
@@ -103,6 +158,7 @@ let cluster ?(mem_mb = 16.0) ?ether ?fs ?(faults = Fault.none) ~stations () =
      immune so the degradation ladder always terminates. *)
   Array.iter
     (fun w ->
+      w.ws_trace <- trace;
       if w.ws_id > 0 then begin
         w.crash_at <- Fault.crash_time faults ~station:w.ws_id;
         w.reclaim_at <- Fault.reclaim_time faults ~station:w.ws_id;
@@ -112,22 +168,35 @@ let cluster ?(mem_mb = 16.0) ?ether ?fs ?(faults = Fault.none) ~stations () =
     ws;
   ether.Net.degrade <- (fun at -> Fault.ether_factor faults ~at);
   fs.Net.brownout <- (fun at -> Fault.fs_factor faults ~at);
+  ether.Net.trace <- trace;
+  fs.Net.trace <- trace;
+  trace_fault_plan trace ~stations faults;
   let free = Queue.create () in
   Array.iter (fun w -> Queue.push w.ws_id free) ws;
-  { stations = ws; ether; fs; free; pool_waiters = Queue.create (); faults }
+  { stations = ws; ether; fs; free; pool_waiters = Queue.create (); faults; trace }
 
 (* Claim a free workstation (FCFS), blocking while none is available —
    the paper's first-come-first-served task distribution.  Stations
-   that died while queued are silently discarded. *)
-let rec claim sim (c : cluster) : workstation =
-  match Queue.take_opt c.free with
-  | Some id ->
-    let ws = c.stations.(id) in
-    if available ws ~now:(Des.now sim) then ws else claim sim c
-  | None ->
-    let id = Des.suspend (fun wake -> Queue.push wake c.pool_waiters) in
-    let ws = c.stations.(id) in
-    if available ws ~now:(Des.now sim) then ws else claim sim c
+   that died while queued are silently discarded.  The traced
+   pool-wait span runs from the request to the grant (zero-length when
+   a live station was free), on the granted station's track. *)
+let claim sim (c : cluster) : workstation =
+  let t0 = Des.now sim in
+  let rec go () =
+    match Queue.take_opt c.free with
+    | Some id ->
+      let ws = c.stations.(id) in
+      if available ws ~now:(Des.now sim) then ws else go ()
+    | None ->
+      let id = Des.suspend (fun wake -> Queue.push wake c.pool_waiters) in
+      let ws = c.stations.(id) in
+      if available ws ~now:(Des.now sim) then ws else go ()
+  in
+  let ws = go () in
+  if Trace.enabled c.trace then
+    Trace.span c.trace ~track:ws.ws_id ~cat:"pool" ~name:"pool-wait" ~t0
+      ~t1:(Des.now sim) ();
+  ws
 
 (* A crashed or reclaimed station never rejoins the pool. *)
 let release_station sim (c : cluster) (ws : workstation) =

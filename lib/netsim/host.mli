@@ -21,6 +21,9 @@ type workstation = {
   mutable reclaim_at : float; (** fault plan: owner-reclaim time *)
   mutable fault_slow : float -> float;
       (** fault plan: transient load factor at a simulated time *)
+  mutable ws_trace : Trace.t;
+      (** span sink for CPU work ({!Trace.none} = no recording; wired
+          by {!cluster}) *)
 }
 
 val workstation : id:int -> mem_mb:float -> workstation
@@ -40,6 +43,7 @@ val available : workstation -> now:float -> bool
 
 val compute :
   ?slice:float ->
+  ?tag:string ->
   Des.t ->
   workstation ->
   factor:(workstation -> float) ->
@@ -52,6 +56,11 @@ val compute :
     go.  Returns [Fault.Station_failed] if the station crashes under
     the work (partial CPU is still charged to [busy_seconds]); the
     slice length bounds detection latency.
+
+    When the station carries a trace, one ["cpu"] span is recorded per
+    call, labelled [tag] (a phase name), with the requested nominal
+    seconds, the nominal seconds actually consumed, the slowed CPU
+    seconds burned, and the outcome.
     @raise Invalid_argument on negative work. *)
 
 type cluster = {
@@ -61,6 +70,7 @@ type cluster = {
   free : int Queue.t;
   pool_waiters : (int -> unit) Queue.t;
   faults : Fault.plan;
+  trace : Trace.t;
 }
 (** The workstation pool the section masters draw from, with the shared
     Ethernet and file server and the fault plan wired at creation. *)
@@ -70,11 +80,16 @@ val cluster :
   ?ether:Net.ethernet ->
   ?fs:Net.fileserver ->
   ?faults:Fault.plan ->
+  ?trace:Trace.t ->
   stations:int ->
   unit ->
   cluster
 (** Station 0 — the master's own workstation — is never wired to the
-    fault plan, so a sequential fallback always has a live machine. *)
+    fault plan, so a sequential fallback always has a live machine.
+    [trace] (default {!Trace.none}) is wired into every station, the
+    Ethernet and the file server; the fault plan's own events are
+    recorded up front (crash/reclaim instants, slowdown/brownout
+    windows) since the schedule is static. *)
 
 val claim : Des.t -> cluster -> workstation
 (** Take a free workstation, blocking FCFS while none is available —

@@ -15,6 +15,7 @@ type ethernet = {
   mutable total_bytes : float;
   mutable transfers : int;
   mutable degrade : float -> float; (* fault plan: time -> factor (>= 1) *)
+  mutable trace : Trace.t; (* span sink; [Trace.none] = no recording *)
 }
 
 let ethernet ?(bytes_per_sec = 1.25e6) ?(contention_alpha = 0.6)
@@ -27,12 +28,15 @@ let ethernet ?(bytes_per_sec = 1.25e6) ?(contention_alpha = 0.6)
     total_bytes = 0.0;
     transfers = 0;
     degrade = (fun _ -> 1.0);
+    trace = Trace.none;
   }
 
 (* Move [bytes] over the segment; blocks the calling process for the
    (contention-dependent) transfer time. *)
 let transfer sim (e : ethernet) ~bytes =
   if bytes < 0.0 then invalid_arg "Net.transfer: negative size";
+  let t0 = Des.now sim in
+  let concurrent = e.active in
   e.active <- e.active + 1;
   e.transfers <- e.transfers + 1;
   e.total_bytes <- e.total_bytes +. bytes;
@@ -46,7 +50,12 @@ let transfer sim (e : ethernet) ~bytes =
     Des.delay (chunk /. e.bytes_per_sec *. factor);
     remaining := !remaining -. chunk
   done;
-  e.active <- e.active - 1
+  e.active <- e.active - 1;
+  if Trace.enabled e.trace then
+    Trace.span e.trace ~track:Trace.ether_track ~cat:"net" ~name:"transfer"
+      ~args:
+        [ ("bytes", Trace.farg bytes); ("concurrent", string_of_int concurrent) ]
+      ~t0 ~t1:(Des.now sim) ()
 
 type fileserver = {
   disk : Sync.resource;
@@ -55,6 +64,7 @@ type fileserver = {
   mutable requests : int;
   mutable bytes_served : float;
   mutable brownout : float -> float; (* fault plan: time -> factor (>= 1) *)
+  mutable trace : Trace.t; (* span sink; [Trace.none] = no recording *)
 }
 
 let fileserver ?(seek_seconds = 0.025) ?(disk_bytes_per_sec = 2.0e6) () =
@@ -65,14 +75,21 @@ let fileserver ?(seek_seconds = 0.025) ?(disk_bytes_per_sec = 2.0e6) () =
     requests = 0;
     bytes_served = 0.0;
     brownout = (fun _ -> 1.0);
+    trace = Trace.none;
   }
 
-(* One file-server disk operation (read or write) of [bytes]. *)
+(* One file-server disk operation (read or write) of [bytes].  The
+   traced span covers queueing behind other requests plus service. *)
 let disk_io sim (fs : fileserver) ~bytes =
+  let t0 = Des.now sim in
   fs.requests <- fs.requests + 1;
   fs.bytes_served <- fs.bytes_served +. bytes;
   let service = fs.seek_seconds +. (bytes /. fs.disk_bytes_per_sec) in
-  Sync.use sim fs.disk (service *. max 1.0 (fs.brownout (Des.now sim)))
+  Sync.use sim fs.disk (service *. max 1.0 (fs.brownout (Des.now sim)));
+  if Trace.enabled fs.trace then
+    Trace.span fs.trace ~track:Trace.fs_track ~cat:"net" ~name:"disk"
+      ~args:[ ("bytes", Trace.farg bytes) ]
+      ~t0 ~t1:(Des.now sim) ()
 
 (* Fetch a file from the server to a diskless client: disk read, then
    the transfer over the shared segment. *)

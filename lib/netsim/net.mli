@@ -12,6 +12,9 @@ type ethernet = {
   mutable degrade : float -> float;
       (** fault plan: extra slowdown factor at a simulated time
           (identity — exactly 1.0 — when no plan is wired) *)
+  mutable trace : Trace.t;
+      (** span sink for transfers ({!Trace.none} = no recording, the
+          default; wired by [Host.cluster]) *)
 }
 (** A shared segment.  Transfers proceed chunk by chunk; each chunk's
     effective rate is divided by [1 + alpha * (active - 1)] (collisions
@@ -37,6 +40,8 @@ type fileserver = {
   mutable bytes_served : float;
   mutable brownout : float -> float;
       (** fault plan: disk service-time factor at a simulated time *)
+  mutable trace : Trace.t;
+      (** span sink for disk operations ({!Trace.none} = no recording) *)
 }
 (** One FCFS disk with a per-request seek. *)
 

@@ -15,6 +15,8 @@ type t = {
   deadline_factor : float; (* task deadline = factor * cost estimate *)
   retry_budget : int; (* re-dispatches before sequential fallback *)
   retry_backoff_seconds : float; (* base of the exponential backoff *)
+  trace : Trace.t; (* span sink wired into the cluster; [Trace.none] =
+                      no recording, zero overhead *)
 }
 
 let default =
@@ -32,6 +34,7 @@ let default =
     deadline_factor = 6.0;
     retry_budget = 2;
     retry_backoff_seconds = 30.0;
+    trace = Trace.none;
   }
 
 (* Deterministic multiplicative noise, mirroring the paper's repeated
@@ -58,7 +61,7 @@ let cluster (cfg : t) : Netsim.Host.cluster =
     else Netsim.Net.fileserver ()
   in
   Netsim.Host.cluster ~mem_mb:cfg.cost.Driver.Cost.workstation_mb ~ether ~fs
-    ~faults:cfg.faults ~stations:cfg.stations ()
+    ~faults:cfg.faults ~trace:cfg.trace ~stations:cfg.stations ()
 
 (* Memory-pressure slowdown for a station, honouring the ablation.  The
    paging term is coupled to the whole cluster: diskless stations page

@@ -19,6 +19,11 @@ type t = {
       (** a task is presumed lost after [factor × cost estimate] *)
   retry_budget : int; (** re-dispatches before sequential fallback *)
   retry_backoff_seconds : float; (** base of the exponential backoff *)
+  trace : Trace.t;
+      (** span sink wired into the cluster and consulted by the runners
+          ({!Trace.none} = no recording: emits are no-ops and the event
+          schedule is untouched, so timings are bit-identical to an
+          untraced build) *)
 }
 
 val default : t

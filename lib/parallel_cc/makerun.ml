@@ -48,30 +48,41 @@ let run (cfg : Config.t) ~stations (modules : Driver.Compile.module_work list)
     if !done_count = total then finish := t
   in
   let stats = Parrun.fresh_stats () in
-  let seq_body ~salt mw = Seqrun.compile_process cfg sim cluster ~noise ~salt mw in
+  (* One ["make"] span per module compilation on track 0, so a traced
+     study shows the per-module schedule of each strategy. *)
+  let traced (mw : Driver.Compile.module_work) body () =
+    let tr = cfg.Config.trace in
+    let t0 = Netsim.Des.now sim in
+    body ();
+    if Trace.enabled tr then
+      Trace.span tr ~track:0 ~cat:"make"
+        ~name:("module " ^ mw.Driver.Compile.mw_name)
+        ~args:[ ("strategy", strategy_name strategy) ]
+        ~t0 ~t1:(Netsim.Des.now sim) ()
+  in
+  let seq_body ~salt mw =
+    traced mw (Seqrun.compile_process cfg sim cluster ~noise ~salt mw ~on_finish)
+  in
   let par_body ~salt mw =
-    Parrun.master_process cfg sim cluster ~noise ~salt mw
-      (Plan.one_per_station mw) ~stats
+    traced mw
+      (Parrun.master_process cfg sim cluster ~noise ~salt mw
+         (Plan.one_per_station mw) ~stats ~on_finish)
   in
   (match strategy with
   | Sequential ->
     (* One process runs the modules back to back. *)
     Netsim.Des.spawn sim (fun () ->
-        List.iteri
-          (fun i mw -> seq_body ~salt:(1000 * i) mw ~on_finish ())
-          modules)
+        List.iteri (fun i mw -> seq_body ~salt:(1000 * i) mw ()) modules)
   | Parallel_make ->
     List.iteri
-      (fun i mw -> Netsim.Des.spawn sim (seq_body ~salt:(1000 * i) mw ~on_finish))
+      (fun i mw -> Netsim.Des.spawn sim (seq_body ~salt:(1000 * i) mw))
       modules
   | Parallel_cc ->
     Netsim.Des.spawn sim (fun () ->
-        List.iteri
-          (fun i mw -> par_body ~salt:(1000 * i) mw ~on_finish ())
-          modules)
+        List.iteri (fun i mw -> par_body ~salt:(1000 * i) mw ()) modules)
   | Combined ->
     List.iteri
-      (fun i mw -> Netsim.Des.spawn sim (par_body ~salt:(1000 * i) mw ~on_finish))
+      (fun i mw -> Netsim.Des.spawn sim (par_body ~salt:(1000 * i) mw))
       modules);
   ignore (Netsim.Des.run sim);
   {

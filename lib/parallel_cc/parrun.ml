@@ -85,6 +85,7 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
     ~on_finish () =
   let cost = cfg.Config.cost in
   let supervised = not (Netsim.Fault.is_none cfg.Config.faults) in
+  let tr = cfg.Config.trace in
   let fetch bytes =
     Netsim.Net.fetch sim cluster.Netsim.Host.fs cluster.Netsim.Host.ether ~bytes
   in
@@ -102,9 +103,9 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
         (Printf.sprintf "Parrun: master workstation %d failed at %.1fs"
            f.Netsim.Fault.failed_station f.Netsim.Fault.failed_at)
   in
-  let compute_m seconds salt' =
+  let compute_m ?tag seconds salt' =
     must
-      (Netsim.Host.compute sim ws_m ~factor
+      (Netsim.Host.compute sim ws_m ~factor ?tag
          ~seconds:(seconds *. noise (salt + salt')))
   in
   (* C master: cheap startup, then read the source. *)
@@ -118,14 +119,14 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
     cost.Driver.Cost.ast_mb_per_loc *. float_of_int mw.Driver.Compile.mw_loc
   in
   set_resident ws_m (cost.Driver.Cost.lisp_core_mb +. ast_mb);
-  compute_m cost.Driver.Cost.lisp_init_seconds 11;
-  compute_m (Driver.Cost.phase1_seconds cost mw) 12;
+  compute_m ~tag:"lisp-init" cost.Driver.Cost.lisp_init_seconds 11;
+  compute_m ~tag:"phase1" (Driver.Cost.phase1_seconds cost mw) 12;
   let setup = Driver.Cost.setup_parse_seconds cost mw *. noise (salt + 13) in
-  must (Netsim.Host.compute sim ws_m ~factor ~seconds:setup);
+  must (Netsim.Host.compute sim ws_m ~factor ~tag:"setup-parse" ~seconds:setup);
   stats.master_cpu <- stats.master_cpu +. setup;
   (* Scheduling: derive the task placement directives. *)
   let sched = 0.1 *. float_of_int (Plan.task_count plan) *. noise (salt + 14) in
-  must (Netsim.Host.compute sim ws_m ~factor ~seconds:sched);
+  must (Netsim.Host.compute sim ws_m ~factor ~tag:"sched" ~seconds:sched);
   stats.master_cpu <- stats.master_cpu +. sched;
   (* Fork the section masters. *)
   let sections_done = Netsim.Sync.join (List.length plan.Plan.tasks_per_section) in
@@ -137,7 +138,9 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
           let interpret =
             0.05 *. float_of_int (List.length tasks) *. noise (salt + 20 + si)
           in
-          must (Netsim.Host.compute sim ws_m ~factor ~seconds:interpret);
+          must
+            (Netsim.Host.compute sim ws_m ~factor ~tag:"sect-interpret"
+               ~seconds:interpret);
           stats.section_cpu <- stats.section_cpu +. interpret;
           let tasks_done = Netsim.Sync.join (List.length tasks) in
           List.iteri
@@ -170,6 +173,29 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                 +. cost.Driver.Cost.diagnostic_bytes
                 +. Driver.Cost.task_diag_bytes task.Plan.t_funcs
               in
+              let task_label =
+                match head_name with Some name -> name | None -> "<empty>"
+              in
+              (* Task-lifecycle span: recorded on the executing
+                 station's track so Gantt/Chrome views show the
+                 claim → write-back chain per attempt. *)
+              let lspan ws ~name ~attempt_n ~t0 =
+                if Trace.enabled tr then
+                  Trace.span tr ~track:ws.Netsim.Host.ws_id ~cat:"task" ~name
+                    ~args:
+                      [ ("task", task_label); ("attempt", string_of_int attempt_n) ]
+                    ~t0 ~t1:(Netsim.Des.now sim) ()
+              in
+              let linstant ~name ~attempt_n ?(extra = []) () =
+                if Trace.enabled tr then
+                  Trace.instant tr ~track:ws_m.Netsim.Host.ws_id ~cat:"task"
+                    ~name
+                    ~args:
+                      (("task", task_label)
+                      :: ("attempt", string_of_int attempt_n)
+                      :: extra)
+                    ~at:(Netsim.Des.now sim) ()
+              in
               (* --- one function-master attempt ---
                  [note] records a placement; [spent] accumulates the
                  CPU this attempt burned (for the wasted-work account
@@ -179,12 +205,13 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                  which do not touch the station's CPU).  On the
                  fault-free path every check is a no-op, so the event
                  schedule is exactly the pre-fault-tolerance one. *)
-              let attempt ~note ~spent () =
+              let attempt ~note ~spent ~attempt_n () =
                 let alive ws =
                   match Netsim.Host.crashed ws ~now:(Netsim.Des.now sim) with
                   | Some f -> raise (Lost f)
                   | None -> ()
                 in
+                let lspan ws ~name ~t0 = lspan ws ~name ~attempt_n ~t0 in
                 (* Pool stations are held exclusively, so the
                    busy-seconds delta around one compute call is
                    exactly this attempt's CPU (partial work of a
@@ -195,24 +222,31 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                   spent := !spent +. (w.Netsim.Host.busy_seconds -. before);
                   check r
                 in
-                let compute_f w seconds salt' =
+                let compute_f ?tag w seconds salt' =
                   charged w (fun () ->
-                      Netsim.Host.compute sim w ~factor
+                      Netsim.Host.compute sim w ~factor ?tag
                         ~seconds:(seconds *. noise (salt + salt')))
                 in
                 (* --- the function master proper --- *)
+                let t_claim = Netsim.Des.now sim in
                 let ws = Netsim.Host.claim sim cluster in
+                lspan ws ~name:"claim" ~t0:t_claim;
                 (match head_name with
                 | Some name -> note name ws.Netsim.Host.ws_id
                 | None -> ());
                 (* Lisp startup: every function master downloads the
                    core image and initializes. *)
-                (if cfg.Config.core_download then
-                   fetch cost.Driver.Cost.lisp_core_bytes);
+                (if cfg.Config.core_download then begin
+                   let t0 = Netsim.Des.now sim in
+                   fetch cost.Driver.Cost.lisp_core_bytes;
+                   lspan ws ~name:"transfer" ~t0
+                 end);
                 alive ws;
                 set_resident ws cost.Driver.Cost.lisp_core_mb;
-                compute_f ws cost.Driver.Cost.lisp_init_seconds (100 + ti);
+                compute_f ~tag:"lisp-init" ws cost.Driver.Cost.lisp_init_seconds
+                  (100 + ti);
                 (* Read and re-parse its share of the source. *)
+                let t_parse = Netsim.Des.now sim in
                 fetch (Driver.Cost.source_bytes cost task_loc);
                 alive ws;
                 let reparse =
@@ -220,19 +254,25 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                   *. noise (salt + 200 + ti)
                 in
                 charged ws (fun () ->
-                    Netsim.Host.compute sim ws ~factor ~seconds:reparse);
+                    Netsim.Host.compute sim ws ~factor ~tag:"reparse"
+                      ~seconds:reparse);
+                lspan ws ~name:"parse" ~t0:t_parse;
                 stats.extra_parse_cpu <- stats.extra_parse_cpu +. reparse;
                 if not cfg.Config.fine_grained then begin
                   (* Coarse grain (the paper): phases 2+3 together. *)
+                  let t_p23 = Netsim.Des.now sim in
                   List.iteri
                     (fun fi (fw : Driver.Compile.func_work) ->
                       set_resident ws (Driver.Cost.function_master_mb cost fw);
-                      compute_f ws
+                      compute_f ~tag:"phase23" ws
                         (Driver.Cost.phase23_seconds cost fw)
                         (300 + (31 * ti) + fi))
                     task.Plan.t_funcs;
+                  lspan ws ~name:"phase23" ~t0:t_p23;
+                  let t_wb = Netsim.Des.now sim in
                   store output_bytes;
                   alive ws;
+                  lspan ws ~name:"write-back" ~t0:t_wb;
                   set_resident ws 0.0;
                   Netsim.Host.release_station sim cluster ws
                 end
@@ -240,43 +280,59 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                   (* Fine grain: phase 2 here, then hand the IR to a
                      phase-3 master on a (possibly different) pool
                      station. *)
+                  let t_p2 = Netsim.Des.now sim in
                   List.iteri
                     (fun fi (fw : Driver.Compile.func_work) ->
                       set_resident ws (Driver.Cost.function_master_mb cost fw);
-                      compute_f ws
+                      compute_f ~tag:"phase2" ws
                         (Driver.Cost.phase2_seconds cost fw)
                         (300 + (31 * ti) + fi))
                     task.Plan.t_funcs;
+                  lspan ws ~name:"phase2" ~t0:t_p2;
                   let ir_bytes =
                     List.fold_left
                       (fun acc fw -> acc +. Driver.Cost.ir_bytes fw)
                       0.0 task.Plan.t_funcs
                   in
+                  let t_ir = Netsim.Des.now sim in
                   store ir_bytes;
                   alive ws;
+                  lspan ws ~name:"write-ir" ~t0:t_ir;
                   set_resident ws 0.0;
                   Netsim.Host.release_station sim cluster ws;
                   (* Phase-3 master: a fresh Lisp on a pool station. *)
+                  let t_claim3 = Netsim.Des.now sim in
                   let ws3 = Netsim.Host.claim sim cluster in
+                  lspan ws3 ~name:"claim" ~t0:t_claim3;
                   (match head_name with
                   | Some name -> note (name ^ "#p3") ws3.Netsim.Host.ws_id
                   | None -> ());
-                  (if cfg.Config.core_download then
-                     fetch cost.Driver.Cost.lisp_core_bytes);
+                  (if cfg.Config.core_download then begin
+                     let t0 = Netsim.Des.now sim in
+                     fetch cost.Driver.Cost.lisp_core_bytes;
+                     lspan ws3 ~name:"transfer" ~t0
+                   end);
                   alive ws3;
                   set_resident ws3 cost.Driver.Cost.lisp_core_mb;
-                  compute_f ws3 cost.Driver.Cost.lisp_init_seconds (400 + ti);
+                  compute_f ~tag:"lisp-init" ws3 cost.Driver.Cost.lisp_init_seconds
+                    (400 + ti);
+                  let t_fir = Netsim.Des.now sim in
                   fetch ir_bytes;
                   alive ws3;
+                  lspan ws3 ~name:"fetch-ir" ~t0:t_fir;
+                  let t_p3 = Netsim.Des.now sim in
                   List.iteri
                     (fun fi (fw : Driver.Compile.func_work) ->
                       set_resident ws3 (Driver.Cost.function_master_mb cost fw);
-                      compute_f ws3
+                      compute_f ~tag:"phase3" ws3
                         (Driver.Cost.phase3_seconds cost fw)
                         (500 + (31 * ti) + fi))
                     task.Plan.t_funcs;
+                  lspan ws3 ~name:"phase3" ~t0:t_p3;
+                  let t_wb = Netsim.Des.now sim in
                   store output_bytes;
                   alive ws3;
+                  lspan ws3 ~name:"write-back" ~t0:t_wb;
                   set_resident ws3 0.0;
                   Netsim.Host.release_station sim cluster ws3
                 end
@@ -289,7 +345,7 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                     attempt
                       ~note:(fun name id ->
                         stats.placements <- (name, id) :: stats.placements)
-                      ~spent:(ref 0.0) ();
+                      ~spent:(ref 0.0) ~attempt_n:1 ();
                     Netsim.Sync.signal tasks_done)
               else begin
                 (* Supervised path: attempts run under a deadline and a
@@ -317,18 +373,24 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                      lost if it has not reported by the deadline. *)
                   Netsim.Des.spawn sim (fun () ->
                       Netsim.Des.delay deadline;
-                      if not !completed then
-                        Netsim.Sync.send sup (Msg_timed_out n));
+                      if not !completed then begin
+                        linstant ~name:"timeout" ~attempt_n:n ();
+                        Netsim.Sync.send sup (Msg_timed_out n)
+                      end);
                   let noted = ref [] in
                   let spent = ref 0.0 in
                   let note name id = noted := (name, id) :: !noted in
                   Netsim.Des.spawn sim (fun () ->
-                      match attempt ~note ~spent () with
+                      match attempt ~note ~spent ~attempt_n:n () with
                       | () ->
-                        if !completed then
+                        if !completed then begin
                           (* A re-dispatch beat this straggler: its
                              write-back is superseded, not repeated. *)
-                          stats.wasted_cpu <- stats.wasted_cpu +. !spent
+                          stats.wasted_cpu <- stats.wasted_cpu +. !spent;
+                          linstant ~name:"wasted" ~attempt_n:n
+                            ~extra:[ ("cpu", Trace.farg !spent) ]
+                            ()
+                        end
                         else begin
                           completed := true;
                           stats.placements <- !noted @ stats.placements;
@@ -336,6 +398,10 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                         end
                       | exception Lost _ ->
                         stats.wasted_cpu <- stats.wasted_cpu +. !spent;
+                        linstant ~name:"attempt-lost" ~attempt_n:n ();
+                        linstant ~name:"wasted" ~attempt_n:n
+                          ~extra:[ ("cpu", Trace.farg !spent) ]
+                          ();
                         Netsim.Sync.send sup (Msg_failed n))
                 in
                 let fallback () =
@@ -345,6 +411,7 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                      token first so any straggler counts as wasted. *)
                   completed := true;
                   stats.fallback_tasks <- stats.fallback_tasks + 1;
+                  let t_fb = Netsim.Des.now sim in
                   List.iteri
                     (fun fi (fw : Driver.Compile.func_work) ->
                       let mb =
@@ -354,12 +421,15 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                       Netsim.Host.add_resident ws_m mb;
                       must
                         (Netsim.Host.compute sim ws_m ~factor
+                           ~tag:"fallback-phase23"
                            ~seconds:
                              (Driver.Cost.phase23_seconds cost fw
                              *. noise (salt + 600 + (31 * ti) + fi)));
                       Netsim.Host.remove_resident ws_m mb)
                     task.Plan.t_funcs;
                   store output_bytes;
+                  lspan ws_m ~name:"fallback" ~attempt_n:(!attempt_no + 1)
+                    ~t0:t_fb;
                   match head_name with
                   | Some name ->
                     stats.placements <-
@@ -383,6 +453,7 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                           if !completed then ()
                           else begin
                             stats.retries <- stats.retries + 1;
+                            linstant ~name:"retry" ~attempt_n:(!attempt_no + 1) ();
                             launch ();
                             await (budget - 1)
                           end
@@ -419,7 +490,9 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                          mw.Driver.Compile.mw_sections)))
           in
           let combine = Driver.Cost.combine_seconds sw *. noise (salt + 40 + si) in
-          must (Netsim.Host.compute sim ws_m ~factor ~seconds:combine);
+          must
+            (Netsim.Host.compute sim ws_m ~factor ~tag:"combine"
+               ~seconds:combine);
           stats.section_cpu <- stats.section_cpu +. combine;
           Netsim.Sync.signal sections_done))
     plan.Plan.tasks_per_section;
@@ -428,7 +501,7 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
   set_resident ws_m
     (cost.Driver.Cost.lisp_core_mb +. ast_mb
     +. (cost.Driver.Cost.retained_mb_per_loc *. float_of_int mw.Driver.Compile.mw_loc));
-  compute_m (Driver.Cost.phase4_seconds cost mw) 50;
+  compute_m ~tag:"phase4" (Driver.Cost.phase4_seconds cost mw) 50;
   store (float_of_int (Driver.Compile.total_image_bytes mw));
   set_resident ws_m 0.0;
   Netsim.Host.release_station sim cluster ws_m;
@@ -436,6 +509,14 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
 
 let run (cfg : Config.t) (mw : Driver.Compile.module_work) (plan : Plan.t) : outcome =
   let sim = Netsim.Des.create () in
+  (* When this run starts on an empty trace, the recorded spans must
+     reproduce the mutable-counter bookkeeping exactly — checked below
+     (the check is skipped for traces shared across runs, e.g. the
+     parallel-make study). *)
+  let tr = cfg.Config.trace in
+  let fresh_trace =
+    Trace.enabled tr && Trace.span_count tr = 0 && Trace.instant_count tr = 0
+  in
   let cluster = Config.cluster cfg in
   let noise = Config.noise cfg in
   let finish = ref 0.0 in
@@ -445,19 +526,25 @@ let run (cfg : Config.t) (mw : Driver.Compile.module_work) (plan : Plan.t) : out
        ~on_finish:(fun t -> finish := t));
   ignore (Netsim.Des.run sim);
   let cpu = Netsim.Host.cpu_times cluster in
+  let run =
+    {
+      Timings.elapsed = !finish;
+      cpu_per_station = cpu;
+      master_cpu = stats.master_cpu;
+      section_cpu = stats.section_cpu;
+      extra_parse_cpu = stats.extra_parse_cpu;
+      stations_used = List.length cpu;
+      retries = stats.retries;
+      stations_lost = Netsim.Host.lost_stations cluster ~now:!finish;
+      fallback_tasks = stats.fallback_tasks;
+      wasted_cpu = stats.wasted_cpu;
+    }
+  in
+  if fresh_trace then Traceview.assert_matches_run tr run;
   {
-    run =
-      {
-        Timings.elapsed = !finish;
-        cpu_per_station = cpu;
-        master_cpu = stats.master_cpu;
-        section_cpu = stats.section_cpu;
-        extra_parse_cpu = stats.extra_parse_cpu;
-        stations_used = List.length cpu;
-        retries = stats.retries;
-        stations_lost = Netsim.Host.lost_stations cluster ~now:!finish;
-        fallback_tasks = stats.fallback_tasks;
-        wasted_cpu = stats.wasted_cpu;
-      };
-    station_of_task = List.rev stats.placements;
+    run;
+    (* Placements report in (task, station) order rather than
+       completion order, which under supervision depends on the racing
+       attempts — sorted output is stable across fault plans. *)
+    station_of_task = List.sort compare stats.placements;
   }

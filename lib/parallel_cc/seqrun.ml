@@ -20,13 +20,23 @@ let set_resident ws mb =
 let compile_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster)
     ~noise ~salt (mw : Driver.Compile.module_work) ~on_finish () =
   let cost = cfg.Config.cost in
+  let tr = cfg.Config.trace in
+  let t_claim = Netsim.Des.now sim in
   let ws = Netsim.Host.claim sim cluster in
+  let lspan ~name ~t0 =
+    if Trace.enabled tr then
+      Trace.span tr ~track:ws.Netsim.Host.ws_id ~cat:"task" ~name
+        ~args:[ ("task", mw.Driver.Compile.mw_name); ("attempt", "1") ]
+        ~t0 ~t1:(Netsim.Des.now sim) ()
+  in
+  lspan ~name:"claim" ~t0:t_claim;
   let factor w = Config.cluster_slowdown cfg cluster w in
   (* The sequential compiler has no recovery protocol: it is only run
      on fault-free stations (fault plans are a Parrun concern). *)
-  let compute seconds salt' =
+  let compute ?tag seconds salt' =
     match
-      Netsim.Host.compute sim ws ~factor ~seconds:(seconds *. noise (salt + salt'))
+      Netsim.Host.compute sim ws ~factor ?tag
+        ~seconds:(seconds *. noise (salt + salt'))
     with
     | Netsim.Fault.Completed -> ()
     | Netsim.Fault.Station_failed f ->
@@ -35,12 +45,16 @@ let compile_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster)
            f.Netsim.Fault.failed_station f.Netsim.Fault.failed_at)
   in
   (* Lisp startup: core image download plus initialization. *)
-  (if cfg.Config.core_download then
+  (if cfg.Config.core_download then begin
+     let t0 = Netsim.Des.now sim in
      Netsim.Net.fetch sim cluster.Netsim.Host.fs cluster.Netsim.Host.ether
-       ~bytes:cost.Driver.Cost.lisp_core_bytes);
+       ~bytes:cost.Driver.Cost.lisp_core_bytes;
+     lspan ~name:"transfer" ~t0
+   end);
   set_resident ws cost.Driver.Cost.lisp_core_mb;
-  compute cost.Driver.Cost.lisp_init_seconds 1;
+  compute ~tag:"lisp-init" cost.Driver.Cost.lisp_init_seconds 1;
   (* Read the source from the file server. *)
+  let t_parse = Netsim.Des.now sim in
   Netsim.Net.fetch sim cluster.Netsim.Host.fs cluster.Netsim.Host.ether
     ~bytes:(Driver.Cost.source_bytes cost mw.Driver.Compile.mw_loc);
   (* Phase 1 over the whole module. *)
@@ -48,8 +62,10 @@ let compile_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster)
     cost.Driver.Cost.ast_mb_per_loc *. float_of_int mw.Driver.Compile.mw_loc
   in
   set_resident ws (cost.Driver.Cost.lisp_core_mb +. ast_mb);
-  compute (Driver.Cost.phase1_seconds cost mw) 2;
+  compute ~tag:"phase1" (Driver.Cost.phase1_seconds cost mw) 2;
+  lspan ~name:"parse" ~t0:t_parse;
   (* Phases 2+3, function after function; the heap never shrinks. *)
+  let t_p23 = Netsim.Des.now sim in
   let compiled_loc = ref 0 in
   List.iter
     (fun (sw : Driver.Compile.section_work) ->
@@ -58,16 +74,21 @@ let compile_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster)
           set_resident ws
             (Driver.Cost.sequential_mb cost mw ~compiled_loc:!compiled_loc
                ~current_loc:fw.Driver.Compile.fw_loc);
-          compute (Driver.Cost.phase23_seconds cost fw) (3 + !compiled_loc);
+          compute ~tag:"phase23"
+            (Driver.Cost.phase23_seconds cost fw)
+            (3 + !compiled_loc);
           compiled_loc := !compiled_loc + fw.Driver.Compile.fw_loc)
         sw.Driver.Compile.sw_funcs)
     mw.Driver.Compile.mw_sections;
+  lspan ~name:"phase23" ~t0:t_p23;
   (* Phase 4: assembly, linking, drivers; then write the outputs. *)
   set_resident ws
     (Driver.Cost.sequential_mb cost mw ~compiled_loc:!compiled_loc ~current_loc:0);
-  compute (Driver.Cost.phase4_seconds cost mw) 99;
+  compute ~tag:"phase4" (Driver.Cost.phase4_seconds cost mw) 99;
+  let t_wb = Netsim.Des.now sim in
   Netsim.Net.store sim cluster.Netsim.Host.fs cluster.Netsim.Host.ether
     ~bytes:(float_of_int (Driver.Compile.total_image_bytes mw));
+  lspan ~name:"write-back" ~t0:t_wb;
   set_resident ws 0.0;
   Netsim.Host.release_station sim cluster ws;
   on_finish (Netsim.Des.now sim)

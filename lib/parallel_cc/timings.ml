@@ -60,3 +60,41 @@ let compare_runs ~processors ~(seq : run) ~(par : run) : comparison =
 
 let max_cpu (r : run) =
   match r.cpu_per_station with [] -> 0.0 | l -> Stats.maximum l
+
+(* Machine-readable comparison, in the style of BENCH_parallel.json
+   (hand-rolled: everything here is numbers, so no escaping needed).
+   Floats are printed with %.17g so they round-trip exactly. *)
+let comparison_to_json (c : comparison) : string =
+  let b = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let f = Printf.sprintf "%.17g" in
+  let run_json indent (r : run) =
+    pr "%s{\n" indent;
+    pr "%s  \"elapsed\": %s,\n" indent (f r.elapsed);
+    pr "%s  \"master_cpu\": %s,\n" indent (f r.master_cpu);
+    pr "%s  \"section_cpu\": %s,\n" indent (f r.section_cpu);
+    pr "%s  \"extra_parse_cpu\": %s,\n" indent (f r.extra_parse_cpu);
+    pr "%s  \"stations_used\": %d,\n" indent r.stations_used;
+    pr "%s  \"retries\": %d,\n" indent r.retries;
+    pr "%s  \"stations_lost\": %d,\n" indent r.stations_lost;
+    pr "%s  \"fallback_tasks\": %d,\n" indent r.fallback_tasks;
+    pr "%s  \"wasted_cpu\": %s,\n" indent (f r.wasted_cpu);
+    pr "%s  \"cpu_per_station\": [%s]\n" indent
+      (String.concat ", " (List.map f r.cpu_per_station));
+    pr "%s}" indent
+  in
+  pr "{\n";
+  pr "  \"schema\": \"warpcc-simulate/1\",\n";
+  pr "  \"processors\": %d,\n" c.processors;
+  pr "  \"speedup\": %s,\n" (f c.speedup);
+  pr "  \"total_overhead\": %s,\n" (f c.total_overhead);
+  pr "  \"impl_overhead\": %s,\n" (f c.impl_overhead);
+  pr "  \"sys_overhead\": %s,\n" (f c.sys_overhead);
+  pr "  \"rel_total_overhead\": %s,\n" (f c.rel_total_overhead);
+  pr "  \"rel_sys_overhead\": %s,\n" (f c.rel_sys_overhead);
+  pr "  \"seq\":\n";
+  run_json "  " c.seq;
+  pr ",\n  \"par\":\n";
+  run_json "  " c.par;
+  pr "\n}\n";
+  Buffer.contents b

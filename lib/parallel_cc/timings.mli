@@ -38,3 +38,8 @@ val compare_runs : processors:int -> seq:run -> par:run -> comparison
 val max_cpu : run -> float
 (** The busiest station's CPU seconds — the per-processor CPU time the
     paper's figures report. *)
+
+val comparison_to_json : comparison -> string
+(** The comparison as a JSON document (schema ["warpcc-simulate/1"]),
+    with both runs inlined and floats printed to round-trip exactly —
+    the machine-readable face of [warpcc simulate --json]. *)

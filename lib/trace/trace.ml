@@ -1,0 +1,276 @@
+(* DES-timestamped span tracing for the simulated host.
+
+   A [Trace.t] collects typed spans (an interval on one track) and
+   instants (a point event) emitted by the netsim layers and the
+   compilation runners.  Timestamps are simulated seconds from the DES
+   clock, passed in by the caller — the trace never consults a clock of
+   its own, so recording has zero effect on the event schedule.
+
+   Tracks are small integers: workstation ids directly, plus two
+   well-known tracks for the shared Ethernet segment and the file
+   server.  The disabled sink [none] makes every emit a constant-time
+   no-op, so untraced runs cost nothing; callers that would build
+   expensive argument lists guard on [enabled].
+
+   Exporters: Chrome trace-event JSON (loadable in chrome://tracing or
+   Perfetto, one thread per track) and an ASCII Gantt timeline rendered
+   through [Stats.Table]. *)
+
+type span = {
+  track : int;
+  cat : string;
+  name : string;
+  t0 : float;
+  t1 : float;
+  args : (string * string) list;
+}
+
+type instant = {
+  i_track : int;
+  i_cat : string;
+  i_name : string;
+  at : float;
+  i_args : (string * string) list;
+}
+
+type t = {
+  enabled : bool;
+  mutable rev_spans : span list; (* newest first *)
+  mutable n_spans : int;
+  mutable rev_instants : instant list;
+  mutable n_instants : int;
+}
+
+let create () =
+  { enabled = true; rev_spans = []; n_spans = 0; rev_instants = []; n_instants = 0 }
+
+(* The shared no-op sink.  All emits drop their event immediately. *)
+let none =
+  { enabled = false; rev_spans = []; n_spans = 0; rev_instants = []; n_instants = 0 }
+
+let enabled t = t.enabled
+
+(* --- well-known tracks --- *)
+
+let ether_track = 900
+let fs_track = 901
+
+let track_name = function
+  | 900 -> "ethernet"
+  | 901 -> "file server"
+  | 0 -> "station 0 (master)"
+  | n -> Printf.sprintf "station %d" n
+
+(* --- emission --- *)
+
+let span t ~track ~cat ~name ?(args = []) ~t0 ~t1 () =
+  if t.enabled then begin
+    if t1 < t0 then invalid_arg "Trace.span: negative duration";
+    t.rev_spans <- { track; cat; name; t0; t1; args } :: t.rev_spans;
+    t.n_spans <- t.n_spans + 1
+  end
+
+let instant t ~track ~cat ~name ?(args = []) ~at () =
+  if t.enabled then begin
+    t.rev_instants <- { i_track = track; i_cat = cat; i_name = name; at; i_args = args }
+                      :: t.rev_instants;
+    t.n_instants <- t.n_instants + 1
+  end
+
+(* Floats in args round-trip exactly through %.17g, so metric
+   derivations can reproduce accumulated sums bit for bit. *)
+let farg v = Printf.sprintf "%.17g" v
+
+let arg_float s (args : (string * string) list) =
+  Option.bind (List.assoc_opt s args) float_of_string_opt
+
+(* --- reading back --- *)
+
+let spans t = List.rev t.rev_spans
+let instants t = List.rev t.rev_instants
+let span_count t = t.n_spans
+let instant_count t = t.n_instants
+
+let clear t =
+  t.rev_spans <- [];
+  t.n_spans <- 0;
+  t.rev_instants <- [];
+  t.n_instants <- 0
+
+(* Last span end: the traced run's elapsed time.  Fault-plan spans and
+   instants may extend past the useful run, so only non-fault spans
+   count. *)
+let end_time t =
+  List.fold_left
+    (fun acc (s : span) -> if s.cat = "fault" then acc else Float.max acc s.t1)
+    0.0 t.rev_spans
+
+let used_tracks t =
+  let add set track = if List.mem track set then set else track :: set in
+  let set = List.fold_left (fun set (s : span) -> add set s.track) [] t.rev_spans in
+  let set =
+    List.fold_left (fun set (i : instant) -> add set i.i_track) set t.rev_instants
+  in
+  List.sort compare set
+
+(* --- Chrome trace-event JSON --- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let add_args b args =
+  Buffer.add_string b "{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string b ", ";
+      (* Emit numeric-looking values as JSON numbers so Perfetto can
+         aggregate them. *)
+      match float_of_string_opt v with
+      | Some f when Float.is_finite f ->
+        Buffer.add_string b (Printf.sprintf "\"%s\": %s" (json_escape k) v)
+      | _ ->
+        Buffer.add_string b
+          (Printf.sprintf "\"%s\": \"%s\"" (json_escape k) (json_escape v)))
+    args;
+  Buffer.add_string b "}"
+
+(* Micro-seconds: the unit of the Chrome trace-event format. *)
+let usec t = t *. 1e6
+
+let to_chrome_json t =
+  let b = Buffer.create 4096 in
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_string b ",\n";
+    Buffer.add_string b "    "
+  in
+  Buffer.add_string b "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  Buffer.add_string b
+    "    {\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 0, \"tid\": 0, \
+     \"args\": {\"name\": \"warpcc simulated host\"}}";
+  first := false;
+  List.iteri
+    (fun i track ->
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 0, \"tid\": %d, \
+            \"args\": {\"name\": \"%s\"}}"
+           track
+           (json_escape (track_name track)));
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"ph\": \"M\", \"name\": \"thread_sort_index\", \"pid\": 0, \
+            \"tid\": %d, \"args\": {\"sort_index\": %d}}"
+           track i))
+    (used_tracks t);
+  List.iter
+    (fun (s : span) ->
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"ph\": \"X\", \"name\": \"%s\", \"cat\": \"%s\", \"ts\": %.3f, \
+            \"dur\": %.3f, \"pid\": 0, \"tid\": %d, \"args\": "
+           (json_escape s.name) (json_escape s.cat) (usec s.t0)
+           (usec (s.t1 -. s.t0))
+           s.track);
+      add_args b s.args;
+      Buffer.add_string b "}")
+    (spans t);
+  List.iter
+    (fun (i : instant) ->
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"ph\": \"i\", \"s\": \"t\", \"name\": \"%s\", \"cat\": \"%s\", \
+            \"ts\": %.3f, \"pid\": 0, \"tid\": %d, \"args\": "
+           (json_escape i.i_name) (json_escape i.i_cat) (usec i.at) i.i_track);
+      add_args b i.i_args;
+      Buffer.add_string b "}")
+    (instants t);
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
+
+(* --- ASCII Gantt timeline --- *)
+
+(* One row per track; the timeline shows, per time bucket, the dominant
+   activity: CPU work (#), network transfer (~), pool/claim waiting (.),
+   crash/reclaim aftermath (x), idle (space). *)
+let gantt ?(width = 64) t =
+  let finish = end_time t in
+  let finish = if finish <= 0.0 then 1.0 else finish in
+  let bucket_len = finish /. float_of_int width in
+  let tracks = used_tracks t in
+  let all_spans = spans t in
+  let all_instants = instants t in
+  let rows =
+    List.map
+      (fun track ->
+        let line = Bytes.make width ' ' in
+        let mark_range priority ch t0 t1 =
+          let b0 = max 0 (int_of_float (t0 /. bucket_len)) in
+          let b1 =
+            min (width - 1) (int_of_float (Float.pred (t1 /. bucket_len)))
+          in
+          for i = b0 to min (width - 1) (max b0 b1) do
+            let cur = Bytes.get line i in
+            let rank = function
+              | '#' -> 4
+              | '~' -> 3
+              | '.' -> 2
+              | 'x' -> 1
+              | _ -> 0
+            in
+            if priority > rank cur then Bytes.set line i ch
+          done
+        in
+        let dead_from = ref infinity in
+        List.iter
+          (fun (i : instant) ->
+            if
+              i.i_track = track && i.i_cat = "fault"
+              && (i.i_name = "crash" || i.i_name = "reclaim")
+            then dead_from := Float.min !dead_from i.at)
+          all_instants;
+        if !dead_from < finish then mark_range 1 'x' !dead_from finish;
+        let busy = ref 0.0 in
+        List.iter
+          (fun (s : span) ->
+            if s.track = track then
+              match s.cat with
+              | "cpu" ->
+                busy := !busy +. (s.t1 -. s.t0);
+                mark_range 4 '#' s.t0 s.t1
+              | "net" -> mark_range 3 '~' s.t0 s.t1
+              | "pool" -> mark_range 2 '.' s.t0 s.t1
+              | _ -> ())
+          all_spans;
+        (track, !busy, Bytes.to_string line))
+      tracks
+  in
+  let table =
+    Stats.Table.make
+      ~title:
+        (Printf.sprintf
+           "Gantt timeline, 0 .. %.1fs ('#' cpu, '~' network, '.' pool wait, \
+            'x' dead)"
+           finish)
+      ~columns:[ "track"; "busy s"; "timeline" ]
+  in
+  List.fold_left
+    (fun table (track, busy, line) ->
+      Stats.Table.add_row table
+        [ track_name track; Printf.sprintf "%.1f" busy; line ])
+    table rows

@@ -378,6 +378,81 @@ let coexistence_suites =
 
 let suites = suites @ coexistence_suites
 
+(* --- compare_runs sign conventions --- *)
+
+let run_fixture ~elapsed ~master ~section ~parse =
+  {
+    Timings.elapsed;
+    cpu_per_station = [ elapsed ];
+    master_cpu = master;
+    section_cpu = section;
+    extra_parse_cpu = parse;
+    stations_used = 1;
+    retries = 0;
+    stations_lost = 0;
+    fallback_tasks = 0;
+    wasted_cpu = 0.0;
+  }
+
+let test_negative_system_overhead_sign () =
+  (* Parallel elapsed below ideal + implementation overhead: the system
+     overhead must come out negative (the paper's figures 9/10 show
+     exactly this for the medium programs, where the parallel compiler
+     escapes the sequential compiler's paging). *)
+  let seq = run_fixture ~elapsed:1000.0 ~master:0.0 ~section:0.0 ~parse:0.0 in
+  let par = run_fixture ~elapsed:120.0 ~master:10.0 ~section:15.0 ~parse:5.0 in
+  let c = Timings.compare_runs ~processors:10 ~seq ~par in
+  Alcotest.(check (float 1e-9)) "ideal" 100.0
+    (Timings.ideal_time ~seq ~processors:10);
+  Alcotest.(check (float 1e-9)) "total = par - ideal" 20.0 c.Timings.total_overhead;
+  Alcotest.(check (float 1e-9)) "impl = master + section + parse" 30.0
+    c.Timings.impl_overhead;
+  Alcotest.(check (float 1e-9)) "sys = total - impl" (-10.0) c.Timings.sys_overhead;
+  Alcotest.(check bool) "relative sys overhead negative" true
+    (c.Timings.rel_sys_overhead < 0.0);
+  Alcotest.(check (float 1e-9)) "relative sys in percent of par elapsed"
+    (-10.0 /. 120.0 *. 100.0)
+    c.Timings.rel_sys_overhead
+
+let test_tiny_relative_overhead_exceeds_half () =
+  (* Tiny functions: startup and shipping dominate, so the overhead is
+     more than half the parallel elapsed time and the speedup is below
+     one — both signs, fixture and measured. *)
+  let seq = run_fixture ~elapsed:100.0 ~master:0.0 ~section:0.0 ~parse:0.0 in
+  let par = run_fixture ~elapsed:90.0 ~master:12.0 ~section:8.0 ~parse:10.0 in
+  let c = Timings.compare_runs ~processors:10 ~seq ~par in
+  Alcotest.(check (float 1e-9)) "fixture relative overhead"
+    (80.0 /. 90.0 *. 100.0)
+    c.Timings.rel_total_overhead;
+  Alcotest.(check bool) "fixture overhead beyond 50%" true
+    (c.Timings.rel_total_overhead > 50.0);
+  let measured =
+    Experiment.measure (Experiment.s_program_work ~size:W2.Gen.Tiny ~count:4 ())
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "measured tiny overhead %.1f%% beyond 50%%"
+       measured.Timings.rel_total_overhead)
+    true
+    (measured.Timings.rel_total_overhead > 50.0);
+  Alcotest.(check (float 1e-9)) "relative is percent of par elapsed"
+    (measured.Timings.total_overhead
+    /. measured.Timings.par.Timings.elapsed
+    *. 100.0)
+    measured.Timings.rel_total_overhead
+
+let sign_suites =
+  [
+    ( "parallel.signs",
+      [
+        Alcotest.test_case "negative system overhead" `Quick
+          test_negative_system_overhead_sign;
+        Alcotest.test_case "tiny relative overhead > 50%" `Quick
+          test_tiny_relative_overhead_exceeds_half;
+      ] );
+  ]
+
+let suites = suites @ sign_suites
+
 (* --- section 6: scaling limit --- *)
 
 let test_scaling_comfort_zone () =
