@@ -9,6 +9,7 @@
      main.exe ablations       DESIGN.md section-5 ablations
      main.exe summary         the abstract's headline numbers
      main.exe faults          seeded fault/recovery sweep (docs/FAULTS.md)
+     main.exe sched           scheduling-policy sweep + BENCH_sched.json
      main.exe json            write machine-readable BENCH_parallel.json
      main.exe trace           traced parallel run: warpcc_trace.json + Gantt
      main.exe bechamel        only the micro-benchmarks
@@ -414,6 +415,74 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* --- scheduling policies: FCFS vs LPT vs LPT + tiny batching --- *)
+
+let sched_points_cache = ref None
+
+let sched_points () =
+  match !sched_points_cache with
+  | Some points -> points
+  | None ->
+    let points = Experiment.sched_sweep () in
+    sched_points_cache := Some points;
+    points
+
+let print_sched_sweep () =
+  let table =
+    t
+      ~title:
+        (Printf.sprintf
+           "Scheduling policies on oversubscribed pools (batch threshold %.0f s;          speedup = FCFS elapsed / policy elapsed on the same point)"
+           Config.default.Config.batch_threshold)
+      ~columns:
+        [ "series @ policy"; "pool"; "units"; "elapsed (min)"; "speedup vs fcfs" ]
+  in
+  let table =
+    List.fold_left
+      (fun table (p : Experiment.sched_point) ->
+        Stats.Table.add_float_row table
+          ~label:
+            (Printf.sprintf "%-8s @ %s" p.Experiment.sp_series
+               (Sched.policy_name p.Experiment.sp_policy))
+          [
+            float_of_int p.Experiment.sp_pool;
+            float_of_int p.Experiment.sp_units;
+            minutes p.Experiment.sp_elapsed;
+            p.Experiment.sp_speedup_vs_fcfs;
+          ])
+      table (sched_points ())
+  in
+  Stats.Table.print table;
+  print_newline ()
+
+let write_sched_json () =
+  let b = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pr "{\n";
+  pr "  \"schema\": \"warpcc-bench-sched/1\",\n";
+  pr "  \"batch_threshold\": %.1f,\n" Config.default.Config.batch_threshold;
+  pr "  \"points\": [\n";
+  let first = ref true in
+  List.iter
+    (fun (p : Experiment.sched_point) ->
+      if not !first then pr ",\n";
+      first := false;
+      pr
+        "    {\"series\": \"%s\", \"policy\": \"%s\", \"pool\": %d, \
+         \"dispatch_units\": %d, \"elapsed\": %.3f, \"speedup_vs_fcfs\": %.4f}"
+        (json_escape p.Experiment.sp_series)
+        (json_escape (Sched.policy_name p.Experiment.sp_policy))
+        p.Experiment.sp_pool p.Experiment.sp_units p.Experiment.sp_elapsed
+        p.Experiment.sp_speedup_vs_fcfs)
+    (sched_points ());
+  pr "\n  ]\n";
+  pr "}\n";
+  let oc = open_out "BENCH_sched.json" in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "wrote BENCH_sched.json (%d points)\n\n"
+    (List.length (sched_points ()))
+
 let write_bench_json () =
   let b = Buffer.create 4096 in
   let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
@@ -680,6 +749,9 @@ let () =
     | "ablations" -> print_ablations ()
     | "summary" -> print_summary ()
     | "faults" -> print_fault_sweep ()
+    | "sched" ->
+      print_sched_sweep ();
+      write_sched_json ()
     | "json" -> write_bench_json ()
     | "trace" -> print_trace_demo ()
     | "bechamel" -> print_bechamel ()
@@ -692,6 +764,8 @@ let () =
       print_inlining_study ();
       print_ablations ();
       print_fault_sweep ();
+      print_sched_sweep ();
+      write_sched_json ();
       write_bench_json ();
       print_bechamel ()
     | other ->

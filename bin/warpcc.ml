@@ -335,6 +335,25 @@ let simulate_cmd =
     Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N"
            ~doc:"Re-dispatches per task before sequential fallback")
   in
+  let sched =
+    let policies =
+      List.map
+        (fun p -> (Parallel_cc.Sched.policy_name p, p))
+        Parallel_cc.Sched.all
+    in
+    Arg.(value & opt (enum policies) Parallel_cc.Sched.Fcfs
+         & info [ "sched" ] ~docv:"POLICY"
+             ~doc:"Dispatch policy: $(b,fcfs) (the paper's first-come \
+                   first-served order), $(b,lpt) (longest processing time \
+                   first within each section), or $(b,lpt+batch) (LPT plus \
+                   batching of tiny functions into one dispatch unit)")
+  in
+  let batch_threshold =
+    Arg.(value & opt float Parallel_cc.Config.default.Parallel_cc.Config.batch_threshold
+         & info [ "batch-threshold" ] ~docv:"SECONDS"
+             ~doc:"Estimated phase-2+3 seconds below which a function counts \
+                   as tiny for $(b,--sched lpt+batch)")
+  in
   let trace_out =
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
            ~doc:"Replay one traced parallel run and write it as Chrome \
@@ -353,12 +372,15 @@ let simulate_cmd =
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
            ~doc:"Write the timings comparison as JSON (\"-\" = stdout)")
   in
-  let action file processors level fault_seed fault_rate retries trace_out
-      gantt metrics json_out =
+  let action file processors level fault_seed fault_rate retries sched
+      batch_threshold trace_out gantt metrics json_out =
     or_compile_error (fun () ->
         let mw = Driver.Compile.compile_source ~level ~file (read_file file) in
-        let c = Parallel_cc.Experiment.measure ?processors mw in
         let open Parallel_cc in
+        let base_cfg =
+          { Config.default with Config.sched_policy = sched; batch_threshold }
+        in
+        let c = Experiment.measure ~cfg:base_cfg ?processors mw in
         Printf.printf "module %s: %d function(s), %d line(s)\n"
           mw.Driver.Compile.mw_name
           (List.length (Driver.Compile.all_funcs mw))
@@ -366,6 +388,8 @@ let simulate_cmd =
         Printf.printf "sequential elapsed : %8.1f s\n" c.Timings.seq.Timings.elapsed;
         Printf.printf "parallel elapsed   : %8.1f s  (%d processors)\n"
           c.Timings.par.Timings.elapsed c.Timings.processors;
+        Printf.printf "dispatch units     : %8d  (--sched %s)\n"
+          c.Timings.par.Timings.dispatch_units (Sched.policy_name sched);
         Printf.printf "speedup            : %8.2f\n" c.Timings.speedup;
         Printf.printf "total overhead     : %8.1f s (%.1f%% of parallel elapsed)\n"
           c.Timings.total_overhead c.Timings.rel_total_overhead;
@@ -394,7 +418,7 @@ let simulate_cmd =
         in
         let cfg =
           {
-            Config.default with
+            base_cfg with
             Config.stations = n_fm + 1;
             noise_seed = 1 + (17 * n_fm);
             retry_budget = retries;
@@ -467,7 +491,8 @@ let simulate_cmd =
     Term.(
       term_result
         (const action $ file $ processors $ level $ fault_seed $ fault_rate
-        $ retries $ trace_out $ gantt $ metrics $ json_out))
+        $ retries $ sched $ batch_threshold $ trace_out $ gantt $ metrics
+        $ json_out))
   in
   Cmd.v
     (Cmd.info "simulate"

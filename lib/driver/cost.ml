@@ -105,6 +105,13 @@ let phase23_seconds m (fw : Compile.func_work) =
   +. (m.sec_per_sched_unit *. float_of_int fw.Compile.fw_sched_work)
   +. (m.sec_per_wide *. float_of_int fw.Compile.fw_wides)
 
+(* Estimated phases-2+3 compute of one multi-function task: the cost
+   signal the scheduler ranks and batches by, and the term of the
+   supervision deadline that scales with the task.  Summed in function
+   order so the estimate is bit-stable across plan permutations. *)
+let task_phase23_seconds m (funcs : Compile.func_work list) =
+  List.fold_left (fun acc fw -> acc +. phase23_seconds m fw) 0.0 funcs
+
 (* Phase 4 for the whole module (assembly, linking, I/O drivers). *)
 let phase4_seconds m (mw : Compile.module_work) =
   let wides =

@@ -59,6 +59,13 @@ val phase23_seconds : model -> Compile.func_work -> float
 (** One function master's compile work (nominal; memory slowdowns are
     applied by the simulation). *)
 
+val task_phase23_seconds : model -> Compile.func_work list -> float
+(** Estimated phases-2+3 compute of a task compiling several functions
+    in one function master: the sum of the functions'
+    {!phase23_seconds}.  This is the cost signal the parallel
+    compiler's scheduler ranks (LPT) and batches by, and a term of the
+    supervision deadline. *)
+
 val phase4_seconds : model -> Compile.module_work -> float
 (** Assembly, linking, I/O drivers. *)
 

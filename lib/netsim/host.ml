@@ -198,6 +198,42 @@ let claim sim (c : cluster) : workstation =
       ~t1:(Des.now sim) ();
   ws
 
+(* Like [claim], but when several live stations are free, take the one
+   [rank] scores highest instead of the head of the queue (FCFS order
+   breaks ties, so a rank of constant 0 is exactly [claim]).  Used by
+   the locality-aware re-dispatch: a station that already holds the
+   task's bytes outranks a cold one.  With no live free station the
+   blocking discipline is [claim]'s, unchanged. *)
+let claim_prefer ~rank sim (c : cluster) : workstation =
+  let now = Des.now sim in
+  let live =
+    Queue.fold
+      (fun acc id -> if available c.stations.(id) ~now then id :: acc else acc)
+      [] c.free
+    |> List.rev
+  in
+  match live with
+  | [] -> claim sim c
+  | first :: rest ->
+    let best =
+      List.fold_left
+        (fun best id ->
+          if rank c.stations.(id) > rank c.stations.(best) then id else best)
+        first rest
+    in
+    (* Extract [best]; dead stations stay queued (claim discards them
+       when they surface, as always). *)
+    let remaining =
+      Queue.fold (fun acc id -> if id = best then acc else id :: acc) [] c.free
+    in
+    Queue.clear c.free;
+    List.iter (fun id -> Queue.push id c.free) (List.rev remaining);
+    let ws = c.stations.(best) in
+    if Trace.enabled c.trace then
+      Trace.span c.trace ~track:ws.ws_id ~cat:"pool" ~name:"pool-wait" ~t0:now
+        ~t1:(Des.now sim) ();
+    ws
+
 (* A crashed or reclaimed station never rejoins the pool. *)
 let release_station sim (c : cluster) (ws : workstation) =
   if available ws ~now:(Des.now sim) then

@@ -96,6 +96,15 @@ val claim : Des.t -> cluster -> workstation
     the paper's first-come-first-served task distribution.  Stations
     that crashed or were reclaimed while queued are discarded. *)
 
+val claim_prefer :
+  rank:(workstation -> int) -> Des.t -> cluster -> workstation
+(** Like {!claim}, but when several live stations are free, take the
+    one [rank] scores highest (queue order breaks ties, so a constant
+    rank degenerates to {!claim}).  Used by the locality-aware
+    re-dispatch: a station that already holds a task's bytes — see
+    {!Net.cached} — outranks a cold one.  When nothing is free the
+    blocking discipline is exactly {!claim}'s. *)
+
 val release_station : Des.t -> cluster -> workstation -> unit
 (** Return a station to the pool (hand-off to a waiter first); a
     crashed or reclaimed station is dropped instead. *)

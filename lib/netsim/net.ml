@@ -16,6 +16,11 @@ type ethernet = {
   mutable transfers : int;
   mutable degrade : float -> float; (* fault plan: time -> factor (>= 1) *)
   mutable trace : Trace.t; (* span sink; [Trace.none] = no recording *)
+  fetched : (int * string, unit) Hashtbl.t;
+      (* transfer history: (client station, file label) pairs already
+         fetched over this segment.  Pure bookkeeping — recording never
+         touches the event schedule; consulting it is the caller's
+         policy decision (locality-aware re-dispatch). *)
 }
 
 let ethernet ?(bytes_per_sec = 1.25e6) ?(contention_alpha = 0.6)
@@ -29,7 +34,14 @@ let ethernet ?(bytes_per_sec = 1.25e6) ?(contention_alpha = 0.6)
     transfers = 0;
     degrade = (fun _ -> 1.0);
     trace = Trace.none;
+    fetched = Hashtbl.create 64;
   }
+
+(* Has [client] already fetched [file] over this segment (and so holds
+   its bytes in local memory)?  Stations leave the pool when they crash
+   or are reclaimed, so stale entries are harmless: nobody can claim
+   the dead station the entry describes. *)
+let cached (e : ethernet) ~client ~file = Hashtbl.mem e.fetched (client, file)
 
 (* Move [bytes] over the segment; blocks the calling process for the
    (contention-dependent) transfer time. *)
@@ -92,10 +104,15 @@ let disk_io sim (fs : fileserver) ~bytes =
       ~t0 ~t1:(Des.now sim) ()
 
 (* Fetch a file from the server to a diskless client: disk read, then
-   the transfer over the shared segment. *)
-let fetch sim (fs : fileserver) (e : ethernet) ~bytes =
+   the transfer over the shared segment.  When the caller identifies
+   itself and the file, the pair is remembered in the transfer history
+   (an O(1) table insert with no effect on the event schedule). *)
+let fetch ?client ?file sim (fs : fileserver) (e : ethernet) ~bytes =
   disk_io sim fs ~bytes;
-  transfer sim e ~bytes
+  transfer sim e ~bytes;
+  match (client, file) with
+  | Some c, Some f -> Hashtbl.replace e.fetched (c, f) ()
+  | _ -> ()
 
 (* Store a file from a client onto the server. *)
 let store sim (fs : fileserver) (e : ethernet) ~bytes =

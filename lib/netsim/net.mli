@@ -15,6 +15,11 @@ type ethernet = {
   mutable trace : Trace.t;
       (** span sink for transfers ({!Trace.none} = no recording, the
           default; wired by [Host.cluster]) *)
+  fetched : (int * string, unit) Hashtbl.t;
+      (** transfer history: (client station, file label) pairs recorded
+          by {!fetch} when the caller identifies itself — consult with
+          {!cached}.  Bookkeeping only; it never affects the event
+          schedule. *)
 }
 (** A shared segment.  Transfers proceed chunk by chunk; each chunk's
     effective rate is divided by [1 + alpha * (active - 1)] (collisions
@@ -51,8 +56,18 @@ val fileserver :
 val disk_io : Des.t -> fileserver -> bytes:float -> unit
 (** One disk operation (queued FCFS behind other requests). *)
 
-val fetch : Des.t -> fileserver -> ethernet -> bytes:float -> unit
-(** Read a file from the server to a diskless client: disk, then wire. *)
+val cached : ethernet -> client:int -> file:string -> bool
+(** Whether [client] already fetched [file] over this segment (and so
+    holds its bytes locally).  The basis of the locality-aware
+    re-dispatch: a retry placed on such a station can skip the
+    re-download. *)
+
+val fetch :
+  ?client:int -> ?file:string -> Des.t -> fileserver -> ethernet ->
+  bytes:float -> unit
+(** Read a file from the server to a diskless client: disk, then wire.
+    With both [client] and [file], the pair is added to the transfer
+    history (see {!cached}); timing is unaffected either way. *)
 
 val store : Des.t -> fileserver -> ethernet -> bytes:float -> unit
 (** Write a file from a client onto the server: wire, then disk. *)

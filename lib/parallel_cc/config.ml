@@ -11,6 +11,10 @@ type t = {
   opt_level : int;
   noise_seed : int; (* 0 = no measurement noise *)
   noise_amplitude : float; (* +/- fraction on CPU times *)
+  sched_policy : Sched.policy; (* dispatch order/batching; [Fcfs] =
+                                  the paper's behaviour, bit-identical *)
+  batch_threshold : float; (* tasks under this many estimated seconds
+                              are batched by [Sched.Lpt_batch] *)
   faults : Netsim.Fault.plan; (* station crashes etc.; [none] = ideal *)
   deadline_factor : float; (* task deadline = factor * cost estimate *)
   retry_budget : int; (* re-dispatches before sequential fallback *)
@@ -30,6 +34,11 @@ let default =
     opt_level = 2;
     noise_seed = 0;
     noise_amplitude = 0.04;
+    (* FCFS keeps the paper's timings; 60 s separates f_tiny/f_small
+       tasks (≈10/78 estimated seconds) from everything the paper
+       calls worth a processor of its own. *)
+    sched_policy = Sched.Fcfs;
+    batch_threshold = 60.0;
     faults = Netsim.Fault.none;
     deadline_factor = 6.0;
     retry_budget = 2;

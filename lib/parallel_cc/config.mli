@@ -11,6 +11,14 @@ type t = {
   opt_level : int;
   noise_seed : int; (** 0 = no measurement noise *)
   noise_amplitude : float; (** +/- fraction on CPU times *)
+  sched_policy : Sched.policy;
+      (** dispatch scheduling applied to the plan before the section
+          masters fork ({!Sched.Fcfs}, the default, keeps the paper's
+          event schedule bit-identical) *)
+  batch_threshold : float;
+      (** {!Sched.Lpt_batch}'s cut-off: tasks estimated under this many
+          phase-2+3 seconds are merged into shared dispatch units
+          (default 60.0) *)
   faults : Netsim.Fault.plan;
       (** fault schedule wired into the cluster ({!Netsim.Fault.none} =
           the ideal host; anything else enables supervision in

@@ -299,6 +299,67 @@ let fault_sweep ?(cfg = Config.default) ?(size = W2.Gen.Medium) ?(count = 8) ()
         fault_rates)
     [ 2; 4; 8; 16 ]
 
+(* --- scheduling policies: FCFS vs LPT vs LPT + tiny batching --- *)
+
+type sched_point = {
+  sp_series : string;
+  sp_policy : Sched.policy;
+  sp_pool : int;
+  sp_units : int;
+  sp_elapsed : float;
+  sp_speedup_vs_fcfs : float;
+}
+
+(* The points where scheduling can matter: pools smaller than the task
+   count, so dispatch units queue.  With a pool per task (the paper's
+   main configuration) every policy degenerates to FCFS, and batching
+   tiny functions LOSES elapsed time — it serializes work onto one
+   station while the others idle; the sweep therefore stresses the
+   oversubscribed regime.  [user4] is the section-4.3 program, whose
+   sections hold one task each — a witness that per-section reordering
+   is a no-op there. *)
+let sched_series ?(level = 2) () =
+  [
+    ("tiny4p2", s_program_work ~level ~size:W2.Gen.Tiny ~count:4 (), 2);
+    ("tiny8p2", s_program_work ~level ~size:W2.Gen.Tiny ~count:8 (), 2);
+    ("tiny8p4", s_program_work ~level ~size:W2.Gen.Tiny ~count:8 (), 4);
+    ("tiny16p4", s_program_work ~level ~size:W2.Gen.Tiny ~count:16 (), 4);
+    ("small8p4", s_program_work ~level ~size:W2.Gen.Small ~count:8 (), 4);
+    ("large8p4", s_program_work ~level ~size:W2.Gen.Large ~count:8 (), 4);
+    ("huge8p4", s_program_work ~level ~size:W2.Gen.Huge ~count:8 (), 4);
+    ("user4", user_program_work ~level (), 4);
+  ]
+
+let sched_sweep ?(cfg = Config.default) () : sched_point list =
+  List.concat_map
+    (fun (name, mw, pool) ->
+      let plan = Plan.one_per_station mw in
+      let play policy =
+        let cfg_run =
+          {
+            cfg with
+            Config.stations = pool + 1;
+            noise_seed = 3;
+            sched_policy = policy;
+          }
+        in
+        (Parrun.run cfg_run mw plan).Parrun.run
+      in
+      let fcfs = play Sched.Fcfs in
+      List.map
+        (fun policy ->
+          let r = if policy = Sched.Fcfs then fcfs else play policy in
+          {
+            sp_series = name;
+            sp_policy = policy;
+            sp_pool = pool;
+            sp_units = r.Timings.dispatch_units;
+            sp_elapsed = r.Timings.elapsed;
+            sp_speedup_vs_fcfs = fcfs.Timings.elapsed /. r.Timings.elapsed;
+          })
+        Sched.all)
+    (sched_series ~level:cfg.Config.opt_level ())
+
 (* --- section 6: how far does this scale? --- *)
 
 (* "For the style of parallelism exploited by this compiler, on the

@@ -103,6 +103,28 @@ val fault_sweep :
     parallel compiler on 2/4/8/16-station pools as the fault rate
     grows; seeded, so the series is reproducible. *)
 
+(** {1 Scheduling policies} *)
+
+type sched_point = {
+  sp_series : string; (** e.g. ["tiny8p4"] = S_8 of tiny functions, pool of 4 *)
+  sp_policy : Sched.policy;
+  sp_pool : int; (** stations available to function masters *)
+  sp_units : int; (** dispatch units launched (after any batching) *)
+  sp_elapsed : float;
+  sp_speedup_vs_fcfs : float;
+      (** FCFS elapsed / this elapsed on the same point (1.0 for FCFS) *)
+}
+
+val sched_series :
+  ?level:int -> unit -> (string * Driver.Compile.module_work * int) list
+(** The sweep's (name, module, pool) points: tiny/small/large/huge S_n
+    programs and the user program on pools smaller than the task count,
+    the regime where scheduling order and batching can matter. *)
+
+val sched_sweep : ?cfg:Config.t -> unit -> sched_point list
+(** Every {!sched_series} point under every {!Sched.policy}, with
+    [cfg]'s batch threshold; seeded (noise seed 3), so reproducible. *)
+
 (** {1 Section 6: scaling limit} *)
 
 val run_scaling_study :

@@ -9,15 +9,18 @@ type strategy =
   | Combined (** concurrent modules, each compiled in parallel *)
 
 val strategy_name : strategy -> string
+(** Human-readable label, e.g. ["parallel make"]. *)
 
 type result = {
   strategy : strategy;
-  elapsed : float;
+  elapsed : float; (** simulated seconds for the whole system build *)
   stations_used : int;
 }
 
 val run :
   Config.t -> stations:int -> Driver.Compile.module_work list -> strategy -> result
+(** Build the module list on one fresh [stations]-sized cluster under
+    the given strategy. *)
 
 val run_all :
   Config.t -> stations:int -> Driver.Compile.module_work list -> result list

@@ -16,6 +16,15 @@
    The only communication is parent<->child messages (modelled by join
    counters), as in the paper.
 
+   Scheduling.  Before the section masters fork, the plan passes
+   through [Sched.schedule]: [Config.sched_policy] selects the paper's
+   FCFS dispatch (plan physically unchanged, timings bit-identical),
+   LPT ordering, or LPT with tiny-function batching.  On a retry under
+   a non-FCFS policy, re-dispatch is locality-aware: the claim prefers
+   a pool station that already holds the module's source bytes or the
+   core image (the Ethernet's transfer history), and the granted
+   station skips re-downloading whatever it holds.
+
    With [Config.fine_grained] set, each task is split into a phase-2
    task and a phase-3 task connected by an IR file on the server (the
    "finer grain parallelism" the paper's section 5 anticipates): the
@@ -50,6 +59,7 @@ type stats = {
   mutable section_cpu : float;
   mutable extra_parse_cpu : float;
   mutable placements : (string * int) list;
+  mutable dispatch_units : int;
   mutable retries : int;
   mutable fallback_tasks : int;
   mutable wasted_cpu : float;
@@ -61,6 +71,7 @@ let fresh_stats () =
     section_cpu = 0.0;
     extra_parse_cpu = 0.0;
     placements = [];
+    dispatch_units = 0;
     retries = 0;
     fallback_tasks = 0;
     wasted_cpu = 0.0;
@@ -84,14 +95,34 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
     ~salt (mw : Driver.Compile.module_work) (plan : Plan.t) ~(stats : stats)
     ~on_finish () =
   let cost = cfg.Config.cost in
+  (* Apply the dispatch policy.  A pure plan-to-plan transformation:
+     [Sched.Fcfs] (the default) returns the plan physically unchanged,
+     so the event schedule below is bit-identical to the unscheduled
+     compiler.  Applied here rather than in [run] so the parallel-make
+     study (which spawns master processes directly) is scheduled
+     too. *)
+  let plan =
+    Sched.schedule ~policy:cfg.Config.sched_policy ~cost
+      ~threshold:cfg.Config.batch_threshold ~stations:cfg.Config.stations plan
+  in
+  stats.dispatch_units <- stats.dispatch_units + Plan.task_count plan;
   let supervised = not (Netsim.Fault.is_none cfg.Config.faults) in
   let tr = cfg.Config.trace in
-  let fetch bytes =
-    Netsim.Net.fetch sim cluster.Netsim.Host.fs cluster.Netsim.Host.ether ~bytes
+  let ether = cluster.Netsim.Host.ether in
+  (* Fetches identify the client station and a file label so the
+     Ethernet keeps a transfer history ([Net.cached]); recording is
+     bookkeeping only, but the locality-aware re-dispatch below reads
+     it back on retries. *)
+  let fetch ?client ?file bytes =
+    Netsim.Net.fetch ?client ?file sim cluster.Netsim.Host.fs ether ~bytes
   in
   let store bytes =
-    Netsim.Net.store sim cluster.Netsim.Host.fs cluster.Netsim.Host.ether ~bytes
+    Netsim.Net.store sim cluster.Netsim.Host.fs ether ~bytes
   in
+  (* File labels of the shared Lisp core image and this module's
+     source. *)
+  let core_file = "core" in
+  let src_file = "src:" ^ mw.Driver.Compile.mw_name in
   let ws_m = Netsim.Host.claim sim cluster in
   let factor w = Config.cluster_slowdown cfg cluster w in
   (* The master's workstation is never faulted (Host wires station 0
@@ -110,11 +141,14 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
   in
   (* C master: cheap startup, then read the source. *)
   Netsim.Des.delay cost.Driver.Cost.c_process_seconds;
-  fetch (Driver.Cost.source_bytes cost mw.Driver.Compile.mw_loc);
+  fetch ~client:ws_m.Netsim.Host.ws_id ~file:src_file
+    (Driver.Cost.source_bytes cost mw.Driver.Compile.mw_loc);
   (* The master's Lisp process: phase 1 proper plus the extra
      structure-discovering parse (the latter is implementation
      overhead). *)
-  (if cfg.Config.core_download then fetch cost.Driver.Cost.lisp_core_bytes);
+  (if cfg.Config.core_download then
+     fetch ~client:ws_m.Netsim.Host.ws_id ~file:core_file
+       cost.Driver.Cost.lisp_core_bytes);
   let ast_mb =
     cost.Driver.Cost.ast_mb_per_loc *. float_of_int mw.Driver.Compile.mw_loc
   in
@@ -227,18 +261,49 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                       Netsim.Host.compute sim w ~factor ?tag
                         ~seconds:(seconds *. noise (salt + salt')))
                 in
+                (* Locality-aware re-dispatch: on a retry under a
+                   non-FCFS policy, prefer a pool station that already
+                   holds this module's source bytes (then one holding
+                   the core image), and skip the re-download of
+                   whatever the granted station has.  First attempts
+                   and the FCFS policy never reach these branches, so
+                   their schedule is untouched. *)
+                let locality =
+                  attempt_n > 1 && cfg.Config.sched_policy <> Sched.Fcfs
+                in
+                let has w file =
+                  Netsim.Net.cached ether ~client:w.Netsim.Host.ws_id ~file
+                in
+                let cache_hit ws file =
+                  let hit = locality && has ws file in
+                  if hit then
+                    linstant ~name:"cache-hit" ~attempt_n
+                      ~extra:[ ("file", file); ("station", string_of_int ws.Netsim.Host.ws_id) ]
+                      ();
+                  hit
+                in
                 (* --- the function master proper --- *)
                 let t_claim = Netsim.Des.now sim in
-                let ws = Netsim.Host.claim sim cluster in
+                let ws =
+                  if locality then
+                    Netsim.Host.claim_prefer sim cluster ~rank:(fun w ->
+                        (if has w src_file then 2 else 0)
+                        + (if has w core_file then 1 else 0))
+                  else Netsim.Host.claim sim cluster
+                in
                 lspan ws ~name:"claim" ~t0:t_claim;
                 (match head_name with
                 | Some name -> note name ws.Netsim.Host.ws_id
                 | None -> ());
                 (* Lisp startup: every function master downloads the
-                   core image and initializes. *)
-                (if cfg.Config.core_download then begin
+                   core image and initializes (a warm station maps the
+                   image it already holds: same resident set, no
+                   wire). *)
+                (if cfg.Config.core_download && not (cache_hit ws core_file)
+                 then begin
                    let t0 = Netsim.Des.now sim in
-                   fetch cost.Driver.Cost.lisp_core_bytes;
+                   fetch ~client:ws.Netsim.Host.ws_id ~file:core_file
+                     cost.Driver.Cost.lisp_core_bytes;
                    lspan ws ~name:"transfer" ~t0
                  end);
                 alive ws;
@@ -247,7 +312,9 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                   (100 + ti);
                 (* Read and re-parse its share of the source. *)
                 let t_parse = Netsim.Des.now sim in
-                fetch (Driver.Cost.source_bytes cost task_loc);
+                (if not (cache_hit ws src_file) then
+                   fetch ~client:ws.Netsim.Host.ws_id ~file:src_file
+                     (Driver.Cost.source_bytes cost task_loc));
                 alive ws;
                 let reparse =
                   cost.Driver.Cost.sec_per_token *. float_of_int task_tokens
@@ -300,16 +367,27 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                   lspan ws ~name:"write-ir" ~t0:t_ir;
                   set_resident ws 0.0;
                   Netsim.Host.release_station sim cluster ws;
-                  (* Phase-3 master: a fresh Lisp on a pool station. *)
+                  (* Phase-3 master: a fresh Lisp on a pool station
+                     (on a locality retry, preferably one that held
+                     this task's IR or the core image before). *)
+                  let ir_file = "ir:" ^ task_label in
                   let t_claim3 = Netsim.Des.now sim in
-                  let ws3 = Netsim.Host.claim sim cluster in
+                  let ws3 =
+                    if locality then
+                      Netsim.Host.claim_prefer sim cluster ~rank:(fun w ->
+                          (if has w ir_file then 2 else 0)
+                          + (if has w core_file then 1 else 0))
+                    else Netsim.Host.claim sim cluster
+                  in
                   lspan ws3 ~name:"claim" ~t0:t_claim3;
                   (match head_name with
                   | Some name -> note (name ^ "#p3") ws3.Netsim.Host.ws_id
                   | None -> ());
-                  (if cfg.Config.core_download then begin
+                  (if cfg.Config.core_download && not (cache_hit ws3 core_file)
+                   then begin
                      let t0 = Netsim.Des.now sim in
-                     fetch cost.Driver.Cost.lisp_core_bytes;
+                     fetch ~client:ws3.Netsim.Host.ws_id ~file:core_file
+                       cost.Driver.Cost.lisp_core_bytes;
                      lspan ws3 ~name:"transfer" ~t0
                    end);
                   alive ws3;
@@ -317,7 +395,8 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                   compute_f ~tag:"lisp-init" ws3 cost.Driver.Cost.lisp_init_seconds
                     (400 + ti);
                   let t_fir = Netsim.Des.now sim in
-                  fetch ir_bytes;
+                  (if not (cache_hit ws3 ir_file) then
+                     fetch ~client:ws3.Netsim.Host.ws_id ~file:ir_file ir_bytes);
                   alive ws3;
                   lspan ws3 ~name:"fetch-ir" ~t0:t_fir;
                   let t_p3 = Netsim.Des.now sim in
@@ -354,9 +433,7 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                 let work_estimate =
                   cost.Driver.Cost.lisp_init_seconds
                   +. (cost.Driver.Cost.sec_per_token *. float_of_int task_tokens)
-                  +. List.fold_left
-                       (fun acc fw -> acc +. Driver.Cost.phase23_seconds cost fw)
-                       0.0 task.Plan.t_funcs
+                  +. Driver.Cost.task_phase23_seconds cost task.Plan.t_funcs
                   +. (if cfg.Config.fine_grained then
                         cost.Driver.Cost.lisp_init_seconds
                       else 0.0)
@@ -534,6 +611,7 @@ let run (cfg : Config.t) (mw : Driver.Compile.module_work) (plan : Plan.t) : out
       section_cpu = stats.section_cpu;
       extra_parse_cpu = stats.extra_parse_cpu;
       stations_used = List.length cpu;
+      dispatch_units = stats.dispatch_units;
       retries = stats.retries;
       stations_lost = Netsim.Host.lost_stations cluster ~now:!finish;
       fallback_tasks = stats.fallback_tasks;

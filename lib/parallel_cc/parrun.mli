@@ -3,6 +3,13 @@
     claiming, per-process Lisp startup, source re-parsing, result
     combining and the sequential phases 1 and 4 in the master.
 
+    The plan is passed through {!Sched.schedule} before the section
+    masters fork: {!Config.t.sched_policy} selects FCFS dispatch (the
+    paper's behaviour, event schedule bit-identical), LPT ordering, or
+    LPT with tiny-function batching, and on retries under a non-FCFS
+    policy the re-dispatch prefers — and skips re-downloads on — a
+    station that already holds the task's bytes ({!Netsim.Net.cached}).
+
     With {!Config.t.fine_grained} set, each task splits into a phase-2
     and a phase-3 task connected by an IR file on the server — the
     "finer grain parallelism" the paper's section 5 anticipates.
@@ -28,10 +35,15 @@ type stats = {
   mutable section_cpu : float;
   mutable extra_parse_cpu : float;
   mutable placements : (string * int) list;
+  mutable dispatch_units : int;
+      (** tasks launched after scheduling (batching merges tasks, so
+          this can be below the input plan's task count) *)
   mutable retries : int;
   mutable fallback_tasks : int;
   mutable wasted_cpu : float;
 }
+(** Mutable counters one or more master processes accumulate into;
+    {!run} folds them into the {!Timings.run}. *)
 
 val fresh_stats : unit -> stats
 

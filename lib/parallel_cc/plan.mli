@@ -23,6 +23,7 @@ val estimate : Driver.Compile.func_work -> float
     structure. *)
 
 val one_per_station : Driver.Compile.module_work -> t
+(** The paper's default: one task per function, dispatched FCFS. *)
 
 val grouped : Driver.Compile.module_work -> processors:int -> t
 (** Distribute ~[processors] function masters over the sections in
@@ -30,4 +31,7 @@ val grouped : Driver.Compile.module_work -> processors:int -> t
     each section's functions longest-processing-time-first. *)
 
 val task_count : t -> int
+(** Total tasks across all sections. *)
+
 val task_loc : task -> int
+(** Lines of code a task compiles (summed over its functions). *)

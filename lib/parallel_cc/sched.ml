@@ -1,0 +1,137 @@
+(* Pluggable dispatch scheduling (cf. section 4.3 and ComPar).
+
+   The paper's host distributes tasks first come, first served; section
+   4.2.3 measures why that leaves speedup on the table: per-task
+   overhead (core-image download, Lisp init, re-parse, write-back) is
+   up to 70 % of elapsed time for tiny functions, and the longest
+   function bounds the critical path.  This module turns the cost
+   model's phase-2+3 estimate into a placement policy applied to a
+   [Plan.t] before the section masters fork:
+
+   - [Fcfs]      the paper's behaviour.  The plan is returned
+                 physically unchanged, so the event schedule (and
+                 timings) stay bit-identical.
+   - [Lpt]       longest processing time first: each section's task
+                 queue is stably sorted by descending cost estimate, so
+                 the longest function starts first and stops dominating
+                 the tail.
+   - [Lpt_batch] LPT after tiny-function batching: tasks whose
+                 estimated phase-2+3 cost falls below a threshold are
+                 clustered into one dispatch unit per workstation
+                 (first-fit decreasing into bins of the threshold's
+                 capacity), amortizing the claim/transfer/write-back
+                 overhead over several functions.
+
+   Everything here is a pure plan-to-plan function: fault supervision,
+   exactly-once write-back and tracing in [Parrun] see the scheduled
+   plan and work unchanged. *)
+
+type policy = Fcfs | Lpt | Lpt_batch
+
+let all = [ Fcfs; Lpt; Lpt_batch ]
+
+let policy_name = function
+  | Fcfs -> "fcfs"
+  | Lpt -> "lpt"
+  | Lpt_batch -> "lpt+batch"
+
+let policy_of_string = function
+  | "fcfs" -> Some Fcfs
+  | "lpt" -> Some Lpt
+  | "lpt+batch" | "lpt-batch" -> Some Lpt_batch
+  | _ -> None
+
+(* The scheduler's cost signal: estimated phases-2+3 seconds of one
+   task (summed in function order, so bit-stable across plans). *)
+let task_cost (cost : Driver.Cost.model) (t : Plan.task) =
+  Driver.Cost.task_phase23_seconds cost t.Plan.t_funcs
+
+(* Stable sort by descending cost: equal-cost tasks (e.g. the S_n
+   series' identical functions) keep their FCFS order, so LPT on a
+   uniform plan is the identity permutation. *)
+let order_lpt cost tasks =
+  List.stable_sort
+    (fun a b -> compare (task_cost cost b) (task_cost cost a))
+    tasks
+
+(* First-fit decreasing of the tiny tasks into bins of [threshold]
+   estimated seconds, at most [max_bins] bins (one dispatch unit per
+   pool workstation); once the bin budget is reached, remaining tasks
+   spill into the least-loaded bin (LPT packing).  Tasks at or above
+   the threshold pass through untouched. *)
+let batch_tiny cost ~threshold ~max_bins (tasks : Plan.task list) :
+    Plan.task list =
+  let tiny, big =
+    List.partition (fun t -> task_cost cost t < threshold) tasks
+  in
+  match tiny with
+  | [] | [ _ ] -> tasks (* nothing to merge *)
+  | _ ->
+    let max_bins = max 1 max_bins in
+    let sorted =
+      List.stable_sort
+        (fun a b -> compare (task_cost cost b) (task_cost cost a))
+        tiny
+    in
+    (* bins: (load, tasks in reverse arrival order) *)
+    let bins : (float * Plan.task list) array ref = ref [||] in
+    let place t =
+      let c = task_cost cost t in
+      let n = Array.length !bins in
+      let fits = ref (-1) in
+      Array.iteri
+        (fun i (load, _) ->
+          if !fits < 0 && load +. c <= threshold then fits := i)
+        !bins;
+      match !fits with
+      | i when i >= 0 ->
+        let load, ts = !bins.(i) in
+        !bins.(i) <- (load +. c, t :: ts)
+      | _ when n < max_bins -> bins := Array.append !bins [| (c, [ t ]) |]
+      | _ ->
+        (* budget reached: least-loaded bin takes the spill *)
+        let least = ref 0 in
+        Array.iteri
+          (fun i (load, _) -> if load < fst !bins.(!least) then least := i)
+          !bins;
+        let load, ts = !bins.(!least) in
+        !bins.(!least) <- (load +. c, t :: ts)
+    in
+    List.iter place sorted;
+    let merged =
+      Array.to_list !bins
+      |> List.map (fun (_, ts) ->
+             match List.rev ts with
+             | [] -> assert false
+             | first :: _ as ts ->
+               {
+                 Plan.t_section = first.Plan.t_section;
+                 t_funcs = List.concat_map (fun t -> t.Plan.t_funcs) ts;
+               })
+    in
+    big @ merged
+
+let schedule ~policy ~(cost : Driver.Cost.model) ~threshold ~stations
+    (plan : Plan.t) : Plan.t =
+  match policy with
+  | Fcfs -> plan (* physically unchanged: timings stay bit-identical *)
+  | Lpt ->
+    {
+      plan with
+      Plan.tasks_per_section =
+        List.map
+          (fun (s, tasks) -> (s, order_lpt cost tasks))
+          plan.Plan.tasks_per_section;
+    }
+  | Lpt_batch ->
+    (* One dispatch unit per pool station at most ([stations] counts
+       the master's own machine, which carries no function masters). *)
+    let max_bins = max 1 (stations - 1) in
+    {
+      plan with
+      Plan.tasks_per_section =
+        List.map
+          (fun (s, tasks) ->
+            (s, order_lpt cost (batch_tiny cost ~threshold ~max_bins tasks)))
+          plan.Plan.tasks_per_section;
+    }

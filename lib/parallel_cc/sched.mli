@@ -1,0 +1,55 @@
+(** Pluggable dispatch scheduling for the parallel compiler.
+
+    The paper distributes tasks first come, first served and measures
+    the consequences (§4.2.3): per-task overhead — core-image download,
+    Lisp init, re-parse, write-back — reaches 70 % of elapsed time for
+    tiny functions, and the longest function bounds the critical path.
+    This module turns {!Driver.Cost.task_phase23_seconds} into a
+    placement policy applied to a {!Plan.t} before the section masters
+    fork; supervision, exactly-once write-back and tracing in
+    {!Parrun} operate on the scheduled plan unchanged. *)
+
+type policy =
+  | Fcfs  (** the paper's first-come-first-served dispatch.
+              {!schedule} returns the plan physically unchanged, so the
+              event schedule — and therefore every timing — is
+              bit-identical to the unscheduled compiler. *)
+  | Lpt  (** longest processing time first: each section's task queue
+             is stably sorted by descending cost estimate, so the
+             longest function starts first and stops dominating the
+             makespan tail.  Equal-cost tasks keep their FCFS order. *)
+  | Lpt_batch
+      (** LPT after tiny-function batching: tasks whose estimated
+          phase-2+3 cost falls below the threshold are clustered into
+          one dispatch unit per pool workstation (first-fit decreasing,
+          spilling into the least-loaded unit once every station has
+          one), amortizing the per-task overhead the paper measured. *)
+
+val all : policy list
+(** Every policy, in ascending sophistication: [Fcfs; Lpt; Lpt_batch]. *)
+
+val policy_name : policy -> string
+(** ["fcfs"], ["lpt"], ["lpt+batch"] — the names used by
+    [warpcc simulate --sched] and the bench tables. *)
+
+val policy_of_string : string -> policy option
+(** Inverse of {!policy_name} (also accepts ["lpt-batch"]). *)
+
+val task_cost : Driver.Cost.model -> Plan.task -> float
+(** Estimated phases-2+3 seconds of one task — the signal every policy
+    ranks and batches by. *)
+
+val schedule :
+  policy:policy ->
+  cost:Driver.Cost.model ->
+  threshold:float ->
+  stations:int ->
+  Plan.t ->
+  Plan.t
+(** Apply [policy] to a plan.  [threshold] is the batching cut-off in
+    estimated seconds (tasks strictly below it are merged);
+    [stations] is the cluster size including the master's own machine,
+    capping batched dispatch units at one per pool station.  Function
+    multisets per section are preserved by construction: scheduling
+    permutes and merges tasks, it never drops or duplicates a
+    function. *)

@@ -109,6 +109,7 @@ let run (cfg : Config.t) (mw : Driver.Compile.module_work) : Timings.run =
     section_cpu = 0.0;
     extra_parse_cpu = 0.0;
     stations_used = 1;
+    dispatch_units = 1;
     retries = 0;
     stations_lost = 0;
     fallback_tasks = 0;

@@ -18,6 +18,8 @@ type run = {
   section_cpu : float; (* section-master work *)
   extra_parse_cpu : float; (* function masters re-parsing *)
   stations_used : int;
+  dispatch_units : int; (* function-master tasks actually launched
+                           (after batching; 1 for a sequential run) *)
   retries : int; (* task re-dispatches after crash or timeout *)
   stations_lost : int; (* stations crashed or reclaimed by run's end *)
   fallback_tasks : int; (* tasks finished sequentially on the master *)
@@ -75,6 +77,7 @@ let comparison_to_json (c : comparison) : string =
     pr "%s  \"section_cpu\": %s,\n" indent (f r.section_cpu);
     pr "%s  \"extra_parse_cpu\": %s,\n" indent (f r.extra_parse_cpu);
     pr "%s  \"stations_used\": %d,\n" indent r.stations_used;
+    pr "%s  \"dispatch_units\": %d,\n" indent r.dispatch_units;
     pr "%s  \"retries\": %d,\n" indent r.retries;
     pr "%s  \"stations_lost\": %d,\n" indent r.stations_lost;
     pr "%s  \"fallback_tasks\": %d,\n" indent r.fallback_tasks;

@@ -8,6 +8,10 @@ type run = {
   section_cpu : float; (** section-master work *)
   extra_parse_cpu : float; (** function masters re-parsing *)
   stations_used : int;
+  dispatch_units : int;
+      (** function-master tasks actually launched — after any
+          {!Sched.Lpt_batch} merging, so under batching this is less
+          than the plan's task count; 1 for a sequential run *)
   retries : int; (** task re-dispatches after crash or timeout *)
   stations_lost : int; (** stations crashed or reclaimed by run's end *)
   fallback_tasks : int; (** tasks finished sequentially on the master *)

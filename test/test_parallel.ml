@@ -388,6 +388,7 @@ let run_fixture ~elapsed ~master ~section ~parse =
     section_cpu = section;
     extra_parse_cpu = parse;
     stations_used = 1;
+    dispatch_units = 1;
     retries = 0;
     stations_lost = 0;
     fallback_tasks = 0;

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation.
+
+Scans the top-level docs and everything under docs/ for markdown links
+and inline file references, and fails when a relative link points at a
+file that does not exist.  External URLs (http/https/mailto) and pure
+fragments are not fetched or checked.
+
+Run from the repository root:  python3 tools/check_links.py
+"""
+
+import os
+import re
+import sys
+
+DOC_GLOBS = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+]
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def doc_files():
+    for name in DOC_GLOBS:
+        if os.path.exists(name):
+            yield name
+    for entry in sorted(os.listdir("docs")):
+        if entry.endswith(".md"):
+            yield os.path.join("docs", entry)
+
+
+def check_file(path):
+    broken = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            for target in LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                target = target.split("#", 1)[0]
+                if not target:  # pure fragment: same-file anchor
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), target)
+                )
+                if not os.path.exists(resolved):
+                    broken.append((lineno, target, resolved))
+    return broken
+
+
+def main():
+    if not os.path.exists("dune-project"):
+        sys.exit("run from the repository root")
+    total_links = 0
+    failures = []
+    for path in doc_files():
+        broken = check_file(path)
+        with open(path, encoding="utf-8") as f:
+            total_links += sum(len(LINK_RE.findall(l)) for l in f)
+        for lineno, target, resolved in broken:
+            failures.append(f"{path}:{lineno}: broken link '{target}' -> {resolved}")
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    if failures:
+        sys.exit(f"{len(failures)} broken link(s)")
+    print(f"checked {total_links} links across {len(list(doc_files()))} files: ok")
+
+
+if __name__ == "__main__":
+    main()
