@@ -483,6 +483,84 @@ let write_sched_json () =
   Printf.printf "wrote BENCH_sched.json (%d points)\n\n"
     (List.length (sched_points ()))
 
+(* --- dependence-aware dispatch: FCFS vs DAG vs DAG + LPT --- *)
+
+let dag_points_cache = ref None
+
+let dag_points () =
+  match !dag_points_cache with
+  | Some points -> points
+  | None ->
+    let points = Experiment.dag_sweep () in
+    dag_points_cache := Some points;
+    points
+
+let print_dag_sweep () =
+  let table =
+    t
+      ~title:
+        "Dependence-aware dispatch (licensed = fraction of same-section         function pairs the analyzer lets overlap; speedup = FCFS         elapsed / policy elapsed on the same point)"
+      ~columns:
+        [
+          "series @ policy";
+          "pool";
+          "units";
+          "edges";
+          "licensed";
+          "elapsed (min)";
+          "speedup vs fcfs";
+        ]
+  in
+  let table =
+    List.fold_left
+      (fun table (p : Experiment.dag_point) ->
+        Stats.Table.add_float_row table
+          ~label:
+            (Printf.sprintf "%-8s @ %s" p.Experiment.dg_series
+               (Sched.policy_name p.Experiment.dg_policy))
+          [
+            float_of_int p.Experiment.dg_pool;
+            float_of_int p.Experiment.dg_units;
+            float_of_int p.Experiment.dg_edges;
+            p.Experiment.dg_licensed;
+            minutes p.Experiment.dg_elapsed;
+            p.Experiment.dg_speedup_vs_fcfs;
+          ])
+      table (dag_points ())
+  in
+  Stats.Table.print table;
+  print_newline ()
+
+let write_deps_json () =
+  let b = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pr "{\n";
+  pr "  \"schema\": \"warpcc-bench-deps/1\",\n";
+  pr "  \"batch_threshold\": %.1f,\n" Config.default.Config.batch_threshold;
+  pr "  \"points\": [\n";
+  let first = ref true in
+  List.iter
+    (fun (p : Experiment.dag_point) ->
+      if not !first then pr ",\n";
+      first := false;
+      pr
+        "    {\"series\": \"%s\", \"policy\": \"%s\", \"pool\": %d, \
+         \"dispatch_units\": %d, \"edges\": %d, \"licensed_fraction\": %.4f, \
+         \"elapsed\": %.3f, \"speedup_vs_fcfs\": %.4f}"
+        (json_escape p.Experiment.dg_series)
+        (json_escape (Sched.policy_name p.Experiment.dg_policy))
+        p.Experiment.dg_pool p.Experiment.dg_units p.Experiment.dg_edges
+        p.Experiment.dg_licensed p.Experiment.dg_elapsed
+        p.Experiment.dg_speedup_vs_fcfs)
+    (dag_points ());
+  pr "\n  ]\n";
+  pr "}\n";
+  let oc = open_out "BENCH_deps.json" in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "wrote BENCH_deps.json (%d points)\n\n"
+    (List.length (dag_points ()))
+
 let write_bench_json () =
   let b = Buffer.create 4096 in
   let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
@@ -752,6 +830,9 @@ let () =
     | "sched" ->
       print_sched_sweep ();
       write_sched_json ()
+    | "deps" ->
+      print_dag_sweep ();
+      write_deps_json ()
     | "json" -> write_bench_json ()
     | "trace" -> print_trace_demo ()
     | "bechamel" -> print_bechamel ()
@@ -766,6 +847,8 @@ let () =
       print_fault_sweep ();
       print_sched_sweep ();
       write_sched_json ();
+      print_dag_sweep ();
+      write_deps_json ();
       write_bench_json ();
       print_bechamel ()
     | other ->

@@ -14,10 +14,22 @@
          Compile and execute an entry function on the cycle-accurate
          cell simulator (or the whole array with --array).
 
-     warpcc simulate prog.w2 [--processors N]
+     warpcc simulate prog.w2 [--processors N] [--sched POLICY]
          Replay sequential and parallel compilation of the module on the
          simulated 1989 workstation network and report the speedup and
          overhead decomposition of the paper.
+
+     warpcc analyze prog.w2 [--dot FILE] [--json FILE]
+         Run the interprocedural dependence analyzer alone and print the
+         per-section summaries, dependence edges and licensed-parallelism
+         fraction (or emit Graphviz / JSON).
+
+   Exit codes (shared by every static path — check, compile, analyze):
+     0    the module was accepted
+     1    the module was rejected or compilation failed: parse or
+          semantic errors, verifier findings, error-severity
+          diagnostics, or any diagnostic at all under --Werror
+     124+ command-line misuse (cmdliner's own codes)
 *)
 
 open Cmdliner
@@ -28,14 +40,23 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Every rejection path exits 1 — parse, semantic, lint-as-error and
+   verifier failures alike — so scripts and CI can tell "module
+   rejected" (1) apart from command-line misuse (cmdliner's 124+).
+   Before this, `check` exited 1 but `compile --Werror` surfaced the
+   same finding as cmdliner's generic 123. *)
+let reject msg : (_, [ `Msg of string ]) result =
+  prerr_endline ("warpcc: " ^ msg);
+  exit 1
+
 let or_compile_error f =
   try Ok (f ()) with
-  | Driver.Compile.Compile_error msg -> Error (`Msg msg)
+  | Driver.Compile.Compile_error msg -> reject msg
   | W2.Parser.Error (msg, loc) ->
-    Error (`Msg (Printf.sprintf "%s: %s" (W2.Loc.to_string loc) msg))
+    reject (Printf.sprintf "%s: %s" (W2.Loc.to_string loc) msg)
   | W2.Lexer.Error (msg, loc) ->
-    Error (`Msg (Printf.sprintf "%s: %s" (W2.Loc.to_string loc) msg))
-  | Sys_error msg -> Error (`Msg msg)
+    reject (Printf.sprintf "%s: %s" (W2.Loc.to_string loc) msg)
+  | Sys_error msg -> reject msg
 
 (* --- shared diagnostic flags --- *)
 
@@ -98,7 +119,10 @@ let compile_cmd =
         in
         (if lint || werror then
            if emit_diags ~werror (Driver.Compile.all_diags mw) then
-             raise (Driver.Compile.Compile_error "diagnostics treated as errors (--Werror)"));
+             raise
+               (Driver.Compile.Compile_error
+                  (if werror then "diagnostics treated as errors (--Werror)"
+                   else "error diagnostics emitted")));
         List.iter
           (fun (sw : Driver.Compile.section_work) ->
             let base = Filename.concat out_dir (mw.Driver.Compile.mw_name ^ "." ^ sw.Driver.Compile.sw_name) in
@@ -157,20 +181,42 @@ let static_check ~lint ~verify_ir ~werror ~level file =
     List.iter (fun e -> prerr_endline (W2.Semcheck.error_to_string e)) errors;
     false
   | [] ->
+    (* One analyzer pass feeds both the coupling lints (W008/W009) and
+       the summary-backed call checks below — the same single
+       diagnostics channel Driver.Compile uses, so `check` and
+       `compile` agree on what they report and nothing is printed
+       twice. *)
+    let analysis = if lint || verify_ir then Some (Analysis.Depan.analyze m) else None in
     let lint_failed =
-      if lint then emit_diags ~werror (W2.Lint.lint_module m) else false
+      if lint then
+        let coupling =
+          match analysis with Some t -> Analysis.Depan.lint t | None -> []
+        in
+        emit_diags ~werror (W2.Diag.sort (coupling @ W2.Lint.lint_module m))
+      else false
     in
     let violations =
       if verify_ir then
-        List.concat_map
-          (fun sec ->
-            try
-              ignore (Midend.Opt.optimize_section ~level ~verify_each:true sec);
-              (* The per-pass checks cover each function; what remains
-                 is the cross-function call agreement. *)
-              Midend.Irverify.check_calls sec
-            with Midend.Irverify.Invalid violations -> violations)
-          (Midend.Lower.lower_module m)
+        let dp_sections =
+          match analysis with
+          | Some t -> List.map (fun si -> Some si) t.Analysis.Depan.dp_sections
+          | None -> List.map (fun _ -> None) m.W2.Ast.sections
+        in
+        List.concat
+          (List.map2
+             (fun si sec ->
+               try
+                 ignore (Midend.Opt.optimize_section ~level ~verify_each:true sec);
+                 (* The per-pass checks cover each function; what remains
+                    is the cross-function call agreement, checked both
+                    structurally and against the analyzer's call graph. *)
+                 Midend.Irverify.check_calls sec
+                 @ (match si with
+                   | Some si -> Analysis.Depan.check_ir_calls si sec
+                   | None -> [])
+               with Midend.Irverify.Invalid violations -> violations)
+             dp_sections
+             (Midend.Lower.lower_module m))
       else []
     in
     List.iter
@@ -219,6 +265,72 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:"Run the static checks (phase 1, plus --lint and --verify-ir)")
+    term
+
+(* --- analyze --- *)
+
+let analyze_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"W2 source module")
+  in
+  let dot_out =
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE"
+           ~doc:"Write the dependence DAG as Graphviz dot (\"-\" = stdout)")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the full analysis as JSON, schema $(b,warpcc-analyze/1) \
+                 (\"-\" = stdout)")
+  in
+  let no_sound =
+    Arg.(value & flag & info [ "no-sound" ]
+           ~doc:"Drop the summary-limit edges added when an effect summary \
+                 overflows --max-tracked (faster DAGs, no soundness promise)")
+  in
+  let max_tracked =
+    Arg.(value & opt int 64 & info [ "max-tracked" ] ~docv:"N"
+           ~doc:"Distinct globals tracked per effect-summary set before the \
+                 summary is widened to \"anything\"")
+  in
+  let action file dot_out json_out no_sound max_tracked werror =
+    or_compile_error (fun () ->
+        let source = read_file file in
+        let m = W2.Parser.module_of_string ~file source in
+        (match W2.Semcheck.check_module m with
+        | [] -> ()
+        | errors ->
+          List.iter (fun e -> prerr_endline (W2.Semcheck.error_to_string e)) errors;
+          exit 1);
+        let t = Analysis.Depan.analyze ~sound:(not no_sound) ~max_tracked m in
+        let write what = function
+          | None -> ()
+          | Some "-" -> print_string what
+          | Some path ->
+            let oc = open_out path in
+            output_string oc what;
+            close_out oc;
+            Printf.printf "wrote %s\n" path
+        in
+        (match (dot_out, json_out) with
+        | None, None -> print_string (Analysis.Depan.report t)
+        | _ ->
+          write (Analysis.Depan.to_dot t) dot_out;
+          write (Analysis.Depan.to_json t) json_out);
+        (* The analyzer's own findings (W008/W009) ride the same
+           diagnostics channel as `check --lint`; under --Werror they
+           reject the module with the shared exit code. *)
+        if emit_diags ~werror (Analysis.Depan.lint t) then exit 1)
+  in
+  let term =
+    Term.(
+      term_result
+        (const action $ file $ dot_out $ json_out $ no_sound $ max_tracked
+        $ werror_flag))
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Run the interprocedural dependence analyzer (call graph, effect \
+             summaries, dependence DAG)")
     term
 
 (* --- run --- *)
@@ -339,14 +451,18 @@ let simulate_cmd =
     let policies =
       List.map
         (fun p -> (Parallel_cc.Sched.policy_name p, p))
-        Parallel_cc.Sched.all
+        Parallel_cc.Sched.all_policies
     in
     Arg.(value & opt (enum policies) Parallel_cc.Sched.Fcfs
          & info [ "sched" ] ~docv:"POLICY"
              ~doc:"Dispatch policy: $(b,fcfs) (the paper's first-come \
                    first-served order), $(b,lpt) (longest processing time \
-                   first within each section), or $(b,lpt+batch) (LPT plus \
-                   batching of tiny functions into one dispatch unit)")
+                   first within each section), $(b,lpt+batch) (LPT plus \
+                   batching of tiny functions into one dispatch unit), \
+                   $(b,dag) (topological dispatch gated on the depan \
+                   dependence DAG; identical to fcfs when the DAG has no \
+                   edges), or $(b,dag+lpt) (dag with LPT ordering and tiny \
+                   batching inside each antichain level)")
   in
   let batch_threshold =
     Arg.(value & opt float Parallel_cc.Config.default.Parallel_cc.Config.batch_threshold
@@ -519,4 +635,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group ~default info [ check_cmd; compile_cmd; run_cmd; simulate_cmd ]))
+       (Cmd.group ~default info
+          [ check_cmd; compile_cmd; analyze_cmd; run_cmd; simulate_cmd ]))

@@ -1,0 +1,756 @@
+(* Interprocedural dependence analysis over a checked W2 module.
+
+   Everything here is AST-level and runs in the sequential master
+   (phase 1), before any task is dispatched: the analyzer charges no
+   simulated time, so schedules that ignore its DAG are timed exactly
+   as before.
+
+   The core trick is the canonical rank.  Call edges are naturally
+   acyclic across SCCs (Tarjan numbers callee SCCs before caller SCCs),
+   but global conflicts and channel pairings are symmetric, and a naive
+   orientation could cycle with the call edges.  Ranking every function
+   by (SCC id, section position) and pointing every edge from lower
+   rank to higher makes the result a DAG by construction while keeping
+   callees before callers. *)
+
+module Ast = W2.Ast
+module SS = Set.Make (String)
+
+type effects = {
+  greads : string list;
+  gwrites : string list;
+  sends : Ast.channel list;
+  recvs : Ast.channel list;
+  calls : string list;
+  limited : bool;
+}
+
+let no_effects =
+  { greads = []; gwrites = []; sends = []; recvs = []; calls = [];
+    limited = false }
+
+type reason =
+  | Inline_of
+  | Sig_agreement
+  | Global_conflict of string
+  | Channel_pair of Ast.channel
+  | Summary_limit
+
+let reason_to_string = function
+  | Inline_of -> "inline_of"
+  | Sig_agreement -> "sig_agreement"
+  | Global_conflict g -> "global_conflict:" ^ g
+  | Channel_pair c -> "channel_pair:" ^ Ast.channel_to_string c
+  | Summary_limit -> "summary_limit"
+
+(* Display (and dedup) order: structural reasons first, then data
+   reasons, then the conservative catch-all. *)
+let reason_key = function
+  | Inline_of -> (0, "")
+  | Sig_agreement -> (1, "")
+  | Global_conflict g -> (2, g)
+  | Channel_pair c -> (3, Ast.channel_to_string c)
+  | Summary_limit -> (4, "")
+
+type edge = { e_from : int; e_to : int; reasons : reason list }
+
+type func_info = {
+  fi_name : string;
+  fi_index : int;
+  fi_loc : W2.Loc.t;
+  fi_arity : int;
+  fi_returns : bool;
+  fi_inlinable : bool;
+  fi_scc : int;
+  fi_direct : effects;
+  fi_summary : effects;
+}
+
+type section_info = {
+  si_name : string;
+  si_cells : int;
+  si_funcs : func_info array;
+  si_edges : edge list;
+  si_levels : int list list;
+  si_fixpoint_sweeps : int;
+}
+
+type t = {
+  dp_module : string;
+  dp_sound : bool;
+  dp_sections : section_info list;
+}
+
+(* --- effect sets (internal representation) --- *)
+
+type eff = {
+  r : SS.t; (* globals read *)
+  w : SS.t; (* globals written *)
+  sx : bool; (* sends on X *)
+  sy : bool;
+  rx : bool; (* receives on X *)
+  ry : bool;
+  cs : SS.t; (* user functions called *)
+  lim : bool;
+}
+
+let eff_empty =
+  { r = SS.empty; w = SS.empty; sx = false; sy = false; rx = false;
+    ry = false; cs = SS.empty; lim = false }
+
+let eff_union a b =
+  {
+    r = SS.union a.r b.r;
+    w = SS.union a.w b.w;
+    sx = a.sx || b.sx;
+    sy = a.sy || b.sy;
+    rx = a.rx || b.rx;
+    ry = a.ry || b.ry;
+    cs = SS.union a.cs b.cs;
+    lim = a.lim || b.lim;
+  }
+
+let eff_equal a b =
+  SS.equal a.r b.r && SS.equal a.w b.w && a.sx = b.sx && a.sy = b.sy
+  && a.rx = b.rx && a.ry = b.ry && SS.equal a.cs b.cs && a.lim = b.lim
+
+let effects_of_eff e =
+  {
+    greads = SS.elements e.r;
+    gwrites = SS.elements e.w;
+    sends =
+      (if e.sx then [ Ast.Chan_x ] else [])
+      @ if e.sy then [ Ast.Chan_y ] else [];
+    recvs =
+      (if e.rx then [ Ast.Chan_x ] else [])
+      @ if e.ry then [ Ast.Chan_y ] else [];
+    calls = SS.elements e.cs;
+    limited = e.lim;
+  }
+
+(* Direct effects of one function's body.  [globals] are the section's
+   global names; parameters and locals shadow (the checker rejects such
+   shadowing, but staying defensive costs nothing). *)
+let direct_effects ~globals (f : Ast.func) : eff =
+  let bound =
+    SS.union
+      (SS.of_list (List.map (fun (p : Ast.param) -> p.pname) f.params))
+      (SS.of_list (List.map (fun (d : Ast.decl) -> d.dname) f.locals))
+  in
+  let is_global n = SS.mem n globals && not (SS.mem n bound) in
+  let e = ref eff_empty in
+  let read n = if is_global n then e := { !e with r = SS.add n !e.r } in
+  let write n = if is_global n then e := { !e with w = SS.add n !e.w } in
+  let call n =
+    if not (Ast.is_builtin n) then e := { !e with cs = SS.add n !e.cs }
+  in
+  let send = function
+    | Ast.Chan_x -> e := { !e with sx = true }
+    | Ast.Chan_y -> e := { !e with sy = true }
+  in
+  let recv = function
+    | Ast.Chan_x -> e := { !e with rx = true }
+    | Ast.Chan_y -> e := { !e with ry = true }
+  in
+  let rec expr (x : Ast.expr) =
+    match x.e with
+    | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Bool_lit _ -> ()
+    | Ast.Var n -> read n
+    | Ast.Index (n, i) ->
+      read n;
+      expr i
+    | Ast.Unary (_, a) -> expr a
+    | Ast.Binary (_, a, b) ->
+      expr a;
+      expr b
+    | Ast.Call (n, args) ->
+      call n;
+      List.iter expr args
+  in
+  let lvalue = function
+    | Ast.Lvar n -> write n
+    | Ast.Lindex (n, i) ->
+      write n;
+      expr i
+  in
+  let rec stmt (s : Ast.stmt) =
+    match s.s with
+    | Ast.Assign (lv, x) ->
+      expr x;
+      lvalue lv
+    | Ast.If (c, t, f) ->
+      expr c;
+      List.iter stmt t;
+      List.iter stmt f
+    | Ast.While (c, b) ->
+      expr c;
+      List.iter stmt b
+    | Ast.For (v, lo, hi, b) ->
+      write v;
+      (* no-op unless v is (illegally) a global *)
+      expr lo;
+      expr hi;
+      List.iter stmt b
+    | Ast.Send (c, x) ->
+      send c;
+      expr x
+    | Ast.Receive (c, lv) ->
+      recv c;
+      lvalue lv
+    | Ast.Return None -> ()
+    | Ast.Return (Some x) -> expr x
+    | Ast.Call_stmt (n, args) ->
+      call n;
+      List.iter expr args
+  in
+  List.iter stmt f.body;
+  !e
+
+(* Cap the tracked-global footprint.  Keeping the lexicographically
+   first [max_tracked] names is arbitrary but deterministic; what
+   matters is that [lim] records the truncation so sound mode can add
+   conservative edges. *)
+let cap_eff ~max_tracked e =
+  let tracked = SS.union e.r e.w in
+  if SS.cardinal tracked <= max_tracked then e
+  else
+    let kept =
+      SS.elements tracked
+      |> List.filteri (fun i _ -> i < max_tracked)
+      |> SS.of_list
+    in
+    { e with r = SS.inter e.r kept; w = SS.inter e.w kept; lim = true }
+
+(* --- Tarjan SCCs over the intra-section call graph --- *)
+
+(* Deterministic: roots are tried in section order and successors are
+   visited in sorted-name order, so SCC ids depend only on the source.
+   The classic invariant gives us exactly the order we want: when an
+   edge caller->callee crosses SCCs, the callee's SCC is numbered
+   first. *)
+let tarjan (succs : int list array) : int array =
+  let n = Array.length succs in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let scc = Array.make n (-1) in
+  let next_index = ref 0 in
+  let next_scc = ref 0 in
+  let rec visit v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun u ->
+        if index.(u) < 0 then begin
+          visit u;
+          lowlink.(v) <- min lowlink.(v) lowlink.(u)
+        end
+        else if on_stack.(u) then lowlink.(v) <- min lowlink.(v) index.(u))
+      succs.(v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop () =
+        match !stack with
+        | [] -> ()
+        | u :: rest ->
+          stack := rest;
+          on_stack.(u) <- false;
+          scc.(u) <- !next_scc;
+          if u <> v then pop ()
+      in
+      pop ();
+      incr next_scc
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then visit v
+  done;
+  scc
+
+(* --- per-section analysis --- *)
+
+let analyze_section ~sound ~max_tracked (sec : Ast.section) : section_info =
+  let funcs = Array.of_list sec.funcs in
+  let n = Array.length funcs in
+  let globals =
+    SS.of_list (List.map (fun (d : Ast.decl) -> d.dname) sec.globals)
+  in
+  let by_name = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (f : Ast.func) -> Hashtbl.replace by_name f.fname i)
+    funcs;
+  let direct =
+    Array.map
+      (fun f -> cap_eff ~max_tracked (direct_effects ~globals f))
+      funcs
+  in
+  let succs =
+    Array.map
+      (fun e ->
+        SS.elements e.cs
+        |> List.filter_map (fun name -> Hashtbl.find_opt by_name name))
+      direct
+  in
+  let scc = tarjan succs in
+  (* Bottom-up SCC fixpoint: callee SCCs (lower ids) first, then
+     iterate each SCC until its members' summaries stop changing. *)
+  let summary = Array.map (fun e -> e) direct in
+  let sweeps = ref 0 in
+  let num_sccs = Array.fold_left (fun m s -> max m (s + 1)) 0 scc in
+  for s = 0 to num_sccs - 1 do
+    let members =
+      List.filter (fun i -> scc.(i) = s) (List.init n (fun i -> i))
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      incr sweeps;
+      List.iter
+        (fun i ->
+          let fresh =
+            List.fold_left
+              (fun acc j -> eff_union acc summary.(j))
+              direct.(i) succs.(i)
+          in
+          if not (eff_equal fresh summary.(i)) then begin
+            summary.(i) <- fresh;
+            changed := true
+          end)
+        members
+    done
+  done;
+  (* Canonical rank: SCC id first (callees before callers), section
+     order second.  Every edge points from lower rank to higher. *)
+  let order =
+    List.sort
+      (fun a b -> compare (scc.(a), a) (scc.(b), b))
+      (List.init n (fun i -> i))
+  in
+  let rankpos = Array.make n 0 in
+  List.iteri (fun pos i -> rankpos.(i) <- pos) order;
+  let edge_tbl : (int * int, reason list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let add_edge i j reason =
+    let i, j = if rankpos.(i) <= rankpos.(j) then (i, j) else (j, i) in
+    if i <> j then
+      match Hashtbl.find_opt edge_tbl (i, j) with
+      | Some rs -> rs := reason :: !rs
+      | None -> Hashtbl.replace edge_tbl (i, j) (ref [ reason ])
+  in
+  let inlinable =
+    Array.map
+      (W2.Inline.inlinable ~max_lines:W2.Inline.default_max_lines)
+      funcs
+  in
+  (* Call edges (cross-SCC): callee before caller. *)
+  Array.iteri
+    (fun i js ->
+      List.iter
+        (fun j ->
+          if scc.(j) <> scc.(i) then
+            add_edge j i (if inlinable.(j) then Inline_of else Sig_agreement))
+        js)
+    succs;
+  (* Same-SCC members genuinely need each other; serialize them as a
+     chain in section order (any topological serialization of a cycle
+     is equally conservative). *)
+  for s = 0 to num_sccs - 1 do
+    let members =
+      List.filter (fun i -> scc.(i) = s) (List.init n (fun i -> i))
+    in
+    let rec chain = function
+      | a :: (b :: _ as rest) ->
+        add_edge a b Sig_agreement;
+        chain rest
+      | _ -> ()
+    in
+    chain members
+  done;
+  (* Data coupling, over summarized effects: write/any-access global
+     conflicts and shared-channel pairs. *)
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = summary.(i) and b = summary.(j) in
+      let conflicts =
+        SS.union
+          (SS.inter a.w (SS.union b.r b.w))
+          (SS.inter (SS.union a.r a.w) b.w)
+      in
+      SS.iter (fun g -> add_edge i j (Global_conflict g)) conflicts;
+      if (a.sx || a.rx) && (b.sx || b.rx) then
+        add_edge i j (Channel_pair Ast.Chan_x);
+      if (a.sy || a.ry) && (b.sy || b.ry) then
+        add_edge i j (Channel_pair Ast.Chan_y)
+    done
+  done;
+  (* Sound mode: a truncated summary could hide any of the couplings
+     above, so pin the limited function against every sibling. *)
+  if sound then
+    for i = 0 to n - 1 do
+      if summary.(i).lim then
+        for j = 0 to n - 1 do
+          if j <> i then add_edge i j Summary_limit
+        done
+    done;
+  let edges =
+    Hashtbl.fold
+      (fun (i, j) rs acc ->
+        let reasons =
+          List.sort_uniq (fun a b -> compare (reason_key a) (reason_key b)) !rs
+        in
+        { e_from = i; e_to = j; reasons } :: acc)
+      edge_tbl []
+    |> List.sort (fun a b -> compare (a.e_from, a.e_to) (b.e_from, b.e_to))
+  in
+  (* Antichain levels: longest-path depth.  Ranks only grow along
+     edges, so one pass in rank order suffices. *)
+  let depth = Array.make n 0 in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun e -> if e.e_to = v then depth.(v) <- max depth.(v) (depth.(e.e_from) + 1))
+        edges)
+    order;
+  let max_depth = Array.fold_left max 0 depth in
+  let levels =
+    List.init (max_depth + 1) (fun d ->
+        List.filter (fun i -> depth.(i) = d) (List.init n (fun i -> i)))
+    |> List.filter (fun l -> l <> [])
+  in
+  let func_info i (f : Ast.func) =
+    {
+      fi_name = f.fname;
+      fi_index = i;
+      fi_loc = f.floc;
+      fi_arity = List.length f.params;
+      fi_returns = f.ret <> None;
+      fi_inlinable = inlinable.(i);
+      fi_scc = scc.(i);
+      fi_direct = effects_of_eff direct.(i);
+      fi_summary = effects_of_eff summary.(i);
+    }
+  in
+  {
+    si_name = sec.sname;
+    si_cells = sec.cells;
+    si_funcs = Array.mapi func_info funcs;
+    si_edges = edges;
+    si_levels = levels;
+    si_fixpoint_sweeps = !sweeps;
+  }
+
+let analyze ?(sound = true) ?(max_tracked = 64) (m : Ast.modul) : t =
+  {
+    dp_module = m.mname;
+    dp_sound = sound;
+    dp_sections = List.map (analyze_section ~sound ~max_tracked) m.sections;
+  }
+
+let section t name =
+  List.find_opt (fun s -> s.si_name = name) t.dp_sections
+
+(* --- reachability --- *)
+
+let successors (si : section_info) : int list array =
+  let adj = Array.make (Array.length si.si_funcs) [] in
+  List.iter (fun e -> adj.(e.e_from) <- e.e_to :: adj.(e.e_from)) si.si_edges;
+  adj
+
+let reaches adj i j =
+  let seen = Array.make (Array.length adj) false in
+  let rec go v =
+    v = j
+    || List.exists
+         (fun u ->
+           if seen.(u) then false
+           else begin
+             seen.(u) <- true;
+             go u
+           end)
+         adj.(v)
+  in
+  go i
+
+let dependent si i j =
+  let adj = successors si in
+  reaches adj i j || reaches adj j i
+
+let independent si i j = not (dependent si i j)
+
+let licensed_fraction (si : section_info) : float =
+  let n = Array.length si.si_funcs in
+  if n < 2 then 1.0
+  else begin
+    let adj = successors si in
+    let dependent_pairs = ref 0 in
+    for i = 0 to n - 1 do
+      let seen = Array.make n false in
+      let rec go v =
+        List.iter
+          (fun u ->
+            if not seen.(u) then begin
+              seen.(u) <- true;
+              incr dependent_pairs;
+              go u
+            end)
+          adj.(v)
+      in
+      go i
+    done;
+    (* Edges only point forward in rank, so each dependent unordered
+       pair is counted exactly once (from its lower-ranked end). *)
+    let total = n * (n - 1) / 2 in
+    1.0 -. (float_of_int !dependent_pairs /. float_of_int total)
+  end
+
+let edges_by_name (si : section_info) =
+  List.map
+    (fun e ->
+      ( si.si_funcs.(e.e_from).fi_name,
+        si.si_funcs.(e.e_to).fi_name,
+        e.reasons ))
+    si.si_edges
+
+(* --- lint bridge (W008/W009) --- *)
+
+let lint_section (si : section_info) : W2.Diag.t list =
+  let couplings =
+    Array.to_list si.si_funcs
+    |> List.map (fun fi ->
+           {
+             W2.Lint.c_func = fi.fi_name;
+             c_loc = fi.fi_loc;
+             c_greads = fi.fi_direct.greads;
+             c_gwrites = fi.fi_direct.gwrites;
+             c_sends = fi.fi_direct.sends;
+             c_recvs = fi.fi_direct.recvs;
+           })
+  in
+  W2.Lint.coupling_warnings ~section:si.si_name ~cells:si.si_cells couplings
+
+let lint (t : t) : W2.Diag.t list =
+  List.concat_map lint_section t.dp_sections |> W2.Diag.sort
+
+(* --- IR cross-check --- *)
+
+let check_ir_calls (si : section_info) (sec : Midend.Ir.section) :
+    Midend.Irverify.violation list =
+    let by_name = Hashtbl.create 16 in
+    Array.iter
+      (fun fi -> Hashtbl.replace by_name fi.fi_name fi)
+      si.si_funcs;
+    let violations = ref [] in
+    let bad ~func ~block msg =
+      violations :=
+        {
+          Midend.Irverify.vi_func = func;
+          vi_block = block;
+          vi_pass = Some "depan";
+          vi_msg = msg;
+        }
+        :: !violations
+    in
+    List.iter
+      (fun (irf : Midend.Ir.func) ->
+        let caller = Hashtbl.find_opt by_name irf.name in
+        Array.iteri
+          (fun bi (blk : Midend.Ir.block) ->
+            List.iter
+              (function
+                | Midend.Ir.Call (dst, callee, args) -> (
+                  match Hashtbl.find_opt by_name callee with
+                  | None ->
+                    bad ~func:irf.name ~block:bi
+                      (Printf.sprintf
+                         "IR calls '%s', which is not a function of \
+                          section '%s'"
+                         callee si.si_name)
+                  | Some target ->
+                    (match caller with
+                    | Some c
+                      when not (List.mem callee c.fi_direct.calls) ->
+                      bad ~func:irf.name ~block:bi
+                        (Printf.sprintf
+                           "IR calls '%s' but the source of '%s' never \
+                            calls it"
+                           callee irf.name)
+                    | _ -> ());
+                    if List.length args <> target.fi_arity then
+                      bad ~func:irf.name ~block:bi
+                        (Printf.sprintf
+                           "call to '%s' passes %d argument(s); its \
+                            source declares %d"
+                           callee (List.length args) target.fi_arity);
+                    if dst <> None && not target.fi_returns then
+                      bad ~func:irf.name ~block:bi
+                        (Printf.sprintf
+                           "call to '%s' uses a result, but '%s' \
+                            returns nothing"
+                           callee callee))
+                | _ -> ())
+              blk.instrs)
+          irf.blocks)
+      sec.funcs;
+    List.rev !violations
+
+(* --- rendering --- *)
+
+let effects_line (e : effects) =
+  let part label = function
+    | [] -> []
+    | items -> [ Printf.sprintf "%s{%s}" label (String.concat "," items) ]
+  in
+  let chans cs = List.map Ast.channel_to_string cs in
+  let parts =
+    part "reads" e.greads @ part "writes" e.gwrites
+    @ part "sends" (chans e.sends)
+    @ part "recvs" (chans e.recvs)
+    @ part "calls" e.calls
+    @ if e.limited then [ "(limited)" ] else []
+  in
+  if parts = [] then "pure" else String.concat " " parts
+
+let report (t : t) : string =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "module %s: %d section(s), %s analysis\n" t.dp_module
+    (List.length t.dp_sections)
+    (if t.dp_sound then "sound" else "best-effort");
+  List.iter
+    (fun si ->
+      let n = Array.length si.si_funcs in
+      Printf.bprintf b
+        "section %s (cells %d): %d function(s), %d edge(s), %d level(s), \
+         %d fixpoint sweep(s), licensed %.2f\n"
+        si.si_name si.si_cells n (List.length si.si_edges)
+        (List.length si.si_levels)
+        si.si_fixpoint_sweeps (licensed_fraction si);
+      Array.iter
+        (fun fi ->
+          Printf.bprintf b "  %-12s scc %d%s  %s\n" fi.fi_name fi.fi_scc
+            (if fi.fi_inlinable then " inlinable" else "")
+            (effects_line fi.fi_summary))
+        si.si_funcs;
+      List.iter
+        (fun (from_name, to_name, reasons) ->
+          Printf.bprintf b "  %s -> %s  [%s]\n" from_name to_name
+            (String.concat ", " (List.map reason_to_string reasons)))
+        (edges_by_name si))
+    t.dp_sections;
+  Buffer.contents b
+
+let to_dot (t : t) : string =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "digraph \"%s\" {\n  rankdir=LR;\n  node [shape=box];\n"
+    t.dp_module;
+  List.iteri
+    (fun k si ->
+      Printf.bprintf b "  subgraph cluster_%d {\n    label=\"%s (cells %d)\";\n"
+        k si.si_name si.si_cells;
+      Array.iter
+        (fun fi ->
+          Printf.bprintf b "    \"%s.%s\" [label=\"%s%s\"];\n" si.si_name
+            fi.fi_name fi.fi_name
+            (if fi.fi_inlinable then "\\n(inlinable)" else ""))
+        si.si_funcs;
+      List.iter
+        (fun (from_name, to_name, reasons) ->
+          Printf.bprintf b "    \"%s.%s\" -> \"%s.%s\" [label=\"%s\"];\n"
+            si.si_name from_name si.si_name to_name
+            (String.concat "\\n" (List.map reason_to_string reasons)))
+        (edges_by_name si);
+      Buffer.add_string b "  }\n")
+    t.dp_sections;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+(* --- JSON (schema warpcc-analyze/1) --- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_strings items =
+  "[" ^ String.concat ", "
+          (List.map (fun s -> Printf.sprintf "\"%s\"" (json_escape s)) items)
+  ^ "]"
+
+let json_effects (e : effects) =
+  Printf.sprintf
+    "{\"global_reads\": %s, \"global_writes\": %s, \"sends\": %s, \
+     \"recvs\": %s, \"calls\": %s, \"limited\": %b}"
+    (json_strings e.greads) (json_strings e.gwrites)
+    (json_strings (List.map Ast.channel_to_string e.sends))
+    (json_strings (List.map Ast.channel_to_string e.recvs))
+    (json_strings e.calls) e.limited
+
+let to_json (t : t) : string =
+  let b = Buffer.create 4096 in
+  Printf.bprintf b
+    "{\n  \"schema\": \"warpcc-analyze/1\",\n  \"module\": \"%s\",\n\
+    \  \"sound\": %b,\n  \"sections\": [\n"
+    (json_escape t.dp_module) t.dp_sound;
+  let sections =
+    List.map
+      (fun si ->
+        let funcs =
+          Array.to_list si.si_funcs
+          |> List.map (fun fi ->
+                 Printf.sprintf
+                   "        {\"name\": \"%s\", \"index\": %d, \"scc\": %d, \
+                    \"arity\": %d, \"returns\": %b, \"inlinable\": %b,\n\
+                   \         \"direct\": %s,\n\
+                   \         \"summary\": %s}"
+                   (json_escape fi.fi_name) fi.fi_index fi.fi_scc fi.fi_arity
+                   fi.fi_returns fi.fi_inlinable
+                   (json_effects fi.fi_direct)
+                   (json_effects fi.fi_summary))
+          |> String.concat ",\n"
+        in
+        let edges =
+          List.map
+            (fun (from_name, to_name, reasons) ->
+              Printf.sprintf
+                "        {\"from\": \"%s\", \"to\": \"%s\", \"reasons\": %s}"
+                (json_escape from_name) (json_escape to_name)
+                (json_strings (List.map reason_to_string reasons)))
+            (edges_by_name si)
+          |> String.concat ",\n"
+        in
+        let levels =
+          List.map
+            (fun level ->
+              json_strings
+                (List.map (fun i -> si.si_funcs.(i).fi_name) level))
+            si.si_levels
+          |> String.concat ", "
+        in
+        Printf.sprintf
+          "    {\"name\": \"%s\", \"cells\": %d,\n\
+          \     \"functions\": [\n%s\n      ],\n\
+          \     \"edges\": [\n%s\n      ],\n\
+          \     \"levels\": [%s],\n\
+          \     \"fixpoint_sweeps\": %d,\n\
+          \     \"licensed_fraction\": %.6f}"
+          (json_escape si.si_name) si.si_cells funcs
+          (if si.si_edges = [] then "" else edges)
+          levels si.si_fixpoint_sweeps (licensed_fraction si))
+      t.dp_sections
+  in
+  Buffer.add_string b (String.concat ",\n" sections);
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b

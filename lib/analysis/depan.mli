@@ -1,0 +1,146 @@
+(** Interprocedural dependence analysis ("depan") over a checked W2
+    module.
+
+    The paper's parallel compiler dispatches functions as independent
+    tasks; this analyzer computes how independent they actually are.
+    Per section (calls are intra-section by construction) it builds:
+
+    - the call graph, including which call sites the inliner would
+      expand — an inlined callee is a {e compile-time} input of its
+      caller, not merely a link-time one;
+    - per-function effect summaries (section globals read/written,
+      channel sends/receives), closed over calls by a bottom-up
+      fixpoint on the call graph's strongly connected components;
+    - a function-level dependence DAG whose edges carry reasons.  Every
+      edge [f -> g] means "compile [f] before [g]".
+
+    Edges are oriented by a canonical rank — SCC condensation order
+    (callees first), ties broken by section order — so the result is a
+    DAG by construction even though some dependence reasons (global
+    conflicts, channel pairing) are symmetric.
+
+    The analyzer reads only the AST: it charges no simulated time and
+    runs in phase 1, in the sequential master, before tasks are
+    dispatched. *)
+
+type effects = {
+  greads : string list; (** section globals read, sorted *)
+  gwrites : string list; (** section globals written, sorted *)
+  sends : W2.Ast.channel list;
+  recvs : W2.Ast.channel list;
+  calls : string list; (** user functions called, sorted *)
+  limited : bool;
+      (** the tracked-global cap was hit; the sets above may be
+          incomplete (see the [sound] analysis mode) *)
+}
+
+val no_effects : effects
+
+type reason =
+  | Inline_of
+      (** the target inlines the source, so the source's body is a
+          compile-time input of the target *)
+  | Sig_agreement
+      (** the target calls the source (not inlinably) and must agree
+          with its signature; also used to serialize the members of a
+          call-graph cycle, which need each other's signatures *)
+  | Global_conflict of string
+      (** both functions touch the named section global and at least
+          one writes it *)
+  | Channel_pair of W2.Ast.channel
+      (** both functions touch the same systolic channel, so their
+          send/receive orders are coupled through the cell array *)
+  | Summary_limit
+      (** conservative edge added in [sound] mode because one
+          endpoint's summary hit the tracked-global cap *)
+
+val reason_to_string : reason -> string
+
+type edge = {
+  e_from : int; (** index into [si_funcs]: compile this first *)
+  e_to : int;
+  reasons : reason list; (** deduplicated, in a fixed display order *)
+}
+
+type func_info = {
+  fi_name : string;
+  fi_index : int; (** position in the section, = index in [si_funcs] *)
+  fi_loc : W2.Loc.t;
+  fi_arity : int;
+  fi_returns : bool;
+  fi_inlinable : bool; (** by {!W2.Inline.inlinable} at the default cap *)
+  fi_scc : int; (** SCC id; lower ids are compiled first (callees) *)
+  fi_direct : effects; (** effects of this function's own body *)
+  fi_summary : effects; (** closed over everything it calls *)
+}
+
+type section_info = {
+  si_name : string;
+  si_cells : int;
+  si_funcs : func_info array;
+  si_edges : edge list; (** sorted by ([e_from], [e_to]) *)
+  si_levels : int list list;
+      (** antichain levels of the DAG: level 0 has no predecessors,
+          level [k] depends on something at level [k-1]; functions in
+          the same level are mutually unordered *)
+  si_fixpoint_sweeps : int;
+      (** total summary sweeps until the SCC fixpoints stabilized *)
+}
+
+type t = {
+  dp_module : string;
+  dp_sound : bool;
+  dp_sections : section_info list;
+}
+
+val analyze : ?sound:bool -> ?max_tracked:int -> W2.Ast.modul -> t
+(** Analyze a semantically checked module.  [sound] (default [true])
+    adds {!Summary_limit} edges from any function whose summary hit
+    [max_tracked] (default 64) distinct globals, so schedules derived
+    from the DAG stay conservative at analysis limits; with
+    [~sound:false] such functions simply carry truncated summaries. *)
+
+val section : t -> string -> section_info option
+
+val dependent : section_info -> int -> int -> bool
+(** Is there a directed path between the two functions (either way)? *)
+
+val independent : section_info -> int -> int -> bool
+(** No path either way: the pair may compile in either order with
+    bit-identical results, and the pair's interpretations commute. *)
+
+val licensed_fraction : section_info -> float
+(** Fraction of unordered function pairs the DAG licenses to run in
+    parallel ([1.0] for sections with fewer than two functions) — the
+    analysis-side bound on the speedup a DAG-aware schedule can keep. *)
+
+val edges_by_name : section_info -> (string * string * reason list) list
+(** [si_edges] with indices resolved to function names. *)
+
+val lint_section : section_info -> W2.Diag.t list
+(** W008/W009 for one section via {!W2.Lint.coupling_warnings}, fed
+    from the direct (not summarized) effects so each warning blames
+    the function whose source performs the coupled operation. *)
+
+val lint : t -> W2.Diag.t list
+(** {!lint_section} over every section, merged in file order. *)
+
+val check_ir_calls :
+  section_info -> Midend.Ir.section -> Midend.Irverify.violation list
+(** Cross-check lowered IR against the AST-level call analysis: every
+    [Call] instruction must name a function of the section that the
+    caller's source also calls, with matching arity, and must not use
+    a result the callee does not produce.  Optimizations may {e
+    delete} calls, so the check is one-sided (IR calls are a subset of
+    AST calls).  Violations carry [vi_pass = Some "depan"]. *)
+
+val report : t -> string
+(** Human-readable summary (per section: functions, effects, edges,
+    levels, licensed fraction). *)
+
+val to_dot : t -> string
+(** Graphviz rendering: one cluster per section, edges labeled with
+    their reasons. *)
+
+val to_json : t -> string
+(** Machine-readable dump, schema ["warpcc-analyze/1"]. *)

@@ -41,6 +41,10 @@ type module_work = {
   mw_loc : int;
   mw_tokens : int; (* lexed tokens of the whole module: phase 1 *)
   mw_sections : section_work list;
+  mw_analysis : Analysis.Depan.t;
+      (* whole-module dependence analysis, computed in phase 1 by the
+         sequential master; downstream, Plan derives the task DAG from
+         it and charges no simulated time for the analysis itself *)
 }
 
 let all_diags (mw : module_work) : W2.Diag.t list =
@@ -62,9 +66,9 @@ let verify_failure violations =
    findings attributed to this function; the function master carries
    them (plus anything the IR verifier reports) back up the hierarchy. *)
 let compile_function ?(level = 2) ?(verify_each = false) ?(diags = [])
-    ~func_rets ~section (f : W2.Ast.func) :
+    ?(globals = []) ~func_rets ~section (f : W2.Ast.func) :
     func_work * Warp.Mcode.mfunc * Midend.Ir.func =
-  let ir = Midend.Lower.lower_function ~func_rets f in
+  let ir = Midend.Lower.lower_function ~func_rets ~globals f in
   let fw_ir_instrs = Midend.Ir.instr_count ir in
   let stats = Midend.Opt.optimize ~level ~verify_each ir in
   (* End of phase 2: the IR verifier always runs here; a violation means
@@ -108,33 +112,48 @@ let func_rets_of (sec : W2.Ast.section) =
   table
 
 (* Phases 2-4 for one section.  Lint findings (phase 1, whole-section
-   context) are computed here and distributed to the per-function work
-   records; after all functions are compiled, the cross-function call
-   check of the IR verifier runs over the section. *)
-let compile_section ?(level = 2) ?(verify_each = false) (sec : W2.Ast.section) :
+   context) are computed here — including the analyzer-fed coupling
+   warnings W008/W009 when a [depan] summary is supplied — and
+   distributed to the per-function work records; after all functions
+   are compiled, the cross-function call check of the IR verifier runs
+   over the section, followed by the analyzer's AST-vs-IR call
+   cross-check. *)
+let compile_section ?(level = 2) ?(verify_each = false)
+    ?(depan : Analysis.Depan.section_info option) (sec : W2.Ast.section) :
     section_work =
   let func_rets = func_rets_of sec in
   let lints = ref [] in
   W2.Lint.lint_section (fun d -> lints := d :: !lints) sec;
-  let lints = W2.Diag.sort !lints in
+  let coupling =
+    match depan with
+    | Some si -> Analysis.Depan.lint_section si
+    | None -> []
+  in
+  let lints = W2.Diag.sort (coupling @ !lints) in
   let results =
     List.map
       (fun (f : W2.Ast.func) ->
         compile_function ~level ~verify_each
           ~diags:(W2.Diag.for_func f.W2.Ast.fname lints)
-          ~func_rets ~section:sec.W2.Ast.sname f)
+          ~globals:sec.W2.Ast.globals ~func_rets ~section:sec.W2.Ast.sname f)
       sec.W2.Ast.funcs
   in
-  (match
-     Midend.Irverify.check_calls
-       {
-         Midend.Ir.sec_name = sec.W2.Ast.sname;
-         cells = sec.W2.Ast.cells;
-         funcs = List.map (fun (_, _, ir) -> ir) results;
-       }
-   with
+  let ir_section =
+    {
+      Midend.Ir.sec_name = sec.W2.Ast.sname;
+      cells = sec.W2.Ast.cells;
+      funcs = List.map (fun (_, _, ir) -> ir) results;
+    }
+  in
+  (match Midend.Irverify.check_calls ir_section with
   | [] -> ()
   | violations -> raise (verify_failure violations));
+  (match depan with
+  | None -> ()
+  | Some si -> (
+    match Analysis.Depan.check_ir_calls si ir_section with
+    | [] -> ()
+    | violations -> raise (verify_failure violations)));
   let image =
     Warp.Link.link ~section:sec.W2.Ast.sname ~cells:sec.W2.Ast.cells
       (List.map (fun (_, mfunc, _) -> mfunc) results)
@@ -167,12 +186,19 @@ let compile_source ?(level = 2) ?(verify_each = false) ?(file = "<module>")
     raise
       (Compile_error
          (String.concat "\n" (List.map W2.Semcheck.error_to_string errors))));
+  (* Interprocedural dependence analysis — still phase 1, still the
+     sequential master; its section summaries feed the coupling lints
+     and the per-section IR cross-check below. *)
+  let analysis = Analysis.Depan.analyze m in
   {
     mw_name = m.W2.Ast.mname;
     mw_loc = W2.Pretty.source_lines source;
     mw_tokens = tokens;
     mw_sections =
-      List.map (compile_section ~level ~verify_each) m.W2.Ast.sections;
+      List.map2
+        (fun depan sec -> compile_section ~level ~verify_each ~depan sec)
+        analysis.Analysis.Depan.dp_sections m.W2.Ast.sections;
+    mw_analysis = analysis;
   }
 
 (* Convenience: compile an AST (pretty-printing it first so that the

@@ -44,6 +44,10 @@ type module_work = {
   mw_loc : int;
   mw_tokens : int; (** lexed tokens of the whole module: phase 1 *)
   mw_sections : section_work list;
+  mw_analysis : Analysis.Depan.t;
+      (** whole-module dependence analysis (phase 1, sequential
+          master): {!Plan} derives the task DAG from it; the analysis
+          itself charges no simulated time *)
 }
 
 val count_tokens : string -> int
@@ -57,6 +61,7 @@ val compile_function :
   ?level:int ->
   ?verify_each:bool ->
   ?diags:W2.Diag.t list ->
+  ?globals:W2.Ast.decl list ->
   func_rets:(string, Midend.Ir.ty option) Hashtbl.t ->
   section:string ->
   W2.Ast.func ->
@@ -65,15 +70,24 @@ val compile_function :
     unconditionally on the optimized IR (end of phase 2); with
     [~verify_each:true] it also runs after every optimization pass.
     [diags] are phase-1 findings to attach to the function's work
-    record.  The returned IR is the post-optimization flowgraph.
+    record; [globals] are the enclosing section's global declarations
+    (needed to lower references to them).  The returned IR is the
+    post-optimization flowgraph.
     @raise Compile_error when verification fails (a miscompiling
     pass). *)
 
 val compile_section :
-  ?level:int -> ?verify_each:bool -> W2.Ast.section -> section_work
+  ?level:int ->
+  ?verify_each:bool ->
+  ?depan:Analysis.Depan.section_info ->
+  W2.Ast.section ->
+  section_work
 (** Phases 2-4 for one section: lints the section (phase 1), compiles
     every function, then runs the verifier's cross-function call check
-    over the optimized section. *)
+    over the optimized section.  With [depan] (the analyzer's summary
+    of this section) the lint stream also carries the coupling
+    warnings W008/W009, and the analyzer's AST-vs-IR call cross-check
+    runs after the verifier's. *)
 
 val compile_source :
   ?level:int -> ?verify_each:bool -> ?file:string -> string -> module_work

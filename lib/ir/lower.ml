@@ -281,7 +281,55 @@ let rec lower_stmt b (stmt : W2.Ast.stmt) =
 
 let scalar_default = Ir.Imm_int 0
 
-let lower_function ~func_rets (f : W2.Ast.func) : Ir.func =
+(* Variable names a function body mentions; used to decide which section
+   globals it localizes. *)
+let referenced_names (f : W2.Ast.func) =
+  let names = Hashtbl.create 16 in
+  let add n = Hashtbl.replace names n () in
+  let rec expr (e : W2.Ast.expr) =
+    match e.e with
+    | W2.Ast.Var v -> add v
+    | W2.Ast.Index (v, i) ->
+      add v;
+      expr i
+    | W2.Ast.Unary (_, x) -> expr x
+    | W2.Ast.Binary (_, a, b) ->
+      expr a;
+      expr b
+    | W2.Ast.Call (_, args) -> List.iter expr args
+    | W2.Ast.Int_lit _ | W2.Ast.Float_lit _ | W2.Ast.Bool_lit _ -> ()
+  and lvalue = function
+    | W2.Ast.Lvar v -> add v
+    | W2.Ast.Lindex (v, i) ->
+      add v;
+      expr i
+  and stmt (s : W2.Ast.stmt) =
+    match s.s with
+    | W2.Ast.Assign (lv, e) ->
+      lvalue lv;
+      expr e
+    | W2.Ast.If (c, a, b) ->
+      expr c;
+      List.iter stmt a;
+      List.iter stmt b
+    | W2.Ast.While (c, b) ->
+      expr c;
+      List.iter stmt b
+    | W2.Ast.For (v, lo, hi, b) ->
+      add v;
+      expr lo;
+      expr hi;
+      List.iter stmt b
+    | W2.Ast.Send (_, e) -> expr e
+    | W2.Ast.Receive (_, lv) -> lvalue lv
+    | W2.Ast.Return (Some e) -> expr e
+    | W2.Ast.Return None -> ()
+    | W2.Ast.Call_stmt (_, args) -> List.iter expr args
+  in
+  List.iter stmt f.body;
+  names
+
+let lower_function ~func_rets ?(globals = []) (f : W2.Ast.func) : Ir.func =
   let b =
     {
       finished = [];
@@ -307,20 +355,27 @@ let lower_function ~func_rets (f : W2.Ast.func) : Ir.func =
       f.params
   in
   let arrays = ref [] in
-  List.iter
-    (fun (d : W2.Ast.decl) ->
-      Hashtbl.replace b.var_tys d.dname d.dty;
-      match d.dty with
-      | W2.Ast.Tarray (n, elt) -> arrays := (d.dname, n, ir_ty_of elt) :: !arrays
-      | W2.Ast.Tint | W2.Ast.Tfloat | W2.Ast.Tbool ->
-        let r = fresh_reg b (ir_ty_of d.dty) in
-        Hashtbl.replace b.vars d.dname r;
-        (* Locals start at zero, matching the reference interpreter. *)
-        emit b
-          (Ir.Mov
-             ( r,
-               if d.dty = W2.Ast.Tfloat then Ir.Imm_float 0.0 else scalar_default )))
-    f.locals;
+  let declare_storage (d : W2.Ast.decl) =
+    Hashtbl.replace b.var_tys d.dname d.dty;
+    match d.dty with
+    | W2.Ast.Tarray (n, elt) -> arrays := (d.dname, n, ir_ty_of elt) :: !arrays
+    | W2.Ast.Tint | W2.Ast.Tfloat | W2.Ast.Tbool ->
+      let r = fresh_reg b (ir_ty_of d.dty) in
+      Hashtbl.replace b.vars d.dname r;
+      (* Locals start at zero, matching the reference interpreter. *)
+      emit b
+        (Ir.Mov
+           (r, if d.dty = W2.Ast.Tfloat then Ir.Imm_float 0.0 else scalar_default))
+  in
+  (* Section globals the body mentions are localized: each activation
+     gets its own default-initialized storage, matching the reference
+     interpreter and the cell simulator's register-window model. *)
+  (let used = referenced_names f in
+   List.iter
+     (fun (d : W2.Ast.decl) ->
+       if Hashtbl.mem used d.dname then declare_storage d)
+     globals);
+  List.iter declare_storage f.locals;
   List.iter (lower_stmt b) f.body;
   terminate b (Ir.Ret None);
   let blocks = Array.make b.next_label { Ir.instrs = []; term = Ir.Ret None } in
@@ -350,7 +405,7 @@ let lower_section (sec : W2.Ast.section) : Ir.section =
   {
     Ir.sec_name = sec.sname;
     cells = sec.cells;
-    funcs = List.map (lower_function ~func_rets) sec.funcs;
+    funcs = List.map (lower_function ~func_rets ~globals:sec.globals) sec.funcs;
   }
 
 let lower_module (m : W2.Ast.modul) : Ir.section list =

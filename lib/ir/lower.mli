@@ -12,9 +12,15 @@ exception Unsupported of string
     input). *)
 
 val lower_function :
-  func_rets:(string, Ir.ty option) Hashtbl.t -> W2.Ast.func -> Ir.func
+  func_rets:(string, Ir.ty option) Hashtbl.t ->
+  ?globals:W2.Ast.decl list ->
+  W2.Ast.func ->
+  Ir.func
 (** Lower one function given the return types of every function of its
-    section (needed to type intra-section call results). *)
+    section (needed to type intra-section call results).  [globals] are
+    the section's global declarations; the ones the body mentions are
+    localized into per-activation storage (registers or arrays),
+    default-initialized like locals. *)
 
 val lower_section : W2.Ast.section -> Ir.section
 val lower_module : W2.Ast.modul -> Ir.section list

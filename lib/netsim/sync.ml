@@ -67,6 +67,32 @@ let use sim (r : resource) amount =
   r.served <- r.served + 1;
   release r
 
+(* --- one-shot event: set once, any number of waiters --- *)
+
+(* The dependence-gated dispatch in [Parrun] parks function masters on
+   these.  Both operations are free of DES activity on the fast path:
+   [await] on an already-set event returns without suspending, and
+   [set] with no waiters is pure bookkeeping — so a DAG with no edges
+   leaves the event schedule bit-identical to ungated dispatch. *)
+
+type event = { mutable fired : bool; event_waiters : (unit -> unit) Queue.t }
+
+let event () = { fired = false; event_waiters = Queue.create () }
+let is_set (e : event) = e.fired
+
+(* Idempotent: late [set]s (e.g. a straggler attempt finishing after a
+   re-dispatch already completed the task) are no-ops. *)
+let set (e : event) =
+  if not e.fired then begin
+    e.fired <- true;
+    Queue.iter (fun wake -> wake ()) e.event_waiters;
+    Queue.clear e.event_waiters
+  end
+
+let await (e : event) =
+  if not e.fired then
+    Des.suspend (fun wake -> Queue.push (fun () -> wake ()) e.event_waiters)
+
 (* --- join counter: wait until [expected] signals have arrived --- *)
 
 type join = {

@@ -42,6 +42,29 @@ val use : Des.t -> resource -> float -> unit
 (** [use sim r seconds] = acquire, hold for [seconds] of virtual time,
     release; updates the instrumentation counters. *)
 
+(** {1 One-shot events} *)
+
+type event
+(** A set-once flag with any number of waiting processes — the
+    primitive behind dependence-gated dispatch: a task's event is set
+    when its output is written back, and dependent tasks {!await} it
+    before claiming a station.  Neither operation touches the DES on
+    the fast path ([await] on a set event does not suspend; [set] with
+    no waiters schedules nothing), so an edge-free DAG leaves the
+    event schedule bit-identical to ungated dispatch. *)
+
+val event : unit -> event
+
+val set : event -> unit
+(** Fire the event, waking every waiter; idempotent (late calls from
+    superseded straggler attempts are no-ops). *)
+
+val await : event -> unit
+(** Block until the event fires; returns immediately if it already
+    has. *)
+
+val is_set : event -> bool
+
 (** {1 Join counters} *)
 
 type join

@@ -101,7 +101,8 @@ let compile_parallel ?(workers = 4) ?(level = 2) (m : W2.Ast.modul) : result =
           (fun i f ->
             Pool.submit pool (fun () ->
                 let _work, mfunc, _ir =
-                  Driver.Compile.compile_function ~level ~func_rets
+                  Driver.Compile.compile_function ~level
+                    ~globals:sec.W2.Ast.globals ~func_rets
                     ~section:sec.W2.Ast.sname f
                 in
                 slots.(i) <- Some mfunc;

@@ -360,6 +360,92 @@ let sched_sweep ?(cfg = Config.default) () : sched_point list =
         Sched.all)
     (sched_series ~level:cfg.Config.opt_level ())
 
+(* --- dependence-aware dispatch: FCFS vs DAG vs DAG + LPT --- *)
+
+type dag_point = {
+  dg_series : string;
+  dg_policy : Sched.policy;
+  dg_pool : int;
+  dg_units : int;
+  dg_elapsed : float;
+  dg_speedup_vs_fcfs : float;
+  dg_edges : int;
+  dg_licensed : float;
+}
+
+let module_edges (t : Analysis.Depan.t) =
+  List.fold_left
+    (fun n si -> n + List.length si.Analysis.Depan.si_edges)
+    0 t.Analysis.Depan.dp_sections
+
+(* Pairs-weighted mean of the per-section licensed fractions: the
+   fraction of same-section function pairs the analyzer lets the
+   scheduler overlap.  An edge-free module scores 1.0. *)
+let module_licensed (t : Analysis.Depan.t) =
+  let pairs, licensed =
+    List.fold_left
+      (fun (p, l) si ->
+        let n = Array.length si.Analysis.Depan.si_funcs in
+        let np = float_of_int (n * (n - 1) / 2) in
+        (p +. np, l +. (np *. Analysis.Depan.licensed_fraction si)))
+      (0.0, 0.0) t.Analysis.Depan.dp_sections
+  in
+  if pairs = 0.0 then 1.0 else licensed /. pairs
+
+let helper_program_work ?(level = 2) () : Driver.Compile.module_work =
+  let key = Printf.sprintf "helpers:%d" level in
+  match Hashtbl.find_opt cache key with
+  | Some mw -> mw
+  | None ->
+    let mw = Driver.Compile.compile_module ~level (W2.Gen.helper_program ()) in
+    Hashtbl.replace cache key mw;
+    mw
+
+(* Three regimes for the dependence-aware policies: an edge-free S_n
+   (the DAG is a no-op and must cost nothing), the helper program
+   (whose call graph the analyzer turns into inline_of edges, the
+   paper's section 5.1 coupling), and the section-4.3 user program. *)
+let dag_series ?(level = 2) () =
+  [
+    ("tiny8p4", s_program_work ~level ~size:W2.Gen.Tiny ~count:8 (), 4);
+    ("small8p4", s_program_work ~level ~size:W2.Gen.Small ~count:8 (), 4);
+    ("helpers4", helper_program_work ~level (), 4);
+    ("user4", user_program_work ~level (), 4);
+  ]
+
+let dag_sweep ?(cfg = Config.default) () : dag_point list =
+  List.concat_map
+    (fun (name, (mw : Driver.Compile.module_work), pool) ->
+      let analysis = mw.Driver.Compile.mw_analysis in
+      let plan = Plan.one_per_station mw in
+      let play policy =
+        let cfg_run =
+          {
+            cfg with
+            Config.stations = pool + 1;
+            noise_seed = 3;
+            sched_policy = policy;
+          }
+        in
+        (Parrun.run cfg_run mw plan).Parrun.run
+      in
+      let fcfs = play Sched.Fcfs in
+      List.map
+        (fun policy ->
+          let r = if policy = Sched.Fcfs then fcfs else play policy in
+          {
+            dg_series = name;
+            dg_policy = policy;
+            dg_pool = pool;
+            dg_units = r.Timings.dispatch_units;
+            dg_elapsed = r.Timings.elapsed;
+            dg_speedup_vs_fcfs = fcfs.Timings.elapsed /. r.Timings.elapsed;
+            dg_edges = module_edges analysis;
+            dg_licensed = module_licensed analysis;
+          })
+        (Sched.Fcfs :: Sched.dag_policies))
+    (dag_series ~level:cfg.Config.opt_level ())
+
 (* --- section 6: how far does this scale? --- *)
 
 (* "For the style of parallelism exploited by this compiler, on the

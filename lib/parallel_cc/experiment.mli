@@ -125,6 +125,34 @@ val sched_sweep : ?cfg:Config.t -> unit -> sched_point list
 (** Every {!sched_series} point under every {!Sched.policy}, with
     [cfg]'s batch threshold; seeded (noise seed 3), so reproducible. *)
 
+(** {1 Dependence-aware dispatch} *)
+
+type dag_point = {
+  dg_series : string;
+  dg_policy : Sched.policy; (** [Fcfs] baseline, [Dag] or [Dag_lpt] *)
+  dg_pool : int;
+  dg_units : int;
+  dg_elapsed : float;
+  dg_speedup_vs_fcfs : float; (** 1.0 for the baseline row *)
+  dg_edges : int; (** dependence edges over the whole module *)
+  dg_licensed : float; (** pairs-weighted licensed-parallelism fraction *)
+}
+
+val helper_program_work : ?level:int -> unit -> Driver.Compile.module_work
+(** The section-5.1 helper program (cached) — the sweep's coupled
+    module: its call graph becomes inline_of dependence edges. *)
+
+val dag_series :
+  ?level:int -> unit -> (string * Driver.Compile.module_work * int) list
+(** (name, module, pool) points spanning licensed fractions: edge-free
+    S_8 programs (DAG dispatch must be free), the helper program, and
+    the user program. *)
+
+val dag_sweep : ?cfg:Config.t -> unit -> dag_point list
+(** Every {!dag_series} point under FCFS and both {!Sched.dag_policies};
+    seeded (noise seed 3), so reproducible.  On the edge-free points the
+    [dag] rows reproduce the FCFS elapsed times bit for bit. *)
+
 (** {1 Section 6: scaling limit} *)
 
 val run_scaling_study :

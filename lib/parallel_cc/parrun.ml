@@ -106,6 +106,13 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
       ~threshold:cfg.Config.batch_threshold ~stations:cfg.Config.stations plan
   in
   stats.dispatch_units <- stats.dispatch_units + Plan.task_count plan;
+  (* Under a DAG policy each task gets a one-shot completion event;
+     dependent tasks await their predecessors' events before claiming
+     a station.  Everything is a no-op for edge-free sections (and for
+     the non-DAG policies, whose dependence lists are empty): awaiting
+     an already-set event never suspends and setting an event nobody
+     awaits schedules nothing, so the event schedule is untouched. *)
+  let gated = Sched.dag_gated cfg.Config.sched_policy in
   let supervised = not (Netsim.Fault.is_none cfg.Config.faults) in
   let tr = cfg.Config.trace in
   let ether = cluster.Netsim.Host.ether in
@@ -177,6 +184,15 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                ~seconds:interpret);
           stats.section_cpu <- stats.section_cpu +. interpret;
           let tasks_done = Netsim.Sync.join (List.length tasks) in
+          let deps =
+            if gated then
+              Sched.task_deps ~func_deps:plan.Plan.func_deps
+                ~section:section_name tasks
+            else Array.make (List.length tasks) []
+          in
+          let completion =
+            Array.init (List.length tasks) (fun _ -> Netsim.Sync.event ())
+          in
           List.iteri
             (fun ti (task : Plan.task) ->
               (* Remote process creation is serialized in the forking
@@ -416,15 +432,23 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                   Netsim.Host.release_station sim cluster ws3
                 end
               in
+              (* Dependence gating happens inside the spawned process,
+                 so the section master keeps forking the rest of its
+                 queue while a gated task parks. *)
+              let await_deps () =
+                List.iter (fun d -> Netsim.Sync.await completion.(d)) deps.(ti)
+              in
               if not supervised then
                 (* Legacy path: no supervisor, no watchdog — the exact
                    event schedule (and timings) of the fault-free
                    compiler. *)
                 Netsim.Des.spawn sim (fun () ->
+                    await_deps ();
                     attempt
                       ~note:(fun name id ->
                         stats.placements <- (name, id) :: stats.placements)
                       ~spent:(ref 0.0) ~attempt_n:1 ();
+                    Netsim.Sync.set completion.(ti);
                     Netsim.Sync.signal tasks_done)
               else begin
                 (* Supervised path: attempts run under a deadline and a
@@ -514,6 +538,7 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                   | None -> ()
                 in
                 Netsim.Des.spawn sim (fun () ->
+                    await_deps ();
                     launch ();
                     let rec await budget =
                       match Netsim.Sync.recv sup with
@@ -542,6 +567,12 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                         await budget
                     in
                     await cfg.Config.retry_budget;
+                    (* The task's output is durably written back —
+                       whether by a surviving attempt or the fallback —
+                       only here, so the completion event fires exactly
+                       once per task, after the write that dependents
+                       are allowed to read. *)
+                    Netsim.Sync.set completion.(ti);
                     Netsim.Sync.signal tasks_done)
               end)
             tasks;
@@ -618,7 +649,19 @@ let run (cfg : Config.t) (mw : Driver.Compile.module_work) (plan : Plan.t) : out
       wasted_cpu = stats.wasted_cpu;
     }
   in
-  if fresh_trace then Traceview.assert_matches_run tr run;
+  if fresh_trace then begin
+    Traceview.assert_matches_run tr run;
+    (* Under a DAG policy the schedule promises dependence order; let
+       the trace prove it kept that promise.  [Sched.schedule] is pure
+       and deterministic, so re-deriving the scheduled plan here sees
+       exactly the task queues the master dispatched. *)
+    if Sched.dag_gated cfg.Config.sched_policy then
+      Traceview.assert_race_free tr
+        ~plan:
+          (Sched.schedule ~policy:cfg.Config.sched_policy ~cost:cfg.Config.cost
+             ~threshold:cfg.Config.batch_threshold
+             ~stations:cfg.Config.stations plan)
+  end;
   {
     run;
     (* Placements report in (task, station) order rather than

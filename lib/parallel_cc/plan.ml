@@ -19,7 +19,24 @@ type task = {
 type t = {
   tasks_per_section : (string * task list) list;
   estimate_used : bool;
+  func_deps : (string * (string * string) list) list;
+  (* per section: the analyzer's function-level dependence edges,
+     (compile-first, compile-second) by name.  FCFS/LPT policies ignore
+     them; the DAG-aware policies in [Sched] order and gate by them. *)
 }
+
+(* The dependence edges come straight from the phase-1 analysis the
+   driver already ran; deriving them here keeps every plan carrying its
+   DAG without a separate wiring step. *)
+let deps_of (mw : Driver.Compile.module_work) :
+    (string * (string * string) list) list =
+  List.map
+    (fun si ->
+      ( si.Analysis.Depan.si_name,
+        List.map
+          (fun (from_name, to_name, _) -> (from_name, to_name))
+          (Analysis.Depan.edges_by_name si) ))
+    mw.Driver.Compile.mw_analysis.Analysis.Depan.dp_sections
 
 (* The paper's proxy for compile time: "a combination of lines of code
    and loop nesting". *)
@@ -44,6 +61,7 @@ let one_per_station (mw : Driver.Compile.module_work) : t =
               sw.Driver.Compile.sw_funcs ))
         mw.Driver.Compile.mw_sections;
     estimate_used = false;
+    func_deps = deps_of mw;
   }
 
 (* LPT bin packing of all functions of one section onto [bins]
@@ -118,6 +136,7 @@ let grouped (mw : Driver.Compile.module_work) ~processors : t =
           (sw.Driver.Compile.sw_name, pack_section sw ~bins))
         sections bins_per_section;
     estimate_used = true;
+    func_deps = deps_of mw;
   }
 
 let task_count (plan : t) =

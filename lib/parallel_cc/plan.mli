@@ -16,6 +16,13 @@ type task = {
 type t = {
   tasks_per_section : (string * task list) list;
   estimate_used : bool;
+  func_deps : (string * (string * string) list) list;
+      (** per section: the phase-1 analyzer's function-level dependence
+          edges by name — compile the first before the second.  Both
+          plan constructors copy them from
+          {!Driver.Compile.module_work.mw_analysis}, so every plan
+          carries its DAG; FCFS/LPT ignore it, the DAG-aware policies
+          in {!Sched} order and gate dispatch by it. *)
 }
 
 val estimate : Driver.Compile.func_work -> float

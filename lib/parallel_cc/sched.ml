@@ -26,19 +26,26 @@
    exactly-once write-back and tracing in [Parrun] see the scheduled
    plan and work unchanged. *)
 
-type policy = Fcfs | Lpt | Lpt_batch
+type policy = Fcfs | Lpt | Lpt_batch | Dag | Dag_lpt
 
 let all = [ Fcfs; Lpt; Lpt_batch ]
+let dag_policies = [ Dag; Dag_lpt ]
+let all_policies = all @ dag_policies
+let dag_gated = function Dag | Dag_lpt -> true | Fcfs | Lpt | Lpt_batch -> false
 
 let policy_name = function
   | Fcfs -> "fcfs"
   | Lpt -> "lpt"
   | Lpt_batch -> "lpt+batch"
+  | Dag -> "dag"
+  | Dag_lpt -> "dag+lpt"
 
 let policy_of_string = function
   | "fcfs" -> Some Fcfs
   | "lpt" -> Some Lpt
   | "lpt+batch" | "lpt-batch" -> Some Lpt_batch
+  | "dag" -> Some Dag
+  | "dag+lpt" | "dag-lpt" -> Some Dag_lpt
   | _ -> None
 
 (* The scheduler's cost signal: estimated phases-2+3 seconds of one
@@ -46,13 +53,19 @@ let policy_of_string = function
 let task_cost (cost : Driver.Cost.model) (t : Plan.task) =
   Driver.Cost.task_phase23_seconds cost t.Plan.t_funcs
 
-(* Stable sort by descending cost: equal-cost tasks (e.g. the S_n
-   series' identical functions) keep their FCFS order, so LPT on a
-   uniform plan is the identity permutation. *)
+(* Descending cost with an explicit total tie-break: equal-cost tasks
+   (e.g. the S_n series' identical functions) are ordered by their
+   original queue position — which within a section is the source
+   order of their head functions — so LPT on a uniform plan is the
+   identity permutation and the result never depends on the sort
+   algorithm's stability. *)
 let order_lpt cost tasks =
-  List.stable_sort
-    (fun a b -> compare (task_cost cost b) (task_cost cost a))
-    tasks
+  List.mapi (fun i t -> (i, t)) tasks
+  |> List.sort (fun (ia, a) (ib, b) ->
+         match compare (task_cost cost b) (task_cost cost a) with
+         | 0 -> compare ia ib
+         | c -> c)
+  |> List.map snd
 
 (* First-fit decreasing of the tiny tasks into bins of [threshold]
    estimated seconds, at most [max_bins] bins (one dispatch unit per
@@ -111,6 +124,244 @@ let batch_tiny cost ~threshold ~max_bins (tasks : Plan.task list) :
     in
     big @ merged
 
+(* --- DAG-aware dispatch --- *)
+
+(* Task-level dependence adjacency for one section's task queue,
+   projected from the plan's function-level edges: task B depends on
+   task A when some function of A must compile before some function of
+   B.  Edges between functions of the same task vanish (a function
+   master compiles its functions sequentially, in order). *)
+let task_deps ~(func_deps : (string * (string * string) list) list) ~section
+    (tasks : Plan.task list) : int list array =
+  let edges =
+    match List.assoc_opt section func_deps with Some e -> e | None -> []
+  in
+  let arr = Array.of_list tasks in
+  let owner = Hashtbl.create 32 in
+  Array.iteri
+    (fun i (t : Plan.task) ->
+      List.iter
+        (fun (fw : Driver.Compile.func_work) ->
+          Hashtbl.replace owner fw.Driver.Compile.fw_name i)
+        t.Plan.t_funcs)
+    arr;
+  let deps = Array.make (Array.length arr) [] in
+  List.iter
+    (fun (a, b) ->
+      match (Hashtbl.find_opt owner a, Hashtbl.find_opt owner b) with
+      | Some i, Some j when i <> j -> deps.(j) <- i :: deps.(j)
+      | _ -> ())
+    edges;
+  Array.map (List.sort_uniq compare) deps
+
+(* Order a task's functions so every function-level edge inside the
+   task points forward (stable Kahn; ties keep the existing order).
+   Needed after merging: batching can put a dependent pair into one
+   dispatch unit, and the unit must compile them dependence-first. *)
+let order_funcs_by_deps (edges : (string * string) list)
+    (funcs : Driver.Compile.func_work list) : Driver.Compile.func_work list =
+  let arr = Array.of_list funcs in
+  let n = Array.length arr in
+  let index = Hashtbl.create 16 in
+  Array.iteri
+    (fun i fw -> Hashtbl.replace index fw.Driver.Compile.fw_name i)
+    arr;
+  let indeg = Array.make n 0 in
+  let succs = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      match (Hashtbl.find_opt index a, Hashtbl.find_opt index b) with
+      | Some i, Some j when i <> j ->
+        succs.(i) <- j :: succs.(i);
+        indeg.(j) <- indeg.(j) + 1
+      | _ -> ())
+    edges;
+  let emitted = ref [] in
+  let remaining = ref n in
+  let taken = Array.make n false in
+  while !remaining > 0 do
+    (* smallest-index ready function first: a no-op permutation when
+       the task is already in dependence order *)
+    let next = ref (-1) in
+    for i = n - 1 downto 0 do
+      if (not taken.(i)) && indeg.(i) = 0 then next := i
+    done;
+    (* cycle-free by construction (the analysis emits a DAG), but stay
+       total: break a residual tie by taking the first unemitted *)
+    if !next < 0 then
+      for i = n - 1 downto 0 do
+        if not taken.(i) then next := i
+      done;
+    taken.(!next) <- true;
+    List.iter (fun j -> indeg.(j) <- indeg.(j) - 1) succs.(!next);
+    emitted := arr.(!next) :: !emitted;
+    decr remaining
+  done;
+  List.rev !emitted
+
+(* Merge task-level dependence cycles into single dispatch units.  A
+   grouped plan can pack coupled functions apart (f with h, g alone,
+   edges f->g->h), creating a cycle between tasks even though the
+   function-level graph is a DAG; merging the strongly connected tasks
+   (functions concatenated in task order, then re-ordered by the
+   function-level edges) restores an acyclic task graph. *)
+let merge_task_cycles (edges : (string * string) list)
+    (deps : int list array) (tasks : Plan.task list) : Plan.task list =
+  let arr = Array.of_list tasks in
+  let n = Array.length arr in
+  (* successor lists from the dependence lists *)
+  let succs = Array.make n [] in
+  Array.iteri (fun j ds -> List.iter (fun i -> succs.(i) <- j :: succs.(i)) ds) deps;
+  Array.iteri (fun i l -> succs.(i) <- List.sort_uniq compare l) succs;
+  (* Tarjan, deterministic by index order. *)
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let scc = Array.make n (-1) in
+  let next_index = ref 0 in
+  let next_scc = ref 0 in
+  let rec visit v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun u ->
+        if index.(u) < 0 then begin
+          visit u;
+          lowlink.(v) <- min lowlink.(v) lowlink.(u)
+        end
+        else if on_stack.(u) then lowlink.(v) <- min lowlink.(v) index.(u))
+      succs.(v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop () =
+        match !stack with
+        | [] -> ()
+        | u :: rest ->
+          stack := rest;
+          on_stack.(u) <- false;
+          scc.(u) <- !next_scc;
+          if u <> v then pop ()
+      in
+      pop ();
+      incr next_scc
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then visit v
+  done;
+  (* Emit one task per SCC, at the position of its first member. *)
+  let seen = Hashtbl.create 8 in
+  List.concat
+    (List.init n (fun i ->
+         let s = scc.(i) in
+         if Hashtbl.mem seen s then []
+         else begin
+           Hashtbl.replace seen s ();
+           let members =
+             List.filter (fun j -> scc.(j) = s) (List.init n (fun j -> j))
+           in
+           match members with
+           | [ j ] -> [ arr.(j) ]
+           | _ ->
+             let funcs =
+               List.concat_map (fun j -> arr.(j).Plan.t_funcs) members
+             in
+             [
+               {
+                 Plan.t_section = arr.(i).Plan.t_section;
+                 t_funcs = order_funcs_by_deps edges funcs;
+               };
+             ]
+         end))
+
+(* Stable topological FCFS: repeatedly dispatch the smallest-index
+   ready task.  On an edge-free section this is the identity
+   permutation, so the plan — and with it the whole event schedule —
+   matches FCFS bit for bit. *)
+let topo_fcfs (deps : int list array) (tasks : Plan.task list) :
+    Plan.task list =
+  let arr = Array.of_list tasks in
+  let n = Array.length arr in
+  let indeg = Array.make n 0 in
+  let succs = Array.make n [] in
+  Array.iteri
+    (fun j ds ->
+      List.iter
+        (fun i ->
+          succs.(i) <- j :: succs.(i);
+          indeg.(j) <- indeg.(j) + 1)
+        ds)
+    deps;
+  let taken = Array.make n false in
+  let out = ref [] in
+  for _ = 1 to n do
+    let next = ref (-1) in
+    for i = n - 1 downto 0 do
+      if (not taken.(i)) && indeg.(i) = 0 then next := i
+    done;
+    if !next < 0 then
+      (* unreachable once cycles are merged; stay total anyway *)
+      for i = n - 1 downto 0 do
+        if not taken.(i) then next := i
+      done;
+    taken.(!next) <- true;
+    List.iter (fun j -> indeg.(j) <- indeg.(j) - 1) succs.(!next);
+    out := arr.(!next) :: !out
+  done;
+  List.rev !out
+
+(* Antichain levels of the task graph (longest-path depth).  Tasks in
+   one level are pairwise independent, so LPT ordering and tiny-task
+   batching may permute and merge freely inside a level without
+   breaking dependence order. *)
+let task_levels (deps : int list array) : int list list =
+  let n = Array.length deps in
+  let depth = Array.make n (-1) in
+  let rec depth_of i =
+    if depth.(i) >= 0 then depth.(i)
+    else begin
+      (* longest path over predecessors; deps form a DAG here *)
+      let d =
+        List.fold_left (fun acc j -> max acc (depth_of j + 1)) 0 deps.(i)
+      in
+      depth.(i) <- d;
+      d
+    end
+  in
+  for i = 0 to n - 1 do
+    ignore (depth_of i)
+  done;
+  let max_depth = Array.fold_left max 0 depth in
+  List.init (max_depth + 1) (fun d ->
+      List.filter (fun i -> depth.(i) = d) (List.init n (fun i -> i)))
+  |> List.filter (fun l -> l <> [])
+
+(* The [Dag] policy: merge task cycles, then dispatch in stable
+   topological FCFS order.  [Dag_lpt] additionally applies LPT and
+   tiny-task batching within each antichain level, composing the
+   overhead amortization of [Lpt_batch] with dependence safety. *)
+let schedule_dag ~lpt ~cost ~threshold ~max_bins
+    ~(func_deps : (string * (string * string) list) list) ~section tasks =
+  let edges =
+    match List.assoc_opt section func_deps with Some e -> e | None -> []
+  in
+  let tasks =
+    merge_task_cycles edges (task_deps ~func_deps ~section tasks) tasks
+  in
+  let deps = task_deps ~func_deps ~section tasks in
+  if not lpt then topo_fcfs deps tasks
+  else
+    let arr = Array.of_list tasks in
+    task_levels deps
+    |> List.concat_map (fun level ->
+           let level_tasks = List.map (fun i -> arr.(i)) level in
+           order_lpt cost (batch_tiny cost ~threshold ~max_bins level_tasks)
+           |> List.map (fun (t : Plan.task) ->
+                  { t with Plan.t_funcs = order_funcs_by_deps edges t.Plan.t_funcs }))
+
 let schedule ~policy ~(cost : Driver.Cost.model) ~threshold ~stations
     (plan : Plan.t) : Plan.t =
   match policy with
@@ -133,5 +384,28 @@ let schedule ~policy ~(cost : Driver.Cost.model) ~threshold ~stations
         List.map
           (fun (s, tasks) ->
             (s, order_lpt cost (batch_tiny cost ~threshold ~max_bins tasks)))
+          plan.Plan.tasks_per_section;
+    }
+  | Dag ->
+    {
+      plan with
+      Plan.tasks_per_section =
+        List.map
+          (fun (s, tasks) ->
+            ( s,
+              schedule_dag ~lpt:false ~cost ~threshold ~max_bins:1
+                ~func_deps:plan.Plan.func_deps ~section:s tasks ))
+          plan.Plan.tasks_per_section;
+    }
+  | Dag_lpt ->
+    let max_bins = max 1 (stations - 1) in
+    {
+      plan with
+      Plan.tasks_per_section =
+        List.map
+          (fun (s, tasks) ->
+            ( s,
+              schedule_dag ~lpt:true ~cost ~threshold ~max_bins
+                ~func_deps:plan.Plan.func_deps ~section:s tasks ))
           plan.Plan.tasks_per_section;
     }

@@ -24,20 +24,59 @@ type policy =
           one dispatch unit per pool workstation (first-fit decreasing,
           spilling into the least-loaded unit once every station has
           one), amortizing the per-task overhead the paper measured. *)
+  | Dag
+      (** dependence-aware FCFS: task-level cycles induced by packing
+          are merged, then tasks dispatch in stable topological order
+          (smallest original position among the ready tasks first), and
+          {!Parrun} gates each function master on its predecessors'
+          completion events.  On an edge-free section this is the
+          identity transformation: same order, no gating waits, every
+          timing bit-identical to [Fcfs]. *)
+  | Dag_lpt
+      (** [Dag] composed with [Lpt_batch]: within each antichain level
+          of the task DAG — whose members are pairwise independent —
+          tasks are LPT-ordered and tiny ones batched, so overhead
+          amortization never violates dependence order. *)
 
 val all : policy list
-(** Every policy, in ascending sophistication: [Fcfs; Lpt; Lpt_batch]. *)
+(** The classic dispatch policies, in ascending sophistication:
+    [Fcfs; Lpt; Lpt_batch] — the set swept by
+    {!Experiment.sched_sweep} (kept stable so its bench artifact
+    schema is, too). *)
+
+val dag_policies : policy list
+(** [[Dag; Dag_lpt]] — swept by {!Experiment.dag_sweep}. *)
+
+val all_policies : policy list
+(** [all @ dag_policies], the full CLI choice set. *)
+
+val dag_gated : policy -> bool
+(** Does the policy require {!Parrun} to gate dispatch on task
+    completion events? *)
 
 val policy_name : policy -> string
-(** ["fcfs"], ["lpt"], ["lpt+batch"] — the names used by
-    [warpcc simulate --sched] and the bench tables. *)
+(** ["fcfs"], ["lpt"], ["lpt+batch"], ["dag"], ["dag+lpt"] — the names
+    used by [warpcc simulate --sched] and the bench tables. *)
 
 val policy_of_string : string -> policy option
-(** Inverse of {!policy_name} (also accepts ["lpt-batch"]). *)
+(** Inverse of {!policy_name} (also accepts ["lpt-batch"] and
+    ["dag-lpt"]). *)
 
 val task_cost : Driver.Cost.model -> Plan.task -> float
 (** Estimated phases-2+3 seconds of one task — the signal every policy
     ranks and batches by. *)
+
+val task_deps :
+  func_deps:(string * (string * string) list) list ->
+  section:string ->
+  Plan.task list ->
+  int list array
+(** Task-level dependence adjacency for one section's task queue,
+    projected from the plan's function-level edges: entry [j] lists
+    the task indices that must complete before task [j] may start.
+    Edges between functions of the same task vanish.  {!Parrun} uses
+    this on the scheduled plan to gate dispatch under the DAG
+    policies. *)
 
 val schedule :
   policy:policy ->

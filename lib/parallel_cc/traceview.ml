@@ -156,3 +156,114 @@ let decomposition_table (d : decomposition) : Stats.Table.t =
       ("total overhead %", d.d_rel_total_overhead);
       ("system overhead %", d.d_rel_sys_overhead);
     ]
+
+(* --- dependence-order oracle --- *)
+
+(* The DAG policies promise that a task claims its station only after
+   every predecessor's output is durably written back.  This oracle
+   re-derives that ordering from the span store alone: each task gets a
+   logical clock that ticks at its first claim and at its earliest
+   durable write-back (the winning attempt's — superseded stragglers
+   write back later and are ignored, exactly as their outputs are), and
+   each promised edge demands finish(before) <= start(after).  Because
+   the only cross-task edges the schedule promises are the analyzer's,
+   this is a two-entry vector clock per edge; anything richer would
+   re-verify the DES itself. *)
+
+type ordering_violation = {
+  ov_section : string;
+  ov_before : string;
+  ov_after : string;
+  ov_finish : float; (* earliest durable write-back of [ov_before] *)
+  ov_start : float; (* first claim of [ov_after] *)
+}
+
+let violation_to_string (v : ordering_violation) =
+  Printf.sprintf
+    "section %s: task '%s' claimed at %.6f before its dependence '%s' \
+     wrote back at %.6f"
+    v.ov_section v.ov_after v.ov_start v.ov_before v.ov_finish
+
+let race_check (tr : Trace.t) ~(plan : Plan.t) : ordering_violation list =
+  (* Span args identify tasks by head-function label only, so a label
+     reused across sections cannot be attributed; skip such edges
+     rather than report phantom races. *)
+  let label_of (t : Plan.task) =
+    match t.Plan.t_funcs with
+    | fw :: _ -> Some fw.Driver.Compile.fw_name
+    | [] -> None
+  in
+  let owners = Hashtbl.create 32 in
+  List.iter
+    (fun (_, tasks) ->
+      List.iter
+        (fun t ->
+          match label_of t with
+          | Some l -> Hashtbl.replace owners l (1 + Option.value ~default:0 (Hashtbl.find_opt owners l))
+          | None -> ())
+        tasks)
+    plan.Plan.tasks_per_section;
+  let unambiguous l = Hashtbl.find_opt owners l = Some 1 in
+  (* First claim start and earliest durable write-back end per label. *)
+  let starts = Hashtbl.create 32 in
+  let finishes = Hashtbl.create 32 in
+  List.iter
+    (fun (s : Trace.span) ->
+      if s.Trace.cat = "task" then
+        match List.assoc_opt "task" s.Trace.args with
+        | None -> ()
+        | Some label -> (
+          match s.Trace.name with
+          | "claim" ->
+            let t0 = s.Trace.t0 in
+            (match Hashtbl.find_opt starts label with
+            | Some t when t <= t0 -> ()
+            | _ -> Hashtbl.replace starts label t0)
+          | "write-back" | "fallback" ->
+            let t1 = s.Trace.t1 in
+            (match Hashtbl.find_opt finishes label with
+            | Some t when t <= t1 -> ()
+            | _ -> Hashtbl.replace finishes label t1)
+          | _ -> ()))
+    (Trace.spans tr);
+  let violations = ref [] in
+  List.iter
+    (fun (section, tasks) ->
+      let deps =
+        Sched.task_deps ~func_deps:plan.Plan.func_deps ~section tasks
+      in
+      let arr = Array.of_list tasks in
+      Array.iteri
+        (fun j ds ->
+          List.iter
+            (fun i ->
+              match (label_of arr.(i), label_of arr.(j)) with
+              | Some before, Some after
+                when unambiguous before && unambiguous after -> (
+                match
+                  (Hashtbl.find_opt finishes before, Hashtbl.find_opt starts after)
+                with
+                | Some finish, Some start when start < finish ->
+                  violations :=
+                    {
+                      ov_section = section;
+                      ov_before = before;
+                      ov_after = after;
+                      ov_finish = finish;
+                      ov_start = start;
+                    }
+                    :: !violations
+                | _ -> ())
+              | _ -> ())
+            ds)
+        deps)
+    plan.Plan.tasks_per_section;
+  List.rev !violations
+
+let assert_race_free (tr : Trace.t) ~(plan : Plan.t) : unit =
+  match race_check tr ~plan with
+  | [] -> ()
+  | vs ->
+    failwith
+      ("Traceview.race_check: dependence-order violation(s):\n"
+      ^ String.concat "\n" (List.map violation_to_string vs))

@@ -45,3 +45,29 @@ val decompose : processors:int -> seq_elapsed:float -> Trace.t -> decomposition
     {!Timings.compare_runs} formula for formula. *)
 
 val decomposition_table : decomposition -> Stats.Table.t
+
+(** {1 Dependence-order oracle} *)
+
+type ordering_violation = {
+  ov_section : string;
+  ov_before : string; (** task that had to complete first *)
+  ov_after : string; (** task that claimed too early *)
+  ov_finish : float; (** earliest durable write-back of [ov_before] *)
+  ov_start : float; (** first claim of [ov_after] *)
+}
+
+val violation_to_string : ordering_violation -> string
+
+val race_check : Trace.t -> plan:Plan.t -> ordering_violation list
+(** Check, from the span store alone, that every dependence edge of
+    the (scheduled) plan was honoured by the recorded execution: for
+    each task-level edge, the predecessor's earliest durable
+    write-back — the winning attempt's; superseded stragglers are
+    ignored exactly as their outputs are — must not be later than the
+    successor's first station claim.  Task labels reused across
+    sections cannot be attributed to spans and are skipped.  Only the
+    DAG policies promise this ordering; {!Parrun.run} auto-runs the
+    oracle on every fresh traced run under those policies. *)
+
+val assert_race_free : Trace.t -> plan:Plan.t -> unit
+(** @raise Failure listing every {!race_check} violation. *)

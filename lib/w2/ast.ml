@@ -68,7 +68,19 @@ type func = {
   floc : Loc.t;
 }
 
-type section = { sname : string; cells : int; funcs : func list; secloc : Loc.t }
+(* Section-level [globals] declare per-cell static storage visible to
+   every function of the section.  The reproduction's backend localizes
+   them (each activation gets a default-initialized copy — the cell
+   simulator's register-window model has no static segment), so their
+   interest is chiefly *compile-time*: functions touching the same
+   global are coupled, which the dependence analyzer tracks. *)
+type section = {
+  sname : string;
+  cells : int;
+  globals : decl list;
+  funcs : func list;
+  secloc : Loc.t;
+}
 type modul = { mname : string; sections : section list; mloc : Loc.t }
 
 (* Names of the built-in functions understood by the checker, the
@@ -140,7 +152,10 @@ let rec max_loop_nesting stmts =
 let func_lines f = 2 + List.length f.locals + stmt_count f.body
 
 let section_lines sec =
-  List.fold_left (fun acc f -> acc + func_lines f) 2 sec.funcs
+  List.fold_left
+    (fun acc f -> acc + func_lines f)
+    (2 + List.length sec.globals)
+    sec.funcs
 
 let module_lines m =
   List.fold_left (fun acc s -> acc + section_lines s) 2 m.sections

@@ -69,7 +69,18 @@ type func = {
   floc : Loc.t;
 }
 
-type section = { sname : string; cells : int; funcs : func list; secloc : Loc.t }
+(** Section-level [globals] declare per-cell static storage visible to
+    every function of the section.  The backend localizes them — each
+    activation starts from a default-initialized copy — so their main
+    significance is compile-time coupling between sibling functions,
+    which {!module:Analysis.Depan} (in the analysis library) tracks. *)
+type section = {
+  sname : string;
+  cells : int;
+  globals : decl list;
+  funcs : func list;
+  secloc : Loc.t;
+}
 type modul = { mname : string; sections : section list; mloc : Loc.t }
 
 val builtins : (string * (ty list * ty)) list

@@ -258,7 +258,7 @@ let s_program ?(name = "S") ~size ~count () =
   in
   {
     Ast.mname = Printf.sprintf "%s%d_%s" name count (size_name size);
-    sections = [ { Ast.sname = "sec1"; cells = 10; funcs; secloc = dummy } ];
+    sections = [ { Ast.sname = "sec1"; cells = 10; globals = []; funcs; secloc = dummy } ];
     mloc = dummy;
   }
 
@@ -273,6 +273,7 @@ let user_program () =
     {
       Ast.sname = Printf.sprintf "stage%d" i;
       cells = 3;
+      globals = [];
       funcs = [ big; small1; small2 ];
       secloc = dummy;
     }
@@ -367,7 +368,7 @@ let random_function ?(allow_channels = false) ~seed ~size () =
 let module_of_function f =
   {
     Ast.mname = "m_" ^ f.Ast.fname;
-    sections = [ { Ast.sname = "sec1"; cells = 1; funcs = [ f ]; secloc = dummy } ];
+    sections = [ { Ast.sname = "sec1"; cells = 1; globals = []; funcs = [ f ]; secloc = dummy } ];
     mloc = dummy;
   }
 
@@ -406,6 +407,6 @@ let helper_program ?(drivers = 6) ?(helpers_per = 3) ?(helper_lines = 8) () =
   in
   {
     Ast.mname = "many_small_functions";
-    sections = [ { Ast.sname = "sec1"; cells = 4; funcs; secloc = dummy } ];
+    sections = [ { Ast.sname = "sec1"; cells = 4; globals = []; funcs; secloc = dummy } ];
     mloc = dummy;
   }

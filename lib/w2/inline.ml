@@ -77,6 +77,57 @@ and no_returns stmts =
       | Ast.Assign _ | Ast.Send _ | Ast.Receive _ | Ast.Call_stmt _ -> true)
     stmts
 
+(* A variable mentioned by the body that is neither a parameter nor a
+   local must be a section global (semcheck admits nothing else). *)
+let has_free_vars (f : Ast.func) =
+  let bound = Hashtbl.create 8 in
+  List.iter (fun (p : Ast.param) -> Hashtbl.replace bound p.pname ()) f.params;
+  List.iter (fun (d : Ast.decl) -> Hashtbl.replace bound d.dname ()) f.locals;
+  let free = ref false in
+  let name n = if not (Hashtbl.mem bound n) then free := true in
+  let rec expr (e : Ast.expr) =
+    match e.e with
+    | Ast.Var v -> name v
+    | Ast.Index (v, i) ->
+      name v;
+      expr i
+    | Ast.Unary (_, x) -> expr x
+    | Ast.Binary (_, a, b) ->
+      expr a;
+      expr b
+    | Ast.Call (_, args) -> List.iter expr args
+    | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Bool_lit _ -> ()
+  and lvalue = function
+    | Ast.Lvar v -> name v
+    | Ast.Lindex (v, i) ->
+      name v;
+      expr i
+  and stmt (s : Ast.stmt) =
+    match s.s with
+    | Ast.Assign (lv, e) ->
+      lvalue lv;
+      expr e
+    | Ast.If (c, a, b) ->
+      expr c;
+      List.iter stmt a;
+      List.iter stmt b
+    | Ast.While (c, b) ->
+      expr c;
+      List.iter stmt b
+    | Ast.For (v, lo, hi, b) ->
+      name v;
+      expr lo;
+      expr hi;
+      List.iter stmt b
+    | Ast.Send (_, e) -> expr e
+    | Ast.Receive (_, lv) -> lvalue lv
+    | Ast.Return (Some e) -> expr e
+    | Ast.Return None -> ()
+    | Ast.Call_stmt (_, args) -> List.iter expr args
+  in
+  List.iter stmt f.body;
+  !free
+
 let inlinable ~max_lines (f : Ast.func) =
   Ast.func_lines f <= max_lines
   && (not (has_calls_stmts f.body))
@@ -89,6 +140,9 @@ let inlinable ~max_lines (f : Ast.func) =
          | Ast.Tint | Ast.Tfloat | Ast.Tbool -> true
          | Ast.Tarray _ -> false)
        f.locals
+  (* Globals are localized per activation; splicing the body into a
+     caller would silently merge the two activations' copies. *)
+  && not (has_free_vars f)
 
 (* --- renaming --- *)
 

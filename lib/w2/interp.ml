@@ -54,6 +54,7 @@ let queue_channels ~input_x ~input_y =
 type state = {
   vars : (string, value) Hashtbl.t;
   funcs : (string, Ast.func) Hashtbl.t; (* functions of the section *)
+  globals : Ast.decl list; (* section globals, localized per activation *)
   channels : channels;
   mutable fuel : int; (* statement budget, guards property tests *)
 }
@@ -194,15 +195,21 @@ and call_function state name arg_values loc : value option =
   in
   if List.length f.params <> List.length arg_values then
     raise (Runtime_error ("arity mismatch calling '" ^ name ^ "'", loc));
-  (* Fresh frame sharing the section's function table and channels. *)
+  (* Fresh frame sharing the section's function table and channels.
+     Globals are localized: every activation starts them from their
+     default values, matching the backend's register-window model. *)
   let frame =
     {
       vars = Hashtbl.create 16;
       funcs = state.funcs;
+      globals = state.globals;
       channels = state.channels;
       fuel = state.fuel;
     }
   in
+  List.iter
+    (fun (d : Ast.decl) -> Hashtbl.replace frame.vars d.dname (default_value d.dty))
+    state.globals;
   List.iter2
     (fun (p : Ast.param) v -> Hashtbl.replace frame.vars p.pname v)
     f.params arg_values;
@@ -282,5 +289,7 @@ let run_function ?(fuel = 2_000_000) ?(channels = null_channels)
     (sec : Ast.section) ~name ~args =
   let funcs = Hashtbl.create 8 in
   List.iter (fun (f : Ast.func) -> Hashtbl.replace funcs f.fname f) sec.funcs;
-  let state = { vars = Hashtbl.create 16; funcs; channels; fuel } in
+  let state =
+    { vars = Hashtbl.create 16; funcs; globals = sec.globals; channels; fuel }
+  in
   call_function state name args Loc.dummy

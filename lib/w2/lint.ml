@@ -7,10 +7,12 @@
    the master process.
 
    Codes:
-     W001  unused variable           W005  assignment to a for-loop variable
-     W002  unused parameter          W006  constant condition
-     W003  dead store                W007  function never called in its section
-     W004  unreachable statement *)
+     W001  unused variable           W006  constant condition
+     W002  unused parameter          W007  function never called in its section
+     W003  dead store                W008  global written by one sibling,
+     W004  unreachable statement           touched by another
+     W005  assignment to a          W009  channel sent but never received
+           for-loop variable              in a multi-cell section *)
 
 let warn out ?func ~code ~loc message =
   out (Diag.make ?func ~code ~severity:Diag.Warning ~loc message)
@@ -237,4 +239,88 @@ let lint_module (m : Ast.modul) : Diag.t list =
   let acc = ref [] in
   let out d = acc := d :: !acc in
   List.iter (lint_section out) m.sections;
+  Diag.sort !acc
+
+(* Coupling warnings (W008/W009).  The per-function effect data comes
+   from the interprocedural analyzer, which sits above this library;
+   the linter only owns the judgment calls — what counts as a coupling
+   worth warning about — so every warning of the compiler is still
+   born here. *)
+
+type coupling = {
+  c_func : string;
+  c_loc : Loc.t;
+  c_greads : string list;
+  c_gwrites : string list;
+  c_sends : Ast.channel list;
+  c_recvs : Ast.channel list;
+}
+
+let coupling_warnings ~section ~cells (cs : coupling list) : Diag.t list =
+  let acc = ref [] in
+  let out d = acc := d :: !acc in
+  (* W008: a write to a section global that a sibling also touches is
+     almost certainly meant as shared state, which the localized
+     semantics (fresh copy per activation) does not provide. *)
+  let globals = Hashtbl.create 8 in
+  let touch g kind c =
+    let reads, writes = try Hashtbl.find globals g with Not_found -> ([], []) in
+    let entry = (c.c_func, c.c_loc) in
+    Hashtbl.replace globals g
+      (match kind with
+      | `Read -> (entry :: reads, writes)
+      | `Write -> (reads, entry :: writes))
+  in
+  List.iter
+    (fun c ->
+      List.iter (fun g -> touch g `Read c) c.c_greads;
+      List.iter (fun g -> touch g `Write c) c.c_gwrites)
+    cs;
+  let names ps = List.sort_uniq String.compare (List.map fst ps) in
+  Hashtbl.fold (fun g (reads, writes) keys -> (g, reads, writes) :: keys)
+    globals []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+  |> List.iter (fun (g, reads, writes) ->
+         match List.rev writes with
+         | [] -> ()
+         | (wf, wloc) :: _ ->
+           let others =
+             List.filter (( <> ) wf) (names (reads @ writes))
+           in
+           if others <> [] then
+             warn out ~func:wf ~code:"W008" ~loc:wloc
+               (Printf.sprintf
+                  "global '%s' is written by '%s' but every activation \
+                   starts from a fresh copy; sibling function%s %s of \
+                   section '%s' never observe%s the write"
+                  g wf
+                  (if List.length others > 1 then "s" else "")
+                  (String.concat ", "
+                     (List.map (Printf.sprintf "'%s'") others))
+                  section
+                  (if List.length others > 1 then "" else "s")));
+  (* W009: with more than one cell only the boundary cell of a channel
+     reaches the host, so a channel that is sent on but never received
+     within the section silently drops every inner cell's values. *)
+  if cells > 1 then
+    List.iter
+      (fun chan ->
+        let sends =
+          List.filter (fun c -> List.mem chan c.c_sends) cs
+        in
+        let recvs =
+          List.exists (fun c -> List.mem chan c.c_recvs) cs
+        in
+        match (sends, recvs) with
+        | first :: _, false ->
+          warn out ~func:first.c_func ~code:"W009" ~loc:first.c_loc
+            (Printf.sprintf
+               "section '%s' sends on %s but no function receives it; \
+                with %d cells only the boundary cell's sends reach the \
+                host and inner-cell values are dropped"
+               section
+               (Ast.channel_to_string chan)
+               cells)
+        | _ -> ())
+      [ Ast.Chan_x; Ast.Chan_y ];
   Diag.sort !acc

@@ -429,6 +429,9 @@ let parse_section p =
   let name = expect_ident p in
   expect p Token.CELLS;
   let cells = expect_int p in
+  (* Optional section-level globals: [var] groups before the first
+     function, sharing the declaration grammar of function locals. *)
+  let globals = parse_decls p in
   let rec loop acc =
     if p.tok = Token.FUNCTION then loop (parse_function p :: acc)
     else List.rev acc
@@ -436,7 +439,7 @@ let parse_section p =
   let funcs = loop [] in
   expect p Token.END;
   if funcs = [] then error p ("section '" ^ name ^ "' declares no function");
-  { Ast.sname = name; cells; funcs; secloc = loc }
+  { Ast.sname = name; cells; globals; funcs; secloc = loc }
 
 let parse_module p =
   let loc = p.loc in

@@ -100,6 +100,9 @@ let pp_func ~indent fmt (f : Ast.func) =
 
 let pp_section fmt (sec : Ast.section) =
   fprintf fmt "  section %s cells %d\n" sec.sname sec.cells;
+  List.iter
+    (fun (d : Ast.decl) -> fprintf fmt "  var %s : %a;\n" d.dname pp_ty d.dty)
+    sec.globals;
   List.iter (fun f -> pp_func ~indent:2 fmt f) sec.funcs;
   fprintf fmt "  end\n"
 

@@ -265,11 +265,17 @@ let rec always_returns stmts =
         false)
     stmts
 
-let check_function env (f : Ast.func) =
+let check_function env ~(globals : Ast.decl list) (f : Ast.func) =
   Hashtbl.reset env.vars;
   env.current_ret <- f.ret;
+  (* Section globals are visible in every function; parameters and
+     locals may not shadow them (the dependence analyzer relies on a
+     global's name meaning the same storage in every sibling). *)
+  List.iter (fun (d : Ast.decl) -> Hashtbl.replace env.vars d.dname d.dty) globals;
   let declare name ty loc =
-    if Hashtbl.mem env.vars name then
+    if List.exists (fun (d : Ast.decl) -> d.dname = name) globals then
+      add_error env ("'" ^ name ^ "' shadows a section global") loc
+    else if Hashtbl.mem env.vars name then
       add_error env ("duplicate declaration of '" ^ name ^ "'") loc
     else if Ast.is_builtin name then
       add_error env ("'" ^ name ^ "' shadows a builtin function") loc
@@ -295,9 +301,27 @@ let check_function env (f : Ast.func) =
       f.floc
   | Some _ | None -> ()
 
+let check_globals env (sec : Ast.section) =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (d : Ast.decl) ->
+      if Hashtbl.mem seen d.dname then
+        add_error env ("duplicate declaration of global '" ^ d.dname ^ "'") d.dloc
+      else Hashtbl.add seen d.dname ();
+      if Ast.is_builtin d.dname then
+        add_error env ("'" ^ d.dname ^ "' shadows a builtin function") d.dloc;
+      match d.dty with
+      | Ast.Tarray (n, elt) ->
+        if n <= 0 then add_error env "array size must be positive" d.dloc;
+        if not (scalar elt) then
+          add_error env "arrays of arrays are not supported" d.dloc
+      | Ast.Tint | Ast.Tfloat | Ast.Tbool -> ())
+    sec.globals
+
 let check_section env (sec : Ast.section) =
   if sec.cells < 1 then
     add_error env "a section needs at least one cell" sec.secloc;
+  check_globals env sec;
   Hashtbl.reset env.funcs;
   List.iter
     (fun (f : Ast.func) ->
@@ -309,7 +333,7 @@ let check_section env (sec : Ast.section) =
         Hashtbl.add env.funcs f.fname
           (List.map (fun (p : Ast.param) -> p.pty) f.params, f.ret))
     sec.funcs;
-  List.iter (check_function env) sec.funcs
+  List.iter (check_function env ~globals:sec.globals) sec.funcs
 
 (* Check a whole module; returns the list of errors, oldest first. *)
 let check_module (m : Ast.modul) : error list =

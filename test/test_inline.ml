@@ -239,7 +239,7 @@ end
   let m =
     {
       Ast.mname = "m";
-      sections = [ { Ast.sname = "s"; cells = 1; funcs = [ callee; main ]; secloc = Loc.dummy } ];
+      sections = [ { Ast.sname = "s"; cells = 1; globals = []; funcs = [ callee; main ]; secloc = Loc.dummy } ];
       mloc = Loc.dummy;
     }
   in
@@ -275,7 +275,7 @@ end
         {
           Ast.mname = "m";
           sections =
-            [ { Ast.sname = "s"; cells = 1; funcs = [ callee; main ]; secloc = Loc.dummy } ];
+            [ { Ast.sname = "s"; cells = 1; globals = []; funcs = [ callee; main ]; secloc = Loc.dummy } ];
           mloc = Loc.dummy;
         }
       in
