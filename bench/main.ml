@@ -10,6 +10,9 @@
      main.exe summary         the abstract's headline numbers
      main.exe faults          seeded fault/recovery sweep (docs/FAULTS.md)
      main.exe sched           scheduling-policy sweep + BENCH_sched.json
+     main.exe deps            dependence-aware dispatch sweep + BENCH_deps.json
+     main.exe absint          abstract-interpretation pruning sweep
+                              + BENCH_absint.json
      main.exe json            write machine-readable BENCH_parallel.json
      main.exe trace           traced parallel run: warpcc_trace.json + Gantt
      main.exe bechamel        only the micro-benchmarks
@@ -561,6 +564,91 @@ let write_deps_json () =
   Printf.printf "wrote BENCH_deps.json (%d points)\n\n"
     (List.length (dag_points ()))
 
+(* --- abstract-interpretation refinement: pruning, end to end --- *)
+
+let absint_points_cache = ref None
+
+let absint_points () =
+  match !absint_points_cache with
+  | Some points -> points
+  | None ->
+    let points = Experiment.absint_sweep () in
+    absint_points_cache := Some points;
+    points
+
+let print_absint_sweep () =
+  let table =
+    t
+      ~title:
+        "Abstract-interpretation refinement (edges/licensed: base analysis         -> after pruning; elapsed under dag+lpt; races = dynamic ordering         violations on the pruned run, always 0)"
+      ~columns:
+        [
+          "series";
+          "funcs";
+          "edges off";
+          "edges on";
+          "pruned";
+          "licensed off";
+          "licensed on";
+          "elapsed off (min)";
+          "elapsed on (min)";
+          "speedup";
+          "races";
+        ]
+  in
+  let table =
+    List.fold_left
+      (fun table (p : Experiment.absint_point) ->
+        Stats.Table.add_float_row table ~label:p.Experiment.ap_series
+          [
+            float_of_int p.Experiment.ap_functions;
+            float_of_int p.Experiment.ap_edges_off;
+            float_of_int p.Experiment.ap_edges_on;
+            float_of_int p.Experiment.ap_pruned;
+            p.Experiment.ap_licensed_off;
+            p.Experiment.ap_licensed_on;
+            minutes p.Experiment.ap_elapsed_off;
+            minutes p.Experiment.ap_elapsed_on;
+            p.Experiment.ap_speedup;
+            float_of_int p.Experiment.ap_race_violations;
+          ])
+      table (absint_points ())
+  in
+  Stats.Table.print table;
+  print_newline ()
+
+let write_absint_json () =
+  let b = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pr "{\n";
+  pr "  \"schema\": \"warpcc-bench-absint/1\",\n";
+  pr "  \"pool\": 4,\n";
+  pr "  \"points\": [\n";
+  let first = ref true in
+  List.iter
+    (fun (p : Experiment.absint_point) ->
+      if not !first then pr ",\n";
+      first := false;
+      pr
+        "    {\"series\": \"%s\", \"functions\": %d, \"edges_off\": %d, \
+         \"edges_on\": %d, \"pruned\": %d, \"licensed_off\": %.4f, \
+         \"licensed_on\": %.4f, \"elapsed_off\": %.3f, \"elapsed_on\": %.3f, \
+         \"speedup\": %.4f, \"race_violations\": %d}"
+        (json_escape p.Experiment.ap_series)
+        p.Experiment.ap_functions p.Experiment.ap_edges_off
+        p.Experiment.ap_edges_on p.Experiment.ap_pruned
+        p.Experiment.ap_licensed_off p.Experiment.ap_licensed_on
+        p.Experiment.ap_elapsed_off p.Experiment.ap_elapsed_on
+        p.Experiment.ap_speedup p.Experiment.ap_race_violations)
+    (absint_points ());
+  pr "\n  ]\n";
+  pr "}\n";
+  let oc = open_out "BENCH_absint.json" in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "wrote BENCH_absint.json (%d points)\n\n"
+    (List.length (absint_points ()))
+
 let write_bench_json () =
   let b = Buffer.create 4096 in
   let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
@@ -833,6 +921,9 @@ let () =
     | "deps" ->
       print_dag_sweep ();
       write_deps_json ()
+    | "absint" ->
+      print_absint_sweep ();
+      write_absint_json ()
     | "json" -> write_bench_json ()
     | "trace" -> print_trace_demo ()
     | "bechamel" -> print_bechamel ()
@@ -849,6 +940,8 @@ let () =
       write_sched_json ();
       print_dag_sweep ();
       write_deps_json ();
+      print_absint_sweep ();
+      write_absint_json ();
       write_bench_json ();
       print_bechamel ()
     | other ->

@@ -15,14 +15,16 @@
          cell simulator (or the whole array with --array).
 
      warpcc simulate prog.w2 [--processors N] [--sched POLICY]
+            [--no-absint] [--static-cost]
          Replay sequential and parallel compilation of the module on the
          simulated 1989 workstation network and report the speedup and
          overhead decomposition of the paper.
 
-     warpcc analyze prog.w2 [--dot FILE] [--json FILE]
+     warpcc analyze prog.w2 [--dot FILE] [--json FILE] [--no-absint]
+            [--absint-max-intervals N]
          Run the interprocedural dependence analyzer alone and print the
-         per-section summaries, dependence edges and licensed-parallelism
-         fraction (or emit Graphviz / JSON).
+         per-section summaries, dependence edges, pruned edges and
+         licensed-parallelism fraction (or emit Graphviz / JSON).
 
    Exit codes (shared by every static path — check, compile, analyze):
      0    the module was accepted
@@ -279,7 +281,7 @@ let analyze_cmd =
   in
   let json_out =
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
-           ~doc:"Write the full analysis as JSON, schema $(b,warpcc-analyze/1) \
+           ~doc:"Write the full analysis as JSON, schema $(b,warpcc-analyze/2) \
                  (\"-\" = stdout)")
   in
   let no_sound =
@@ -292,7 +294,20 @@ let analyze_cmd =
            ~doc:"Distinct globals tracked per effect-summary set before the \
                  summary is widened to \"anything\"")
   in
-  let action file dot_out json_out no_sound max_tracked werror =
+  let no_absint =
+    Arg.(value & flag & info [ "no-absint" ]
+           ~doc:"Skip the abstract-interpretation refinement (array regions, \
+                 channel protocols, static costs); the result is bit-identical \
+                 to the flow-insensitive analyzer")
+  in
+  let absint_max_intervals =
+    Arg.(value & opt int Analysis.Absint.default_max_intervals
+         & info [ "absint-max-intervals" ] ~docv:"N"
+           ~doc:"Disjoint element-index slices tracked per array region before \
+                 the region widens to the whole array")
+  in
+  let action file dot_out json_out no_sound max_tracked no_absint
+      absint_max_intervals werror =
     or_compile_error (fun () ->
         let source = read_file file in
         let m = W2.Parser.module_of_string ~file source in
@@ -301,7 +316,10 @@ let analyze_cmd =
         | errors ->
           List.iter (fun e -> prerr_endline (W2.Semcheck.error_to_string e)) errors;
           exit 1);
-        let t = Analysis.Depan.analyze ~sound:(not no_sound) ~max_tracked m in
+        let t =
+          Analysis.Depan.analyze ~sound:(not no_sound) ~max_tracked
+            ~absint:(not no_absint) ~absint_max_intervals m
+        in
         let write what = function
           | None -> ()
           | Some "-" -> print_string what
@@ -325,7 +343,7 @@ let analyze_cmd =
     Term.(
       term_result
         (const action $ file $ dot_out $ json_out $ no_sound $ max_tracked
-        $ werror_flag))
+        $ no_absint $ absint_max_intervals $ werror_flag))
   in
   Cmd.v
     (Cmd.info "analyze"
@@ -488,13 +506,34 @@ let simulate_cmd =
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
            ~doc:"Write the timings comparison as JSON (\"-\" = stdout)")
   in
+  let no_absint =
+    Arg.(value & flag & info [ "no-absint" ]
+           ~doc:"Skip the abstract-interpretation refinement in the phase-1 \
+                 dependence analysis: the DAG keeps every flow-insensitive \
+                 edge and all timings are bit-identical to the pre-absint \
+                 compiler")
+  in
+  let static_cost =
+    Arg.(value & flag & info [ "static-cost" ]
+           ~doc:"Rank and batch tasks by the abstract interpretation's \
+                 statically bounded cost instead of the measured work units \
+                 (no effect under $(b,--sched fcfs))")
+  in
   let action file processors level fault_seed fault_rate retries sched
-      batch_threshold trace_out gantt metrics json_out =
+      batch_threshold no_absint static_cost trace_out gantt metrics json_out =
     or_compile_error (fun () ->
-        let mw = Driver.Compile.compile_source ~level ~file (read_file file) in
+        let mw =
+          Driver.Compile.compile_source ~level ~file ~absint:(not no_absint)
+            (read_file file)
+        in
         let open Parallel_cc in
         let base_cfg =
-          { Config.default with Config.sched_policy = sched; batch_threshold }
+          {
+            Config.default with
+            Config.sched_policy = sched;
+            batch_threshold;
+            static_cost;
+          }
         in
         let c = Experiment.measure ~cfg:base_cfg ?processors mw in
         Printf.printf "module %s: %d function(s), %d line(s)\n"
@@ -607,8 +646,8 @@ let simulate_cmd =
     Term.(
       term_result
         (const action $ file $ processors $ level $ fault_seed $ fault_rate
-        $ retries $ sched $ batch_threshold $ trace_out $ gantt $ metrics
-        $ json_out))
+        $ retries $ sched $ batch_threshold $ no_absint $ static_cost
+        $ trace_out $ gantt $ metrics $ json_out))
   in
   Cmd.v
     (Cmd.info "simulate"

@@ -54,6 +54,19 @@ let reason_key = function
 
 type edge = { e_from : int; e_to : int; reasons : reason list }
 
+type refuter = Refuted_region | Refuted_protocol
+
+let refuter_to_string = function
+  | Refuted_region -> "region"
+  | Refuted_protocol -> "protocol"
+
+type pruned = {
+  p_from : int;
+  p_to : int;
+  p_reason : reason;
+  p_refuted_by : refuter;
+}
+
 type func_info = {
   fi_name : string;
   fi_index : int;
@@ -64,6 +77,9 @@ type func_info = {
   fi_scc : int;
   fi_direct : effects;
   fi_summary : effects;
+  fi_hash : string;
+  fi_purity : Absint.purity option;
+  fi_cost : Absint.itv option;
 }
 
 type section_info = {
@@ -73,11 +89,14 @@ type section_info = {
   si_edges : edge list;
   si_levels : int list list;
   si_fixpoint_sweeps : int;
+  si_pruned : pruned list;
+  si_disjoint : string list;
 }
 
 type t = {
   dp_module : string;
   dp_sound : bool;
+  dp_absint : bool;
   dp_sections : section_info list;
 }
 
@@ -272,6 +291,23 @@ let tarjan (succs : int list array) : int array =
 
 (* --- per-section analysis --- *)
 
+(* Canonical one-line rendering of an effect summary; shared by the
+   report and the effect-summary hash. *)
+let effects_line (e : effects) =
+  let part label = function
+    | [] -> []
+    | items -> [ Printf.sprintf "%s{%s}" label (String.concat "," items) ]
+  in
+  let chans cs = List.map Ast.channel_to_string cs in
+  let parts =
+    part "reads" e.greads @ part "writes" e.gwrites
+    @ part "sends" (chans e.sends)
+    @ part "recvs" (chans e.recvs)
+    @ part "calls" e.calls
+    @ if e.limited then [ "(limited)" ] else []
+  in
+  if parts = [] then "pure" else String.concat " " parts
+
 let analyze_section ~sound ~max_tracked (sec : Ast.section) : section_info =
   let funcs = Array.of_list sec.funcs in
   let n = Array.length funcs in
@@ -421,6 +457,30 @@ let analyze_section ~sound ~max_tracked (sec : Ast.section) : section_info =
         List.filter (fun i -> depth.(i) = d) (List.init n (fun i -> i)))
     |> List.filter (fun l -> l <> [])
   in
+  (* Stable effect-summary hash, the groundwork for content-addressed
+     compilation caching: a function's key covers its own rendered
+     source, its closed effect summary, and — in rank order, so callees
+     are already hashed — the keys of everything it calls.  Members of
+     a call cycle reference each other by name (their own source is
+     already under the digest, so the cycle stays stable). *)
+  let hash = Array.make n "" in
+  List.iter
+    (fun i ->
+      let callee_keys =
+        SS.elements direct.(i).cs
+        |> List.filter_map (fun name -> Hashtbl.find_opt by_name name)
+        |> List.map (fun j ->
+               if scc.(j) = scc.(i) then "cycle:" ^ funcs.(j).Ast.fname
+               else hash.(j))
+      in
+      hash.(i) <-
+        Digest.to_hex
+          (Digest.string
+             (String.concat "\x00"
+                (W2.Pretty.func_to_string funcs.(i)
+                :: effects_line (effects_of_eff summary.(i))
+                :: callee_keys))))
+    order;
   let func_info i (f : Ast.func) =
     {
       fi_name = f.fname;
@@ -432,6 +492,9 @@ let analyze_section ~sound ~max_tracked (sec : Ast.section) : section_info =
       fi_scc = scc.(i);
       fi_direct = effects_of_eff direct.(i);
       fi_summary = effects_of_eff summary.(i);
+      fi_hash = hash.(i);
+      fi_purity = None;
+      fi_cost = None;
     }
   in
   {
@@ -441,13 +504,158 @@ let analyze_section ~sound ~max_tracked (sec : Ast.section) : section_info =
     si_edges = edges;
     si_levels = levels;
     si_fixpoint_sweeps = !sweeps;
+    si_pruned = [];
+    si_disjoint = [];
   }
 
-let analyze ?(sound = true) ?(max_tracked = 64) (m : Ast.modul) : t =
+(* --- the abstract-interpretation refinement pass --- *)
+
+(* Which refuter, if any, discharges one reason of an edge between
+   functions [a] and [b]?  Structural reasons (inlining, signature
+   agreement) are genuine compile-order inputs and are never
+   refutable. *)
+let refute_reason a b = function
+  | Global_conflict g ->
+    if Absint.global_conflict_refuted a b g then Some Refuted_region
+    else None
+  | Channel_pair c ->
+    if Absint.chan_silent a c || Absint.chan_silent b c then
+      Some Refuted_protocol
+    else None
+  | Summary_limit -> if Absint.conflict_free a b then Some Refuted_region else None
+  | Inline_of | Sig_agreement -> None
+
+let refine_section ~max_intervals (sec : Ast.section) (si : section_info) :
+    section_info =
+  let sums =
+    Array.of_list (List.map snd (Absint.analyze_section ~max_intervals sec))
+  in
+  let n = Array.length si.si_funcs in
+  let pruned = ref [] in
+  let edges =
+    List.filter_map
+      (fun e ->
+        let a = sums.(e.e_from) and b = sums.(e.e_to) in
+        let keep =
+          List.concat_map
+            (fun r ->
+              match refute_reason a b r with
+              | Some by ->
+                pruned :=
+                  { p_from = e.e_from; p_to = e.e_to; p_reason = r;
+                    p_refuted_by = by }
+                  :: !pruned;
+                []
+              | None -> (
+                match r with
+                | Summary_limit ->
+                  (* Not dischargeable, but nameable: replace the
+                     blanket reason with the conflicts the abstract
+                     interpretation actually finds (it tracks every
+                     global, so it sees past the summary cap). *)
+                  let gs, cs = Absint.conflicts a b in
+                  if gs = [] && cs = [] then [ r ]
+                  else
+                    List.map (fun g -> Global_conflict g) gs
+                    @ List.map (fun c -> Channel_pair c) cs
+                | r -> [ r ]))
+            e.reasons
+          |> List.sort_uniq (fun a b -> compare (reason_key a) (reason_key b))
+        in
+        if keep = [] then None else Some { e with reasons = keep })
+      si.si_edges
+  in
+  let pruned = List.rev !pruned in
+  (* Levels over the pruned DAG, walked in the original canonical rank
+     order (edges only ever point forward in it, and deleting edges
+     cannot break that). *)
+  let order =
+    List.sort
+      (fun a b ->
+        compare
+          (si.si_funcs.(a).fi_scc, a)
+          (si.si_funcs.(b).fi_scc, b))
+      (List.init n (fun i -> i))
+  in
+  let depth = Array.make n 0 in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun e ->
+          if e.e_to = v then depth.(v) <- max depth.(v) (depth.(e.e_from) + 1))
+        edges)
+    order;
+  let max_depth = Array.fold_left max 0 depth in
+  let levels =
+    List.init (max_depth + 1) (fun d ->
+        List.filter (fun i -> depth.(i) = d) (List.init n (fun i -> i)))
+    |> List.filter (fun l -> l <> [])
+  in
+  (* Globals every write/access pair of which is element-disjoint: the
+     W008 false-positive fix downgrades their coupling warning to a
+     note.  Pairing is over the functions whose direct effects touch
+     the global — the same data W008 itself is computed from. *)
+  let touches_directly i g =
+    let d = si.si_funcs.(i).fi_direct in
+    List.mem g d.greads || List.mem g d.gwrites
+  in
+  let writes_directly i g = List.mem g si.si_funcs.(i).fi_direct.gwrites in
+  let disjoint =
+    List.filter_map
+      (fun (d : Ast.decl) ->
+        let g = d.dname in
+        let writers = List.filter (fun i -> writes_directly i g) (List.init n (fun i -> i)) in
+        let accessors = List.filter (fun i -> touches_directly i g) (List.init n (fun i -> i)) in
+        let coupled =
+          writers <> []
+          && List.exists (fun i -> not (List.mem i writers) || List.length writers > 1) accessors
+        in
+        let all_refuted =
+          List.for_all
+            (fun w ->
+              List.for_all
+                (fun a ->
+                  a = w || Absint.global_conflict_refuted sums.(w) sums.(a) g)
+                accessors)
+            writers
+        in
+        if coupled && all_refuted then Some g else None)
+      sec.globals
+  in
+  let funcs =
+    Array.mapi
+      (fun i fi ->
+        {
+          fi with
+          fi_purity = Some (Absint.summary_purity sums.(i));
+          fi_cost = Some sums.(i).Absint.s_cost;
+        })
+      si.si_funcs
+  in
+  {
+    si with
+    si_funcs = funcs;
+    si_edges = edges;
+    si_levels = levels;
+    si_pruned = pruned;
+    si_disjoint = disjoint;
+  }
+
+let analyze ?(sound = true) ?(max_tracked = 64) ?(absint = true)
+    ?(absint_max_intervals = Absint.default_max_intervals) (m : Ast.modul) : t
+    =
   {
     dp_module = m.mname;
     dp_sound = sound;
-    dp_sections = List.map (analyze_section ~sound ~max_tracked) m.sections;
+    dp_absint = absint;
+    dp_sections =
+      List.map
+        (fun sec ->
+          let si = analyze_section ~sound ~max_tracked sec in
+          if absint then
+            refine_section ~max_intervals:absint_max_intervals sec si
+          else si)
+        m.sections;
   }
 
 let section t name =
@@ -515,6 +723,15 @@ let edges_by_name (si : section_info) =
         e.reasons ))
     si.si_edges
 
+let pruned_by_name (si : section_info) =
+  List.map
+    (fun p ->
+      ( si.si_funcs.(p.p_from).fi_name,
+        si.si_funcs.(p.p_to).fi_name,
+        p.p_reason,
+        p.p_refuted_by ))
+    si.si_pruned
+
 (* --- lint bridge (W008/W009) --- *)
 
 let lint_section (si : section_info) : W2.Diag.t list =
@@ -530,7 +747,8 @@ let lint_section (si : section_info) : W2.Diag.t list =
              c_recvs = fi.fi_direct.recvs;
            })
   in
-  W2.Lint.coupling_warnings ~section:si.si_name ~cells:si.si_cells couplings
+  W2.Lint.coupling_warnings ~section:si.si_name ~cells:si.si_cells
+    ~disjoint:si.si_disjoint couplings
 
 let lint (t : t) : W2.Diag.t list =
   List.concat_map lint_section t.dp_sections |> W2.Diag.sort
@@ -599,26 +817,12 @@ let check_ir_calls (si : section_info) (sec : Midend.Ir.section) :
 
 (* --- rendering --- *)
 
-let effects_line (e : effects) =
-  let part label = function
-    | [] -> []
-    | items -> [ Printf.sprintf "%s{%s}" label (String.concat "," items) ]
-  in
-  let chans cs = List.map Ast.channel_to_string cs in
-  let parts =
-    part "reads" e.greads @ part "writes" e.gwrites
-    @ part "sends" (chans e.sends)
-    @ part "recvs" (chans e.recvs)
-    @ part "calls" e.calls
-    @ if e.limited then [ "(limited)" ] else []
-  in
-  if parts = [] then "pure" else String.concat " " parts
-
 let report (t : t) : string =
   let b = Buffer.create 1024 in
-  Printf.bprintf b "module %s: %d section(s), %s analysis\n" t.dp_module
+  Printf.bprintf b "module %s: %d section(s), %s analysis%s\n" t.dp_module
     (List.length t.dp_sections)
-    (if t.dp_sound then "sound" else "best-effort");
+    (if t.dp_sound then "sound" else "best-effort")
+    (if t.dp_absint then " + absint" else "");
   List.iter
     (fun si ->
       let n = Array.length si.si_funcs in
@@ -630,15 +834,35 @@ let report (t : t) : string =
         si.si_fixpoint_sweeps (licensed_fraction si);
       Array.iter
         (fun fi ->
-          Printf.bprintf b "  %-12s scc %d%s  %s\n" fi.fi_name fi.fi_scc
+          let purity =
+            match fi.fi_purity with
+            | Some p -> " " ^ Absint.purity_to_string p
+            | None -> ""
+          in
+          let cost =
+            match fi.fi_cost with
+            | Some c -> " cost " ^ Absint.itv_to_string c
+            | None -> ""
+          in
+          Printf.bprintf b "  %-12s scc %d%s%s%s  %s\n" fi.fi_name fi.fi_scc
             (if fi.fi_inlinable then " inlinable" else "")
+            purity cost
             (effects_line fi.fi_summary))
         si.si_funcs;
       List.iter
         (fun (from_name, to_name, reasons) ->
           Printf.bprintf b "  %s -> %s  [%s]\n" from_name to_name
             (String.concat ", " (List.map reason_to_string reasons)))
-        (edges_by_name si))
+        (edges_by_name si);
+      List.iter
+        (fun (from_name, to_name, reason, by) ->
+          Printf.bprintf b "  %s -/> %s  pruned %s (refuted by %s)\n"
+            from_name to_name (reason_to_string reason)
+            (refuter_to_string by))
+        (pruned_by_name si);
+      if si.si_disjoint <> [] then
+        Printf.bprintf b "  element-disjoint global(s): %s\n"
+          (String.concat ", " si.si_disjoint))
     t.dp_sections;
   Buffer.contents b
 
@@ -662,12 +886,20 @@ let to_dot (t : t) : string =
             si.si_name from_name si.si_name to_name
             (String.concat "\\n" (List.map reason_to_string reasons)))
         (edges_by_name si);
+      List.iter
+        (fun (from_name, to_name, reason, by) ->
+          Printf.bprintf b
+            "    \"%s.%s\" -> \"%s.%s\" [style=dashed, color=gray, \
+             label=\"pruned %s\\n(%s)\"];\n"
+            si.si_name from_name si.si_name to_name (reason_to_string reason)
+            (refuter_to_string by))
+        (pruned_by_name si);
       Buffer.add_string b "  }\n")
     t.dp_sections;
   Buffer.add_string b "}\n";
   Buffer.contents b
 
-(* --- JSON (schema warpcc-analyze/1) --- *)
+(* --- JSON (schema warpcc-analyze/2) --- *)
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -698,12 +930,17 @@ let json_effects (e : effects) =
     (json_strings (List.map Ast.channel_to_string e.recvs))
     (json_strings e.calls) e.limited
 
+let json_itv (i : Absint.itv) =
+  let bound = function Some n -> string_of_int n | None -> "null" in
+  Printf.sprintf "{\"lo\": %s, \"hi\": %s}" (bound i.Absint.lo)
+    (bound i.Absint.hi)
+
 let to_json (t : t) : string =
   let b = Buffer.create 4096 in
   Printf.bprintf b
-    "{\n  \"schema\": \"warpcc-analyze/1\",\n  \"module\": \"%s\",\n\
-    \  \"sound\": %b,\n  \"sections\": [\n"
-    (json_escape t.dp_module) t.dp_sound;
+    "{\n  \"schema\": \"warpcc-analyze/2\",\n  \"module\": \"%s\",\n\
+    \  \"sound\": %b,\n  \"absint\": %b,\n  \"sections\": [\n"
+    (json_escape t.dp_module) t.dp_sound t.dp_absint;
   let sections =
     List.map
       (fun si ->
@@ -713,10 +950,20 @@ let to_json (t : t) : string =
                  Printf.sprintf
                    "        {\"name\": \"%s\", \"index\": %d, \"scc\": %d, \
                     \"arity\": %d, \"returns\": %b, \"inlinable\": %b,\n\
+                   \         \"purity\": %s, \"summary_hash\": \"%s\", \
+                    \"cost\": %s,\n\
                    \         \"direct\": %s,\n\
                    \         \"summary\": %s}"
                    (json_escape fi.fi_name) fi.fi_index fi.fi_scc fi.fi_arity
                    fi.fi_returns fi.fi_inlinable
+                   (match fi.fi_purity with
+                   | Some p ->
+                     Printf.sprintf "\"%s\"" (Absint.purity_to_string p)
+                   | None -> "null")
+                   fi.fi_hash
+                   (match fi.fi_cost with
+                   | Some c -> json_itv c
+                   | None -> "null")
                    (json_effects fi.fi_direct)
                    (json_effects fi.fi_summary))
           |> String.concat ",\n"
@@ -731,6 +978,18 @@ let to_json (t : t) : string =
             (edges_by_name si)
           |> String.concat ",\n"
         in
+        let pruned =
+          List.map
+            (fun (from_name, to_name, reason, by) ->
+              Printf.sprintf
+                "        {\"from\": \"%s\", \"to\": \"%s\", \"reason\": \
+                 \"%s\", \"refuted_by\": \"%s\"}"
+                (json_escape from_name) (json_escape to_name)
+                (json_escape (reason_to_string reason))
+                (refuter_to_string by))
+            (pruned_by_name si)
+          |> String.concat ",\n"
+        in
         let levels =
           List.map
             (fun level ->
@@ -743,12 +1002,16 @@ let to_json (t : t) : string =
           "    {\"name\": \"%s\", \"cells\": %d,\n\
           \     \"functions\": [\n%s\n      ],\n\
           \     \"edges\": [\n%s\n      ],\n\
+          \     \"pruned\": [\n%s\n      ],\n\
+          \     \"disjoint_globals\": %s,\n\
           \     \"levels\": [%s],\n\
           \     \"fixpoint_sweeps\": %d,\n\
           \     \"licensed_fraction\": %.6f}"
           (json_escape si.si_name) si.si_cells funcs
           (if si.si_edges = [] then "" else edges)
-          levels si.si_fixpoint_sweeps (licensed_fraction si))
+          (if si.si_pruned = [] then "" else pruned)
+          (json_strings si.si_disjoint) levels si.si_fixpoint_sweeps
+          (licensed_fraction si))
       t.dp_sections
   in
   Buffer.add_string b (String.concat ",\n" sections);

@@ -62,6 +62,28 @@ type edge = {
   reasons : reason list; (** deduplicated, in a fixed display order *)
 }
 
+type refuter =
+  | Refuted_region
+      (** the array-region domain proved every write/any-access overlap
+          element-disjoint (also covers a fully discharged
+          [summary_limit]) *)
+  | Refuted_protocol
+      (** the channel-protocol domain proved one endpoint performs zero
+          operations on the paired channel *)
+
+val refuter_to_string : refuter -> string
+(** ["region"] / ["protocol"]. *)
+
+type pruned = {
+  p_from : int;
+  p_to : int;
+  p_reason : reason; (** the refuted reason *)
+  p_refuted_by : refuter;
+}
+(** Provenance of one refuted edge reason.  An edge disappears from
+    [si_edges] exactly when {e all} of its reasons are refuted;
+    partially refuted edges stay, minus the refuted reasons. *)
+
 type func_info = {
   fi_name : string;
   fi_index : int; (** position in the section, = index in [si_funcs] *)
@@ -72,6 +94,16 @@ type func_info = {
   fi_scc : int; (** SCC id; lower ids are compiled first (callees) *)
   fi_direct : effects; (** effects of this function's own body *)
   fi_summary : effects; (** closed over everything it calls *)
+  fi_hash : string;
+      (** stable effect-summary hash (MD5 hex over the function's
+          rendered source, its closed summary, and its callees' hashes
+          in rank order) — the groundwork for content-addressed
+          compilation caching *)
+  fi_purity : Absint.purity option;
+      (** abstract-interpretation verdict; [None] when absint is off *)
+  fi_cost : Absint.itv option;
+      (** statically bounded statement executions per call; [None] when
+          absint is off *)
 }
 
 type section_info = {
@@ -85,20 +117,44 @@ type section_info = {
           the same level are mutually unordered *)
   si_fixpoint_sweeps : int;
       (** total summary sweeps until the SCC fixpoints stabilized *)
+  si_pruned : pruned list;
+      (** edge reasons the abstract interpretation refuted, in edge
+          order; empty when absint is off *)
+  si_disjoint : string list;
+      (** globals whose every write/access pair is element-disjoint —
+          the W008 downgrade set *)
 }
 
 type t = {
   dp_module : string;
   dp_sound : bool;
+  dp_absint : bool;
   dp_sections : section_info list;
 }
 
-val analyze : ?sound:bool -> ?max_tracked:int -> W2.Ast.modul -> t
+val analyze :
+  ?sound:bool ->
+  ?max_tracked:int ->
+  ?absint:bool ->
+  ?absint_max_intervals:int ->
+  W2.Ast.modul ->
+  t
 (** Analyze a semantically checked module.  [sound] (default [true])
     adds {!Summary_limit} edges from any function whose summary hit
     [max_tracked] (default 64) distinct globals, so schedules derived
     from the DAG stay conservative at analysis limits; with
-    [~sound:false] such functions simply carry truncated summaries. *)
+    [~sound:false] such functions simply carry truncated summaries.
+
+    [absint] (default [true]) runs the {!Absint} refinement pass after
+    the base analysis: refuted edge reasons move to [si_pruned] (with
+    their refuter), surviving [summary_limit] reasons are replaced by
+    the targeted conflicts the abstract interpretation can actually
+    name, levels and licensed fraction are recomputed over the pruned
+    DAG, and [fi_purity]/[fi_cost]/[si_disjoint] are filled in.
+    [absint_max_intervals] is the region-domain precision knob
+    ({!Absint.default_max_intervals}).  With [~absint:false] the result
+    — edges, levels, lints, timings downstream — is bit-identical to
+    the pre-absint analyzer. *)
 
 val section : t -> string -> section_info option
 
@@ -116,6 +172,10 @@ val licensed_fraction : section_info -> float
 
 val edges_by_name : section_info -> (string * string * reason list) list
 (** [si_edges] with indices resolved to function names. *)
+
+val pruned_by_name :
+  section_info -> (string * string * reason * refuter) list
+(** [si_pruned] with indices resolved to function names. *)
 
 val lint_section : section_info -> W2.Diag.t list
 (** W008/W009 for one section via {!W2.Lint.coupling_warnings}, fed
@@ -143,4 +203,8 @@ val to_dot : t -> string
     their reasons. *)
 
 val to_json : t -> string
-(** Machine-readable dump, schema ["warpcc-analyze/1"]. *)
+(** Machine-readable dump, schema ["warpcc-analyze/2"]: adds
+    per-function ["purity"], ["summary_hash"] and ["cost"], per-section
+    ["pruned"] (with ["refuted_by"] provenance) and
+    ["disjoint_globals"], and a top-level ["absint"] flag to the /1
+    layout. *)

@@ -22,6 +22,9 @@ type func_work = {
   fw_wides : int; (* code size in wide instructions *)
   fw_pipelined : int;
   fw_spilled : int;
+  fw_static_units : int option; (* statically bounded statement
+                                   executions (absint cost domain);
+                                   None when the refinement is off *)
   fw_diags : W2.Diag.t list; (* findings this function's master reports
                                 back to its section master *)
 }
@@ -66,7 +69,7 @@ let verify_failure violations =
    findings attributed to this function; the function master carries
    them (plus anything the IR verifier reports) back up the hierarchy. *)
 let compile_function ?(level = 2) ?(verify_each = false) ?(diags = [])
-    ?(globals = []) ~func_rets ~section (f : W2.Ast.func) :
+    ?(globals = []) ?static_units ~func_rets ~section (f : W2.Ast.func) :
     func_work * Warp.Mcode.mfunc * Midend.Ir.func =
   let ir = Midend.Lower.lower_function ~func_rets ~globals f in
   let fw_ir_instrs = Midend.Ir.instr_count ir in
@@ -91,6 +94,7 @@ let compile_function ?(level = 2) ?(verify_each = false) ?(diags = [])
       fw_wides = compiled.Warp.Codegen.wide_count;
       fw_pipelined = compiled.Warp.Codegen.pipelined;
       fw_spilled = compiled.Warp.Codegen.spilled;
+      fw_static_units = static_units;
       fw_diags = diags;
     }
   in
@@ -130,12 +134,23 @@ let compile_section ?(level = 2) ?(verify_each = false)
     | None -> []
   in
   let lints = W2.Diag.sort (coupling @ !lints) in
+  let static_units_of (f : W2.Ast.func) =
+    match depan with
+    | None -> None
+    | Some si ->
+      Array.to_list si.Analysis.Depan.si_funcs
+      |> List.find_opt (fun fi -> fi.Analysis.Depan.fi_name = f.W2.Ast.fname)
+      |> fun fi ->
+      Option.bind fi (fun fi ->
+          Option.map Analysis.Absint.cost_units fi.Analysis.Depan.fi_cost)
+  in
   let results =
     List.map
       (fun (f : W2.Ast.func) ->
         compile_function ~level ~verify_each
           ~diags:(W2.Diag.for_func f.W2.Ast.fname lints)
-          ~globals:sec.W2.Ast.globals ~func_rets ~section:sec.W2.Ast.sname f)
+          ?static_units:(static_units_of f) ~globals:sec.W2.Ast.globals
+          ~func_rets ~section:sec.W2.Ast.sname f)
       sec.W2.Ast.funcs
   in
   let ir_section =
@@ -171,6 +186,7 @@ let compile_section ?(level = 2) ?(verify_each = false)
 (* The whole compiler, from source text.  Raises [Compile_error] on
    phase-1 failure (the master aborts, as in the paper). *)
 let compile_source ?(level = 2) ?(verify_each = false) ?(file = "<module>")
+    ?(absint = true) ?(absint_max_intervals = Analysis.Absint.default_max_intervals)
     (source : string) : module_work =
   let tokens = count_tokens source in
   let m =
@@ -189,7 +205,9 @@ let compile_source ?(level = 2) ?(verify_each = false) ?(file = "<module>")
   (* Interprocedural dependence analysis — still phase 1, still the
      sequential master; its section summaries feed the coupling lints
      and the per-section IR cross-check below. *)
-  let analysis = Analysis.Depan.analyze m in
+  let analysis =
+    Analysis.Depan.analyze ~absint ~absint_max_intervals m
+  in
   {
     mw_name = m.W2.Ast.mname;
     mw_loc = W2.Pretty.source_lines source;
@@ -203,9 +221,9 @@ let compile_source ?(level = 2) ?(verify_each = false) ?(file = "<module>")
 
 (* Convenience: compile an AST (pretty-printing it first so that the
    token count reflects a real source file). *)
-let compile_module ?(level = 2) ?(verify_each = false) (m : W2.Ast.modul) :
-    module_work =
-  compile_source ~level ~verify_each (W2.Pretty.module_to_string m)
+let compile_module ?(level = 2) ?(verify_each = false) ?(absint = true)
+    (m : W2.Ast.modul) : module_work =
+  compile_source ~level ~verify_each ~absint (W2.Pretty.module_to_string m)
 
 let all_funcs (mw : module_work) : func_work list =
   List.concat_map (fun s -> s.sw_funcs) mw.mw_sections

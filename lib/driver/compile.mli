@@ -23,6 +23,11 @@ type func_work = {
   fw_wides : int; (** code size in wide instructions *)
   fw_pipelined : int; (** loops software-pipelined *)
   fw_spilled : int;
+  fw_static_units : int option;
+      (** statically bounded statement executions of one call, from the
+          abstract interpretation's cost domain ({!Analysis.Absint});
+          what [--static-cost] scheduling ranks by.  [None] when the
+          refinement is off *)
   fw_diags : W2.Diag.t list;
       (** findings this function's master reports back to its section
           master (lint warnings from phase 1, verifier findings) *)
@@ -62,6 +67,7 @@ val compile_function :
   ?verify_each:bool ->
   ?diags:W2.Diag.t list ->
   ?globals:W2.Ast.decl list ->
+  ?static_units:int ->
   func_rets:(string, Midend.Ir.ty option) Hashtbl.t ->
   section:string ->
   W2.Ast.func ->
@@ -90,12 +96,22 @@ val compile_section :
     runs after the verifier's. *)
 
 val compile_source :
-  ?level:int -> ?verify_each:bool -> ?file:string -> string -> module_work
-(** The whole compiler, from source text.
+  ?level:int ->
+  ?verify_each:bool ->
+  ?file:string ->
+  ?absint:bool ->
+  ?absint_max_intervals:int ->
+  string ->
+  module_work
+(** The whole compiler, from source text.  [absint] (default [true])
+    runs the abstract-interpretation refinement inside the phase-1
+    dependence analysis; with [~absint:false] the analysis — and every
+    timing derived from it — is bit-identical to the pre-absint
+    compiler.
     @raise Compile_error on phase-1 failure. *)
 
 val compile_module :
-  ?level:int -> ?verify_each:bool -> W2.Ast.modul -> module_work
+  ?level:int -> ?verify_each:bool -> ?absint:bool -> W2.Ast.modul -> module_work
 (** Convenience: pretty-print the AST so the token count reflects a
     real source file, then {!compile_source}. *)
 

@@ -112,6 +112,22 @@ let phase23_seconds m (fw : Compile.func_work) =
 let task_phase23_seconds m (funcs : Compile.func_work list) =
   List.fold_left (fun acc fw -> acc +. phase23_seconds m fw) 0.0 funcs
 
+(* Static stand-in for [phase23_seconds]: the abstract interpretation's
+   statement-execution bound priced as optimizer work units.  It only
+   has to {e rank} functions like the measured signal does (the
+   scheduler compares costs, it never adds them to the clock), so one
+   abstract statement execution ~ one phase-2 work unit is close
+   enough.  Falls back to the measured estimate when the bound is
+   missing (absint off, or a function the domain widened to top). *)
+let static_phase23_seconds m (fw : Compile.func_work) =
+  match fw.Compile.fw_static_units with
+  | Some units ->
+    m.func_fixed_seconds +. (m.sec_per_opt_unit *. float_of_int units)
+  | None -> phase23_seconds m fw
+
+let static_task_seconds m (funcs : Compile.func_work list) =
+  List.fold_left (fun acc fw -> acc +. static_phase23_seconds m fw) 0.0 funcs
+
 (* Phase 4 for the whole module (assembly, linking, I/O drivers). *)
 let phase4_seconds m (mw : Compile.module_work) =
   let wides =

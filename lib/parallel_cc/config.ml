@@ -15,6 +15,8 @@ type t = {
                                   the paper's behaviour, bit-identical *)
   batch_threshold : float; (* tasks under this many estimated seconds
                               are batched by [Sched.Lpt_batch] *)
+  static_cost : bool; (* rank/batch by the absint statement-execution
+                         bound instead of measured work units *)
   faults : Netsim.Fault.plan; (* station crashes etc.; [none] = ideal *)
   deadline_factor : float; (* task deadline = factor * cost estimate *)
   retry_budget : int; (* re-dispatches before sequential fallback *)
@@ -39,6 +41,7 @@ let default =
        calls worth a processor of its own. *)
     sched_policy = Sched.Fcfs;
     batch_threshold = 60.0;
+    static_cost = false;
     faults = Netsim.Fault.none;
     deadline_factor = 6.0;
     retry_budget = 2;

@@ -19,6 +19,11 @@ type t = {
       (** {!Sched.Lpt_batch}'s cut-off: tasks estimated under this many
           phase-2+3 seconds are merged into shared dispatch units
           (default 60.0) *)
+  static_cost : bool;
+      (** rank and batch by the abstract interpretation's statically
+          bounded cost ({!Sched.task_cost} with [~static:true]) instead
+          of the measured work units (default [false]; meaningless
+          under [Fcfs], which never consults the signal) *)
   faults : Netsim.Fault.plan;
       (** fault schedule wired into the cluster ({!Netsim.Fault.none} =
           the ideal host; anything else enables supervision in

@@ -464,3 +464,96 @@ let run_scaling_study ?(cfg = Config.default) ?(size = W2.Gen.Large)
       in
       { n_functions = count; comparison })
     [ 1; 2; 4; 8; 12; 16; 24; 32 ]
+
+(* --- abstract-interpretation refinement: pruned edges, end to end --- *)
+
+type absint_point = {
+  ap_series : string;
+  ap_functions : int;
+  ap_edges_off : int; (* dependence edges, base analysis *)
+  ap_edges_on : int; (* after the absint refinement *)
+  ap_pruned : int; (* edge reasons refuted (region + protocol) *)
+  ap_licensed_off : float;
+  ap_licensed_on : float;
+  ap_elapsed_off : float; (* dag+lpt elapsed on the unpruned DAG *)
+  ap_elapsed_on : float; (* dag+lpt elapsed on the pruned DAG *)
+  ap_speedup : float; (* off / on: what the pruning buys *)
+  ap_race_violations : int;
+      (* dynamic oracle over the pruned run's trace: dependence edges
+         dispatched out of order.  Soundness means this is always 0 *)
+}
+
+let absint_series () =
+  [
+    ("partitioned", fun () -> W2.Gen.partitioned_program ());
+    ("histogram", fun () -> W2.Gen.histogram_program ());
+    ("deadchan", fun () -> W2.Gen.deadchan_program ());
+    (* witness: every edge here is inline_of/sig_agreement, which the
+       refinement never touches — the point must be a no-op *)
+    ("helpers4", fun () -> W2.Gen.helper_program ~drivers:4 ());
+  ]
+
+let absint_program_work ?(level = 2) ~absint ~name (make : unit -> W2.Ast.modul)
+    : Driver.Compile.module_work =
+  let key = Printf.sprintf "absint:%s:%d:%b" name level absint in
+  match Hashtbl.find_opt cache key with
+  | Some mw -> mw
+  | None ->
+    let mw =
+      Driver.Compile.compile_source ~level ~absint
+        (W2.Pretty.module_to_string (make ()))
+    in
+    Hashtbl.replace cache key mw;
+    mw
+
+let module_pruned (t : Analysis.Depan.t) =
+  List.fold_left
+    (fun n si -> n + List.length si.Analysis.Depan.si_pruned)
+    0 t.Analysis.Depan.dp_sections
+
+(* Each program is compiled twice — refinement off and on — and both
+   DAGs are played under dag+lpt on a 4-station pool with the race
+   oracle armed: the pruned schedule must be faster (or at worst equal)
+   and every surviving edge must still be honoured dynamically. *)
+let absint_sweep ?(cfg = Config.default) ?(pool = 4) () : absint_point list =
+  List.map
+    (fun (name, make) ->
+      let level = cfg.Config.opt_level in
+      let off = absint_program_work ~level ~absint:false ~name make in
+      let on = absint_program_work ~level ~absint:true ~name make in
+      let play (mw : Driver.Compile.module_work) =
+        let plan = Plan.one_per_station mw in
+        let tr = Trace.create () in
+        let cfg_run =
+          {
+            cfg with
+            Config.stations = pool + 1;
+            noise_seed = 3;
+            sched_policy = Sched.Dag_lpt;
+            trace = tr;
+          }
+        in
+        let r = (Parrun.run cfg_run mw plan).Parrun.run in
+        let scheduled =
+          Sched.schedule ~static:cfg.Config.static_cost ~policy:Sched.Dag_lpt
+            ~cost:cfg.Config.cost ~threshold:cfg.Config.batch_threshold
+            ~stations:(pool + 1) plan
+        in
+        (r.Timings.elapsed, List.length (Traceview.race_check tr ~plan:scheduled))
+      in
+      let elapsed_off, _ = play off in
+      let elapsed_on, violations = play on in
+      {
+        ap_series = name;
+        ap_functions = List.length (Driver.Compile.all_funcs on);
+        ap_edges_off = module_edges off.Driver.Compile.mw_analysis;
+        ap_edges_on = module_edges on.Driver.Compile.mw_analysis;
+        ap_pruned = module_pruned on.Driver.Compile.mw_analysis;
+        ap_licensed_off = module_licensed off.Driver.Compile.mw_analysis;
+        ap_licensed_on = module_licensed on.Driver.Compile.mw_analysis;
+        ap_elapsed_off = elapsed_off;
+        ap_elapsed_on = elapsed_on;
+        ap_speedup = elapsed_off /. elapsed_on;
+        ap_race_violations = violations;
+      })
+    (absint_series ())

@@ -161,3 +161,32 @@ val run_scaling_study :
     processor per function (efficiency decays past 8-16); with it, the
     paper's environment ("the number of processors that can be used in
     parallel is limited to 10-15", §3.3), where speedup plateaus. *)
+
+(** {1 Abstract-interpretation refinement} *)
+
+type absint_point = {
+  ap_series : string;
+  ap_functions : int;
+  ap_edges_off : int; (** dependence edges, base (flow-insensitive) analysis *)
+  ap_edges_on : int; (** after the {!Analysis.Absint} refinement *)
+  ap_pruned : int; (** edge reasons refuted (region + protocol) *)
+  ap_licensed_off : float;
+  ap_licensed_on : float; (** pairs-weighted licensed fractions *)
+  ap_elapsed_off : float; (** dag+lpt elapsed on the unpruned DAG *)
+  ap_elapsed_on : float; (** dag+lpt elapsed on the pruned DAG *)
+  ap_speedup : float; (** off / on — what the pruning buys *)
+  ap_race_violations : int;
+      (** {!Traceview.race_check} violations on the pruned run's trace;
+          soundness of the refutations means this is always 0 *)
+}
+
+val absint_series : unit -> (string * (unit -> W2.Ast.modul)) list
+(** The sweep's programs: the partitioned lattice, the histogram and
+    the dead-channel program (each with refutable couplings) plus the
+    4-driver helper program as a no-op witness (all of its edges are
+    inline/signature edges, which the refinement never touches). *)
+
+val absint_sweep : ?cfg:Config.t -> ?pool:int -> unit -> absint_point list
+(** Each program compiled with the refinement off and on, both DAGs
+    played under dag+lpt on a [pool]-station cluster (default 4) with
+    the race oracle armed; seeded (noise seed 3), so reproducible. *)

@@ -102,7 +102,8 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
      study (which spawns master processes directly) is scheduled
      too. *)
   let plan =
-    Sched.schedule ~policy:cfg.Config.sched_policy ~cost
+    Sched.schedule ~static:cfg.Config.static_cost
+      ~policy:cfg.Config.sched_policy ~cost
       ~threshold:cfg.Config.batch_threshold ~stations:cfg.Config.stations plan
   in
   stats.dispatch_units <- stats.dispatch_units + Plan.task_count plan;
@@ -658,7 +659,8 @@ let run (cfg : Config.t) (mw : Driver.Compile.module_work) (plan : Plan.t) : out
     if Sched.dag_gated cfg.Config.sched_policy then
       Traceview.assert_race_free tr
         ~plan:
-          (Sched.schedule ~policy:cfg.Config.sched_policy ~cost:cfg.Config.cost
+          (Sched.schedule ~static:cfg.Config.static_cost
+             ~policy:cfg.Config.sched_policy ~cost:cfg.Config.cost
              ~threshold:cfg.Config.batch_threshold
              ~stations:cfg.Config.stations plan)
   end;

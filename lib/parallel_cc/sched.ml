@@ -49,9 +49,13 @@ let policy_of_string = function
   | _ -> None
 
 (* The scheduler's cost signal: estimated phases-2+3 seconds of one
-   task (summed in function order, so bit-stable across plans). *)
-let task_cost (cost : Driver.Cost.model) (t : Plan.task) =
-  Driver.Cost.task_phase23_seconds cost t.Plan.t_funcs
+   task (summed in function order, so bit-stable across plans).  With
+   [static] the measured work units are replaced by the abstract
+   interpretation's statement-execution bound, priced by the same
+   model — the signal available before any function has compiled. *)
+let task_cost ?(static = false) (cost : Driver.Cost.model) (t : Plan.task) =
+  if static then Driver.Cost.static_task_seconds cost t.Plan.t_funcs
+  else Driver.Cost.task_phase23_seconds cost t.Plan.t_funcs
 
 (* Descending cost with an explicit total tie-break: equal-cost tasks
    (e.g. the S_n series' identical functions) are ordered by their
@@ -59,10 +63,10 @@ let task_cost (cost : Driver.Cost.model) (t : Plan.task) =
    order of their head functions — so LPT on a uniform plan is the
    identity permutation and the result never depends on the sort
    algorithm's stability. *)
-let order_lpt cost tasks =
+let order_lpt costf tasks =
   List.mapi (fun i t -> (i, t)) tasks
   |> List.sort (fun (ia, a) (ib, b) ->
-         match compare (task_cost cost b) (task_cost cost a) with
+         match compare (costf b) (costf a) with
          | 0 -> compare ia ib
          | c -> c)
   |> List.map snd
@@ -72,24 +76,20 @@ let order_lpt cost tasks =
    pool workstation); once the bin budget is reached, remaining tasks
    spill into the least-loaded bin (LPT packing).  Tasks at or above
    the threshold pass through untouched. *)
-let batch_tiny cost ~threshold ~max_bins (tasks : Plan.task list) :
+let batch_tiny costf ~threshold ~max_bins (tasks : Plan.task list) :
     Plan.task list =
-  let tiny, big =
-    List.partition (fun t -> task_cost cost t < threshold) tasks
-  in
+  let tiny, big = List.partition (fun t -> costf t < threshold) tasks in
   match tiny with
   | [] | [ _ ] -> tasks (* nothing to merge *)
   | _ ->
     let max_bins = max 1 max_bins in
     let sorted =
-      List.stable_sort
-        (fun a b -> compare (task_cost cost b) (task_cost cost a))
-        tiny
+      List.stable_sort (fun a b -> compare (costf b) (costf a)) tiny
     in
     (* bins: (load, tasks in reverse arrival order) *)
     let bins : (float * Plan.task list) array ref = ref [||] in
     let place t =
-      let c = task_cost cost t in
+      let c = costf t in
       let n = Array.length !bins in
       let fits = ref (-1) in
       Array.iteri
@@ -343,7 +343,7 @@ let task_levels (deps : int list array) : int list list =
    topological FCFS order.  [Dag_lpt] additionally applies LPT and
    tiny-task batching within each antichain level, composing the
    overhead amortization of [Lpt_batch] with dependence safety. *)
-let schedule_dag ~lpt ~cost ~threshold ~max_bins
+let schedule_dag ~lpt ~costf ~threshold ~max_bins
     ~(func_deps : (string * (string * string) list) list) ~section tasks =
   let edges =
     match List.assoc_opt section func_deps with Some e -> e | None -> []
@@ -358,12 +358,13 @@ let schedule_dag ~lpt ~cost ~threshold ~max_bins
     task_levels deps
     |> List.concat_map (fun level ->
            let level_tasks = List.map (fun i -> arr.(i)) level in
-           order_lpt cost (batch_tiny cost ~threshold ~max_bins level_tasks)
+           order_lpt costf (batch_tiny costf ~threshold ~max_bins level_tasks)
            |> List.map (fun (t : Plan.task) ->
                   { t with Plan.t_funcs = order_funcs_by_deps edges t.Plan.t_funcs }))
 
-let schedule ~policy ~(cost : Driver.Cost.model) ~threshold ~stations
-    (plan : Plan.t) : Plan.t =
+let schedule ?(static = false) ~policy ~(cost : Driver.Cost.model) ~threshold
+    ~stations (plan : Plan.t) : Plan.t =
+  let costf = task_cost ~static cost in
   match policy with
   | Fcfs -> plan (* physically unchanged: timings stay bit-identical *)
   | Lpt ->
@@ -371,7 +372,7 @@ let schedule ~policy ~(cost : Driver.Cost.model) ~threshold ~stations
       plan with
       Plan.tasks_per_section =
         List.map
-          (fun (s, tasks) -> (s, order_lpt cost tasks))
+          (fun (s, tasks) -> (s, order_lpt costf tasks))
           plan.Plan.tasks_per_section;
     }
   | Lpt_batch ->
@@ -383,7 +384,7 @@ let schedule ~policy ~(cost : Driver.Cost.model) ~threshold ~stations
       Plan.tasks_per_section =
         List.map
           (fun (s, tasks) ->
-            (s, order_lpt cost (batch_tiny cost ~threshold ~max_bins tasks)))
+            (s, order_lpt costf (batch_tiny costf ~threshold ~max_bins tasks)))
           plan.Plan.tasks_per_section;
     }
   | Dag ->
@@ -393,7 +394,7 @@ let schedule ~policy ~(cost : Driver.Cost.model) ~threshold ~stations
         List.map
           (fun (s, tasks) ->
             ( s,
-              schedule_dag ~lpt:false ~cost ~threshold ~max_bins:1
+              schedule_dag ~lpt:false ~costf ~threshold ~max_bins:1
                 ~func_deps:plan.Plan.func_deps ~section:s tasks ))
           plan.Plan.tasks_per_section;
     }
@@ -405,7 +406,7 @@ let schedule ~policy ~(cost : Driver.Cost.model) ~threshold ~stations
         List.map
           (fun (s, tasks) ->
             ( s,
-              schedule_dag ~lpt:true ~cost ~threshold ~max_bins
+              schedule_dag ~lpt:true ~costf ~threshold ~max_bins
                 ~func_deps:plan.Plan.func_deps ~section:s tasks ))
           plan.Plan.tasks_per_section;
     }

@@ -62,9 +62,11 @@ val policy_of_string : string -> policy option
 (** Inverse of {!policy_name} (also accepts ["lpt-batch"] and
     ["dag-lpt"]). *)
 
-val task_cost : Driver.Cost.model -> Plan.task -> float
+val task_cost : ?static:bool -> Driver.Cost.model -> Plan.task -> float
 (** Estimated phases-2+3 seconds of one task — the signal every policy
-    ranks and batches by. *)
+    ranks and batches by.  With [~static:true] the measured work units
+    are replaced by {!Driver.Cost.static_task_seconds}, the abstract
+    interpretation's statically derived bound (default [false]). *)
 
 val task_deps :
   func_deps:(string * (string * string) list) list ->
@@ -79,13 +81,16 @@ val task_deps :
     policies. *)
 
 val schedule :
+  ?static:bool ->
   policy:policy ->
   cost:Driver.Cost.model ->
   threshold:float ->
   stations:int ->
   Plan.t ->
   Plan.t
-(** Apply [policy] to a plan.  [threshold] is the batching cut-off in
+(** Apply [policy] to a plan.  [static] selects the statically bounded
+    cost signal (see {!task_cost}).  [threshold] is the batching
+    cut-off in
     estimated seconds (tasks strictly below it are merged);
     [stations] is the cluster size including the master's own machine,
     capping batched dispatch units at one per pool station.  Function

@@ -410,3 +410,196 @@ let helper_program ?(drivers = 6) ?(helpers_per = 3) ?(helper_lines = 8) () =
     sections = [ { Ast.sname = "sec1"; cells = 4; globals = []; funcs; secloc = dummy } ];
     mloc = dummy;
   }
+
+(* --- programs exercising the abstract-interpretation refinement --- *)
+
+(* A partitioned lattice relaxation: every worker writes its own
+   contiguous slice of the shared lattice (literal loop bounds, so the
+   region domain sees exact slices), and a collector sums the whole
+   array after calling every worker.  Flow-insensitive analysis draws a
+   global-conflict edge between every pair of workers; the region
+   domain refutes all of them, leaving only the genuine worker ->
+   collector dependences. *)
+let partitioned_program ?(workers = 4) ?(seg = 4) () =
+  let cells = workers * seg in
+  let worker k =
+    let lo = k * seg and hi = (k * seg) + seg - 1 in
+    {
+      Ast.fname = Printf.sprintf "worker_%d" k;
+      params = [ param "seed" Ast.Tint; param "n" Ast.Tint ];
+      ret = Some Ast.Tfloat;
+      locals = [ decl "i" Ast.Tint; decl "x" Ast.Tfloat ];
+      body =
+        [
+          assign "x" (bin Ast.Mul (call "float" [ var "seed" ]) (flt 0.0625));
+          for_ "i" lo hi
+            [
+              store "lattice" (var "i")
+                (bin Ast.Add
+                   (bin Ast.Mul (var "x") (flt 0.5))
+                   (bin Ast.Mul (call "float" [ var "i" ]) (flt 0.0625)));
+            ];
+          return_ (var "x");
+        ];
+      floc = dummy;
+    }
+  in
+  let collect =
+    let acc_calls =
+      List.init workers (fun k ->
+          assign "acc"
+            (bin Ast.Add (var "acc")
+               (call
+                  (Printf.sprintf "worker_%d" k)
+                  [ bin Ast.Add (var "seed") (int k); var "n" ])))
+    in
+    {
+      Ast.fname = "collect";
+      params = [ param "seed" Ast.Tint; param "n" Ast.Tint ];
+      ret = Some Ast.Tfloat;
+      locals = [ decl "i" Ast.Tint; decl "acc" Ast.Tfloat ];
+      body =
+        (assign "acc" (flt 0.0) :: acc_calls)
+        @ [
+            for_ "i" 0 (cells - 1)
+              [
+                assign "acc"
+                  (bin Ast.Add
+                     (bin Ast.Mul (var "acc") (flt 0.5))
+                     (idx "lattice" (var "i")));
+              ];
+            return_ (var "acc");
+          ];
+      floc = dummy;
+    }
+  in
+  {
+    Ast.mname = "partitioned_lattice";
+    sections =
+      [
+        {
+          Ast.sname = "lattice_sec";
+          cells = workers;
+          globals = [ decl "lattice" (Ast.Tarray (cells, Ast.Tfloat)) ];
+          funcs = List.init workers worker @ [ collect ];
+          secloc = dummy;
+        };
+      ];
+    mloc = dummy;
+  }
+
+(* A histogram with a shared pure helper: every counter owns exactly
+   one literal-indexed bin of the shared [hist] array, and all of them
+   call the same smoothing helper.  The helper edges (inline/signature)
+   are genuine and survive; the counter-counter global-conflict edges
+   are refuted element-wise, and the helper itself is judged pure. *)
+let histogram_program ?(drivers = 4) () =
+  let helper =
+    {
+      Ast.fname = "smooth";
+      params = [ param "v" Ast.Tfloat ];
+      ret = Some Ast.Tfloat;
+      locals = [];
+      body =
+        [ return_ (bin Ast.Add (bin Ast.Mul (var "v") (flt 0.5)) (flt 0.0625)) ];
+      floc = dummy;
+    }
+  in
+  let driver d =
+    {
+      Ast.fname = Printf.sprintf "count_%d" d;
+      params = [ param "seed" Ast.Tint; param "n" Ast.Tint ];
+      ret = Some Ast.Tfloat;
+      locals = [ decl "i" Ast.Tint; decl "x" Ast.Tfloat ];
+      body =
+        [
+          assign "x" (bin Ast.Mul (call "float" [ var "seed" ]) (flt 0.0625));
+          for_ "i" 0 7
+            [
+              assign "x"
+                (call "smooth"
+                   [ bin Ast.Add (var "x") (call "float" [ var "i" ]) ]);
+            ];
+          store "hist" (int d) (var "x");
+          return_ (var "x");
+        ];
+      floc = dummy;
+    }
+  in
+  {
+    Ast.mname = "histogram";
+    sections =
+      [
+        {
+          Ast.sname = "hist_sec";
+          cells = drivers;
+          globals = [ decl "hist" (Ast.Tarray (drivers, Ast.Tfloat)) ];
+          funcs = helper :: List.init drivers driver;
+          secloc = dummy;
+        };
+      ];
+    mloc = dummy;
+  }
+
+(* Channel traffic with one provably dead sender: [probe]'s send sits
+   in a loop whose range is empty ([for i := 1 to 0]), so its X
+   multiplicity is exactly [0,0] and the protocol domain prunes its
+   channel pairings with the live [pump]/[drain] pair (which keeps its
+   edge: those two really do share the cell array's X stream). *)
+let deadchan_program () =
+  let ffun name body locals =
+    {
+      Ast.fname = name;
+      params = [ param "seed" Ast.Tint; param "n" Ast.Tint ];
+      ret = Some Ast.Tfloat;
+      locals;
+      body;
+      floc = dummy;
+    }
+  in
+  let probe =
+    ffun "probe"
+      [
+        assign "x" (bin Ast.Mul (call "float" [ var "seed" ]) (flt 0.5));
+        for_ "i" 1 0 [ st (Ast.Send (Ast.Chan_x, var "x")) ];
+        return_ (var "x");
+      ]
+      [ decl "i" Ast.Tint; decl "x" Ast.Tfloat ]
+  in
+  let pump =
+    ffun "pump"
+      [
+        assign "x" (bin Ast.Mul (call "float" [ var "seed" ]) (flt 0.25));
+        for_ "i" 0 3
+          [ st (Ast.Send (Ast.Chan_x, bin Ast.Mul (var "x") (flt 0.5))) ];
+        return_ (var "x");
+      ]
+      [ decl "i" Ast.Tint; decl "x" Ast.Tfloat ]
+  in
+  let drain =
+    ffun "drain"
+      [
+        assign "x" (flt 0.0);
+        for_ "i" 0 3
+          [
+            st (Ast.Receive (Ast.Chan_x, Ast.Lvar "y"));
+            assign "x" (bin Ast.Add (bin Ast.Mul (var "x") (flt 0.5)) (var "y"));
+          ];
+        return_ (var "x");
+      ]
+      [ decl "i" Ast.Tint; decl "x" Ast.Tfloat; decl "y" Ast.Tfloat ]
+  in
+  {
+    Ast.mname = "deadchan";
+    sections =
+      [
+        {
+          Ast.sname = "chan_sec";
+          cells = 4;
+          globals = [];
+          funcs = [ probe; pump; drain ];
+          secloc = dummy;
+        };
+      ];
+    mloc = dummy;
+  }

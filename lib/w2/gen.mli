@@ -57,6 +57,25 @@ val helper_program :
 val module_of_function : Ast.func -> Ast.modul
 (** Wrap a single function as a one-section module. *)
 
+(** {1 Programs exercising the abstract-interpretation refinement} *)
+
+val partitioned_program : ?workers:int -> ?seg:int -> unit -> Ast.modul
+(** A partitioned lattice relaxation: [workers] functions each writing
+    their own [seg]-element slice of a shared array (literal loop
+    bounds), plus a collector that calls every worker and then sums the
+    whole array.  Flow-insensitive analysis couples every worker pair
+    through the array; the region domain refutes exactly those edges. *)
+
+val histogram_program : ?drivers:int -> unit -> Ast.modul
+(** [drivers] counters each owning one literal-indexed bin of a shared
+    histogram, all calling the same pure smoothing helper: the
+    helper edges survive, the counter-counter conflicts are refuted. *)
+
+val deadchan_program : unit -> Ast.modul
+(** Three functions sharing channel X, one of whose sends sits in a
+    provably empty loop ([for i := 1 to 0]): the protocol domain prunes
+    the dead sender's channel pairings and keeps the live one. *)
+
 (** {1 Random programs for property-based testing} *)
 
 val random_function :

@@ -256,9 +256,13 @@ type coupling = {
   c_recvs : Ast.channel list;
 }
 
-let coupling_warnings ~section ~cells (cs : coupling list) : Diag.t list =
+let coupling_warnings ~section ~cells ?(disjoint = []) (cs : coupling list) :
+    Diag.t list =
   let acc = ref [] in
   let out d = acc := d :: !acc in
+  let note ?func ~code ~loc message =
+    out (Diag.make ?func ~code ~severity:Diag.Note ~loc message)
+  in
   (* W008: a write to a section global that a sibling also touches is
      almost certainly meant as shared state, which the localized
      semantics (fresh copy per activation) does not provide. *)
@@ -288,17 +292,35 @@ let coupling_warnings ~section ~cells (cs : coupling list) : Diag.t list =
              List.filter (( <> ) wf) (names (reads @ writes))
            in
            if others <> [] then
-             warn out ~func:wf ~code:"W008" ~loc:wloc
-               (Printf.sprintf
-                  "global '%s' is written by '%s' but every activation \
-                   starts from a fresh copy; sibling function%s %s of \
-                   section '%s' never observe%s the write"
-                  g wf
-                  (if List.length others > 1 then "s" else "")
-                  (String.concat ", "
-                     (List.map (Printf.sprintf "'%s'") others))
-                  section
-                  (if List.length others > 1 then "" else "s")));
+             if List.mem g disjoint then
+               (* The analyzer's region domain proved every
+                  write/access pair element-disjoint: the siblings
+                  partition the global rather than sharing it, so the
+                  "unobserved write" warning would be a false positive.
+                  Keep a note so the coupling stays visible. *)
+               note ~func:wf ~code:"W008" ~loc:wloc
+                 (Printf.sprintf
+                    "global '%s' is written by '%s' and touched by \
+                     sibling function%s %s of section '%s', but all \
+                     accesses are element-disjoint (each function owns \
+                     its own slice)"
+                    g wf
+                    (if List.length others > 1 then "s" else "")
+                    (String.concat ", "
+                       (List.map (Printf.sprintf "'%s'") others))
+                    section)
+             else
+               warn out ~func:wf ~code:"W008" ~loc:wloc
+                 (Printf.sprintf
+                    "global '%s' is written by '%s' but every activation \
+                     starts from a fresh copy; sibling function%s %s of \
+                     section '%s' never observe%s the write"
+                    g wf
+                    (if List.length others > 1 then "s" else "")
+                    (String.concat ", "
+                       (List.map (Printf.sprintf "'%s'") others))
+                    section
+                    (if List.length others > 1 then "" else "s")));
   (* W009: with more than one cell only the boundary cell of a channel
      reaches the host, so a channel that is sent on but never received
      within the section silently drops every inner cell's values. *)

@@ -49,9 +49,19 @@ type coupling = {
     coupled operation). *)
 
 val coupling_warnings :
-  section:string -> cells:int -> coupling list -> Diag.t list
+  section:string ->
+  cells:int ->
+  ?disjoint:string list ->
+  coupling list ->
+  Diag.t list
 (** W008/W009 over one section's couplings (given in section order).
     W008 fires once per global that some function writes while a
     distinct sibling also reads or writes it; W009 fires once per
     channel that is sent on but never received in a section with more
-    than one cell. *)
+    than one cell.
+
+    [disjoint] names globals whose every write/access pair the
+    analyzer's region domain proved element-disjoint: their W008
+    downgrades from a warning to a {!Diag.Note} (the siblings partition
+    the global, so the "write nobody observes" reading is a false
+    positive), which survives [-Werror]. *)

@@ -22,8 +22,8 @@ let parse src =
   W2.Semcheck.check_module_exn m;
   m
 
-let analyze ?sound ?max_tracked src =
-  Analysis.Depan.analyze ?sound ?max_tracked (parse src)
+let analyze ?sound ?max_tracked ?absint src =
+  Analysis.Depan.analyze ?sound ?max_tracked ?absint (parse src)
 
 let first_section t = List.hd t.Analysis.Depan.dp_sections
 
@@ -197,15 +197,30 @@ let has_limit_edge si =
     si.Analysis.Depan.si_edges
 
 let test_summary_limit () =
-  let sound = first_section (analyze ~max_tracked:1 lim_src) in
+  (* The base mechanism, with the refinement pass held off. *)
+  let sound = first_section (analyze ~absint:false ~max_tracked:1 lim_src) in
   Alcotest.(check bool) "summary marked limited" true
     sound.Analysis.Depan.si_funcs.(0).Analysis.Depan.fi_summary.Analysis.Depan.limited;
   Alcotest.(check bool) "sound mode adds a summary_limit edge" true
     (has_limit_edge sound);
-  let unsound = first_section (analyze ~sound:false ~max_tracked:1 lim_src) in
+  let unsound =
+    first_section (analyze ~absint:false ~sound:false ~max_tracked:1 lim_src)
+  in
   Alcotest.(check bool) "unsound mode omits it" false (has_limit_edge unsound);
   Alcotest.(check bool) "limited flag survives either way" true
     unsound.Analysis.Depan.si_funcs.(0).Analysis.Depan.fi_summary.Analysis.Depan.limited;
+  (* The abstract interpretation tracks every global regardless of the
+     cap, sees that [slim] touches nothing [fat] writes, and discharges
+     the blanket edge — with provenance. *)
+  let refined = first_section (analyze ~max_tracked:1 lim_src) in
+  Alcotest.(check bool) "absint discharges the blanket edge" false
+    (has_limit_edge refined);
+  Alcotest.(check bool) "the refutation is recorded" true
+    (List.exists
+       (fun (_, _, reason, by) ->
+         reason = Analysis.Depan.Summary_limit
+         && by = Analysis.Depan.Refuted_region)
+       (Analysis.Depan.pruned_by_name refined));
   (* An uncapped analysis of the same module has no limit edges. *)
   Alcotest.(check bool) "default cap is wide enough" false
     (has_limit_edge (first_section (analyze lim_src)))
