@@ -13,9 +13,15 @@
      main.exe deps            dependence-aware dispatch sweep + BENCH_deps.json
      main.exe absint          abstract-interpretation pruning sweep
                               + BENCH_absint.json
+     main.exe spec            speculative-dispatch sweep + BENCH_spec.json
      main.exe json            write machine-readable BENCH_parallel.json
      main.exe trace           traced parallel run: warpcc_trace.json + Gantt
      main.exe bechamel        only the micro-benchmarks
+
+   The flag --out PATH redirects the JSON writer of a single-target
+   invocation (e.g. main.exe spec --out /tmp/spec.json); without it
+   every writer keeps its default BENCH_*.json filename, which the CI
+   regression gates depend on.
 *)
 
 open Parallel_cc
@@ -405,7 +411,7 @@ let print_fault_sweep () =
   Stats.Table.print table;
   print_newline ()
 
-(* --- machine-readable perf trajectory: BENCH_parallel.json --- *)
+(* --- machine-readable perf trajectories: the BENCH_*.json emitter --- *)
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -417,6 +423,41 @@ let json_escape s =
       | c -> Buffer.add_char b c)
     s;
   Buffer.contents b
+
+(* [--out PATH] redirects the next writer; [None] keeps the default
+   filename (which CI's regression gates key on). *)
+let out_override : string option ref = ref None
+
+(* Every BENCH_*.json writer funnels through this emitter: it owns the
+   buffer, the schema header, the enclosing braces, the output file and
+   the "wrote ..." log line.  [body b] appends the schema-specific
+   fields with {!bpr}; arrays go through {!json_array} so the comma
+   discipline lives in one place. *)
+let bpr b fmt = Printf.ksprintf (Buffer.add_string b) fmt
+
+let json_array b ~key items row =
+  bpr b ",\n  \"%s\": [\n" key;
+  let first = ref true in
+  List.iter
+    (fun x ->
+      if not !first then Buffer.add_string b ",\n";
+      first := false;
+      Buffer.add_string b "    ";
+      row x)
+    items;
+  Buffer.add_string b "\n  ]"
+
+let write_json ~schema ~default ~summary body =
+  let b = Buffer.create 4096 in
+  bpr b "{\n";
+  bpr b "  \"schema\": \"%s\"" (json_escape schema);
+  body b;
+  bpr b "\n}\n";
+  let path = Option.value !out_override ~default in
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "wrote %s (%s)\n\n" path summary
 
 (* --- scheduling policies: FCFS vs LPT vs LPT + tiny batching --- *)
 
@@ -459,32 +500,22 @@ let print_sched_sweep () =
   print_newline ()
 
 let write_sched_json () =
-  let b = Buffer.create 4096 in
-  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
-  pr "{\n";
-  pr "  \"schema\": \"warpcc-bench-sched/1\",\n";
-  pr "  \"batch_threshold\": %.1f,\n" Config.default.Config.batch_threshold;
-  pr "  \"points\": [\n";
-  let first = ref true in
-  List.iter
-    (fun (p : Experiment.sched_point) ->
-      if not !first then pr ",\n";
-      first := false;
-      pr
-        "    {\"series\": \"%s\", \"policy\": \"%s\", \"pool\": %d, \
-         \"dispatch_units\": %d, \"elapsed\": %.3f, \"speedup_vs_fcfs\": %.4f}"
-        (json_escape p.Experiment.sp_series)
-        (json_escape (Sched.policy_name p.Experiment.sp_policy))
-        p.Experiment.sp_pool p.Experiment.sp_units p.Experiment.sp_elapsed
-        p.Experiment.sp_speedup_vs_fcfs)
-    (sched_points ());
-  pr "\n  ]\n";
-  pr "}\n";
-  let oc = open_out "BENCH_sched.json" in
-  output_string oc (Buffer.contents b);
-  close_out oc;
-  Printf.printf "wrote BENCH_sched.json (%d points)\n\n"
-    (List.length (sched_points ()))
+  let points = sched_points () in
+  write_json ~schema:"warpcc-bench-sched/1" ~default:"BENCH_sched.json"
+    ~summary:(Printf.sprintf "%d points" (List.length points))
+    (fun b ->
+      bpr b ",\n  \"batch_threshold\": %.1f"
+        Config.default.Config.batch_threshold;
+      json_array b ~key:"points" points
+        (fun (p : Experiment.sched_point) ->
+          bpr b
+            "{\"series\": \"%s\", \"policy\": \"%s\", \"pool\": %d, \
+             \"dispatch_units\": %d, \"elapsed\": %.3f, \"speedup_vs_fcfs\": \
+             %.4f}"
+            (json_escape p.Experiment.sp_series)
+            (json_escape (Sched.policy_name p.Experiment.sp_policy))
+            p.Experiment.sp_pool p.Experiment.sp_units p.Experiment.sp_elapsed
+            p.Experiment.sp_speedup_vs_fcfs))
 
 (* --- dependence-aware dispatch: FCFS vs DAG vs DAG + LPT --- *)
 
@@ -535,34 +566,23 @@ let print_dag_sweep () =
   print_newline ()
 
 let write_deps_json () =
-  let b = Buffer.create 4096 in
-  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
-  pr "{\n";
-  pr "  \"schema\": \"warpcc-bench-deps/1\",\n";
-  pr "  \"batch_threshold\": %.1f,\n" Config.default.Config.batch_threshold;
-  pr "  \"points\": [\n";
-  let first = ref true in
-  List.iter
-    (fun (p : Experiment.dag_point) ->
-      if not !first then pr ",\n";
-      first := false;
-      pr
-        "    {\"series\": \"%s\", \"policy\": \"%s\", \"pool\": %d, \
-         \"dispatch_units\": %d, \"edges\": %d, \"licensed_fraction\": %.4f, \
-         \"elapsed\": %.3f, \"speedup_vs_fcfs\": %.4f}"
-        (json_escape p.Experiment.dg_series)
-        (json_escape (Sched.policy_name p.Experiment.dg_policy))
-        p.Experiment.dg_pool p.Experiment.dg_units p.Experiment.dg_edges
-        p.Experiment.dg_licensed p.Experiment.dg_elapsed
-        p.Experiment.dg_speedup_vs_fcfs)
-    (dag_points ());
-  pr "\n  ]\n";
-  pr "}\n";
-  let oc = open_out "BENCH_deps.json" in
-  output_string oc (Buffer.contents b);
-  close_out oc;
-  Printf.printf "wrote BENCH_deps.json (%d points)\n\n"
-    (List.length (dag_points ()))
+  let points = dag_points () in
+  write_json ~schema:"warpcc-bench-deps/1" ~default:"BENCH_deps.json"
+    ~summary:(Printf.sprintf "%d points" (List.length points))
+    (fun b ->
+      bpr b ",\n  \"batch_threshold\": %.1f"
+        Config.default.Config.batch_threshold;
+      json_array b ~key:"points" points
+        (fun (p : Experiment.dag_point) ->
+          bpr b
+            "{\"series\": \"%s\", \"policy\": \"%s\", \"pool\": %d, \
+             \"dispatch_units\": %d, \"edges\": %d, \"licensed_fraction\": \
+             %.4f, \"elapsed\": %.3f, \"speedup_vs_fcfs\": %.4f}"
+            (json_escape p.Experiment.dg_series)
+            (json_escape (Sched.policy_name p.Experiment.dg_policy))
+            p.Experiment.dg_pool p.Experiment.dg_units p.Experiment.dg_edges
+            p.Experiment.dg_licensed p.Experiment.dg_elapsed
+            p.Experiment.dg_speedup_vs_fcfs))
 
 (* --- abstract-interpretation refinement: pruning, end to end --- *)
 
@@ -618,85 +638,133 @@ let print_absint_sweep () =
   print_newline ()
 
 let write_absint_json () =
-  let b = Buffer.create 4096 in
-  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
-  pr "{\n";
-  pr "  \"schema\": \"warpcc-bench-absint/1\",\n";
-  pr "  \"pool\": 4,\n";
-  pr "  \"points\": [\n";
-  let first = ref true in
-  List.iter
-    (fun (p : Experiment.absint_point) ->
-      if not !first then pr ",\n";
-      first := false;
-      pr
-        "    {\"series\": \"%s\", \"functions\": %d, \"edges_off\": %d, \
-         \"edges_on\": %d, \"pruned\": %d, \"licensed_off\": %.4f, \
-         \"licensed_on\": %.4f, \"elapsed_off\": %.3f, \"elapsed_on\": %.3f, \
-         \"speedup\": %.4f, \"race_violations\": %d}"
-        (json_escape p.Experiment.ap_series)
-        p.Experiment.ap_functions p.Experiment.ap_edges_off
-        p.Experiment.ap_edges_on p.Experiment.ap_pruned
-        p.Experiment.ap_licensed_off p.Experiment.ap_licensed_on
-        p.Experiment.ap_elapsed_off p.Experiment.ap_elapsed_on
-        p.Experiment.ap_speedup p.Experiment.ap_race_violations)
-    (absint_points ());
-  pr "\n  ]\n";
-  pr "}\n";
-  let oc = open_out "BENCH_absint.json" in
-  output_string oc (Buffer.contents b);
-  close_out oc;
-  Printf.printf "wrote BENCH_absint.json (%d points)\n\n"
-    (List.length (absint_points ()))
+  let points = absint_points () in
+  write_json ~schema:"warpcc-bench-absint/1" ~default:"BENCH_absint.json"
+    ~summary:(Printf.sprintf "%d points" (List.length points))
+    (fun b ->
+      bpr b ",\n  \"pool\": 4";
+      json_array b ~key:"points" points
+        (fun (p : Experiment.absint_point) ->
+          bpr b
+            "{\"series\": \"%s\", \"functions\": %d, \"edges_off\": %d, \
+             \"edges_on\": %d, \"pruned\": %d, \"licensed_off\": %.4f, \
+             \"licensed_on\": %.4f, \"elapsed_off\": %.3f, \"elapsed_on\": \
+             %.3f, \"speedup\": %.4f, \"race_violations\": %d}"
+            (json_escape p.Experiment.ap_series)
+            p.Experiment.ap_functions p.Experiment.ap_edges_off
+            p.Experiment.ap_edges_on p.Experiment.ap_pruned
+            p.Experiment.ap_licensed_off p.Experiment.ap_licensed_on
+            p.Experiment.ap_elapsed_off p.Experiment.ap_elapsed_on
+            p.Experiment.ap_speedup p.Experiment.ap_race_violations))
+
+(* --- speculative dispatch: dag+lpt versus dag+spec --- *)
+
+let spec_points_cache = ref None
+
+let spec_points () =
+  match !spec_points_cache with
+  | Some points -> points
+  | None ->
+    let points = Experiment.spec_sweep () in
+    spec_points_cache := Some points;
+    points
+
+let print_spec_sweep () =
+  let table =
+    t
+      ~title:
+        "Speculative dispatch (spec/hot = speculative and genuinely         conflicting edges in the plan; speedup = dag+lpt elapsed /         dag+spec elapsed; races = commit-protocol ordering violations,         always 0)"
+      ~columns:
+        [
+          "series";
+          "funcs";
+          "spec edges";
+          "hot edges";
+          "lpt (min)";
+          "spec (min)";
+          "speedup";
+          "dispatched";
+          "committed";
+          "rolled back";
+          "races";
+        ]
+  in
+  let table =
+    List.fold_left
+      (fun table (p : Experiment.spec_point) ->
+        Stats.Table.add_float_row table ~label:p.Experiment.zp_series
+          [
+            float_of_int p.Experiment.zp_functions;
+            float_of_int p.Experiment.zp_spec_edges;
+            float_of_int p.Experiment.zp_hot_edges;
+            minutes p.Experiment.zp_elapsed_lpt;
+            minutes p.Experiment.zp_elapsed_spec;
+            p.Experiment.zp_speedup;
+            float_of_int p.Experiment.zp_dispatched;
+            float_of_int p.Experiment.zp_committed;
+            float_of_int p.Experiment.zp_rolled_back;
+            float_of_int p.Experiment.zp_race_violations;
+          ])
+      table (spec_points ())
+  in
+  Stats.Table.print table;
+  print_newline ()
+
+let write_spec_json () =
+  let points = spec_points () in
+  write_json ~schema:"warpcc-bench-spec/1" ~default:"BENCH_spec.json"
+    ~summary:(Printf.sprintf "%d points" (List.length points))
+    (fun b ->
+      bpr b ",\n  \"spec_budget\": %d" Config.default.Config.spec_budget;
+      json_array b ~key:"points" points
+        (fun (p : Experiment.spec_point) ->
+          bpr b
+            "{\"series\": \"%s\", \"functions\": %d, \"spec_edges\": %d, \
+             \"hot_edges\": %d, \"elapsed_lpt\": %.3f, \"elapsed_spec\": \
+             %.3f, \"speedup\": %.4f, \"spec_dispatched\": %d, \
+             \"spec_committed\": %d, \"spec_rolled_back\": %d, \
+             \"race_violations\": %d}"
+            (json_escape p.Experiment.zp_series)
+            p.Experiment.zp_functions p.Experiment.zp_spec_edges
+            p.Experiment.zp_hot_edges p.Experiment.zp_elapsed_lpt
+            p.Experiment.zp_elapsed_spec p.Experiment.zp_speedup
+            p.Experiment.zp_dispatched p.Experiment.zp_committed
+            p.Experiment.zp_rolled_back p.Experiment.zp_race_violations))
 
 let write_bench_json () =
-  let b = Buffer.create 4096 in
-  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
-  pr "{\n";
-  pr "  \"schema\": \"warpcc-bench-parallel/1\",\n";
-  pr "  \"speedup\": [\n";
-  let first = ref true in
-  List.iter
-    (fun size ->
-      List.iter
-        (fun (p : Experiment.point) ->
+  let speedup_rows =
+    List.concat_map
+      (fun size ->
+        List.map (fun p -> (size, p)) (points_for size))
+      W2.Gen.all_sizes
+  in
+  write_json ~schema:"warpcc-bench-parallel/1" ~default:"BENCH_parallel.json"
+    ~summary:
+      (Printf.sprintf "%d speedup points, %d fault points"
+         (List.length speedup_rows)
+         (List.length (fault_points ())))
+    (fun b ->
+      json_array b ~key:"speedup" speedup_rows
+        (fun (size, (p : Experiment.point)) ->
           let c = p.Experiment.comparison in
-          if not !first then pr ",\n";
-          first := false;
-          pr
-            "    {\"size\": \"%s\", \"functions\": %d, \"elapsed_seq\": %.3f, \
+          bpr b
+            "{\"size\": \"%s\", \"functions\": %d, \"elapsed_seq\": %.3f, \
              \"elapsed_par\": %.3f, \"speedup\": %.4f, \"retries\": %d, \
              \"fallback_tasks\": %d}"
             (json_escape (W2.Gen.size_name size))
             p.Experiment.n_functions c.Timings.seq.Timings.elapsed
             c.Timings.par.Timings.elapsed c.Timings.speedup
-            c.Timings.par.Timings.retries c.Timings.par.Timings.fallback_tasks)
-        (points_for size))
-    W2.Gen.all_sizes;
-  pr "\n  ],\n";
-  pr "  \"fault_sweep\": [\n";
-  let first = ref true in
-  List.iter
-    (fun (p : Experiment.fault_point) ->
-      if not !first then pr ",\n";
-      first := false;
-      pr
-        "    {\"stations\": %d, \"rate\": %.2f, \"elapsed\": %.3f, \
-         \"inflation\": %.4f, \"retries\": %d, \"fallback_tasks\": %d, \
-         \"stations_lost\": %d, \"wasted_cpu\": %.3f}"
-        p.Experiment.fp_stations p.Experiment.fp_rate p.Experiment.fp_elapsed
-        p.Experiment.fp_inflation p.Experiment.fp_retries
-        p.Experiment.fp_fallbacks p.Experiment.fp_lost
-        p.Experiment.fp_wasted_cpu)
-    (fault_points ());
-  pr "\n  ]\n";
-  pr "}\n";
-  let oc = open_out "BENCH_parallel.json" in
-  output_string oc (Buffer.contents b);
-  close_out oc;
-  Printf.printf "wrote BENCH_parallel.json (%d speedup points, %d fault points)\n\n"
-    (List.length W2.Gen.all_sizes * List.length Experiment.function_counts)
-    (List.length (fault_points ()))
+            c.Timings.par.Timings.retries c.Timings.par.Timings.fallback_tasks);
+      json_array b ~key:"fault_sweep" (fault_points ())
+        (fun (p : Experiment.fault_point) ->
+          bpr b
+            "{\"stations\": %d, \"rate\": %.2f, \"elapsed\": %.3f, \
+             \"inflation\": %.4f, \"retries\": %d, \"fallback_tasks\": %d, \
+             \"stations_lost\": %d, \"wasted_cpu\": %.3f}"
+            p.Experiment.fp_stations p.Experiment.fp_rate
+            p.Experiment.fp_elapsed p.Experiment.fp_inflation
+            p.Experiment.fp_retries p.Experiment.fp_fallbacks
+            p.Experiment.fp_lost p.Experiment.fp_wasted_cpu))
 
 (* --- code quality: what the optimizer levels buy on the machine --- *)
 
@@ -890,7 +958,19 @@ let all_figures () =
   print_summary ()
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  (* Split off [--out PATH] (redirects the JSON writers), leaving the
+     target names. *)
+  let rec split_args acc = function
+    | [] -> List.rev acc
+    | "--out" :: path :: rest ->
+      out_override := Some path;
+      split_args acc rest
+    | [ "--out" ] ->
+      prerr_endline "--out requires a path";
+      exit 2
+    | a :: rest -> split_args (a :: acc) rest
+  in
+  let args = split_args [] (List.tl (Array.to_list Sys.argv)) in
   let run = function
     | "fig3" -> print_time_series ~fig:"3" W2.Gen.Tiny
     | "fig4" -> print_time_series ~fig:"4" W2.Gen.Large
@@ -924,6 +1004,9 @@ let () =
     | "absint" ->
       print_absint_sweep ();
       write_absint_json ()
+    | "spec" ->
+      print_spec_sweep ();
+      write_spec_json ()
     | "json" -> write_bench_json ()
     | "trace" -> print_trace_demo ()
     | "bechamel" -> print_bechamel ()
@@ -942,6 +1025,8 @@ let () =
       write_deps_json ();
       print_absint_sweep ();
       write_absint_json ();
+      print_spec_sweep ();
+      write_spec_json ();
       write_bench_json ();
       print_bechamel ()
     | other ->

@@ -15,7 +15,8 @@
          cell simulator (or the whole array with --array).
 
      warpcc simulate prog.w2 [--processors N] [--sched POLICY]
-            [--no-absint] [--static-cost]
+            [--no-absint] [--static-cost] [--deadline-factor F]
+            [--retry-backoff S] [--spec-budget N] [--no-spec]
          Replay sequential and parallel compilation of the module on the
          simulated 1989 workstation network and report the speedup and
          overhead decomposition of the paper.
@@ -465,6 +466,40 @@ let simulate_cmd =
     Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N"
            ~doc:"Re-dispatches per task before sequential fallback")
   in
+  let deadline_factor =
+    Arg.(value
+         & opt float
+             Parallel_cc.Config.default.Parallel_cc.Config.deadline_factor
+         & info [ "deadline-factor" ] ~docv:"FACTOR"
+             ~doc:"A dispatched task is presumed lost after FACTOR times its \
+                   cost estimate and is re-dispatched (after the exponential \
+                   backoff; past $(b,--retries) it falls back to the \
+                   sequential path)")
+  in
+  let retry_backoff =
+    Arg.(value
+         & opt float
+             Parallel_cc.Config.default.Parallel_cc.Config
+             .retry_backoff_seconds
+         & info [ "retry-backoff" ] ~docv:"SECONDS"
+             ~doc:"Base of the exponential backoff before re-dispatching a \
+                   timed-out task: the k-th re-dispatch of a task waits \
+                   SECONDS times 2^k")
+  in
+  let spec_budget =
+    Arg.(value
+         & opt int Parallel_cc.Config.default.Parallel_cc.Config.spec_budget
+         & info [ "spec-budget" ] ~docv:"N"
+             ~doc:"Misspeculations (speculative-attempt aborts) per task \
+                   before its speculative edges harden to gated dispatch \
+                   under $(b,--sched dag+spec); 0 disables speculation, \
+                   making the run bit-identical to $(b,--sched dag+lpt)")
+  in
+  let no_spec =
+    Arg.(value & flag & info [ "no-spec" ]
+           ~doc:"Disable speculative dispatch entirely; shorthand for \
+                 $(b,--spec-budget 0)")
+  in
   let sched =
     let policies =
       List.map
@@ -479,8 +514,12 @@ let simulate_cmd =
                    batching of tiny functions into one dispatch unit), \
                    $(b,dag) (topological dispatch gated on the depan \
                    dependence DAG; identical to fcfs when the DAG has no \
-                   edges), or $(b,dag+lpt) (dag with LPT ordering and tiny \
-                   batching inside each antichain level)")
+                   edges), $(b,dag+lpt) (dag with LPT ordering and tiny \
+                   batching inside each antichain level), or $(b,dag+spec) \
+                   (dag+lpt that dispatches past speculative dependence \
+                   edges immediately, staging outputs and committing or \
+                   rolling back when the predecessors write back; see \
+                   $(b,--spec-budget))")
   in
   let batch_threshold =
     Arg.(value & opt float Parallel_cc.Config.default.Parallel_cc.Config.batch_threshold
@@ -520,7 +559,8 @@ let simulate_cmd =
                  (no effect under $(b,--sched fcfs))")
   in
   let action file processors level fault_seed fault_rate retries sched
-      batch_threshold no_absint static_cost trace_out gantt metrics json_out =
+      batch_threshold no_absint static_cost deadline_factor retry_backoff
+      spec_budget no_spec trace_out gantt metrics json_out =
     or_compile_error (fun () ->
         let mw =
           Driver.Compile.compile_source ~level ~file ~absint:(not no_absint)
@@ -533,6 +573,9 @@ let simulate_cmd =
             Config.sched_policy = sched;
             batch_threshold;
             static_cost;
+            deadline_factor;
+            retry_backoff_seconds = retry_backoff;
+            spec_budget = (if no_spec then 0 else spec_budget);
           }
         in
         let c = Experiment.measure ~cfg:base_cfg ?processors mw in
@@ -545,6 +588,14 @@ let simulate_cmd =
           c.Timings.par.Timings.elapsed c.Timings.processors;
         Printf.printf "dispatch units     : %8d  (--sched %s)\n"
           c.Timings.par.Timings.dispatch_units (Sched.policy_name sched);
+        (if Config.effective_policy base_cfg = Sched.Dag_spec then
+           Printf.printf
+             "speculation        : %8d dispatched, %d committed, %d rolled \
+              back  (budget %d per task)\n"
+             c.Timings.par.Timings.spec_dispatched
+             c.Timings.par.Timings.spec_committed
+             c.Timings.par.Timings.spec_rolled_back
+             base_cfg.Config.spec_budget);
         Printf.printf "speedup            : %8.2f\n" c.Timings.speedup;
         Printf.printf "total overhead     : %8.1f s (%.1f%% of parallel elapsed)\n"
           c.Timings.total_overhead c.Timings.rel_total_overhead;
@@ -647,7 +698,8 @@ let simulate_cmd =
       term_result
         (const action $ file $ processors $ level $ fault_seed $ fault_rate
         $ retries $ sched $ batch_threshold $ no_absint $ static_cost
-        $ trace_out $ gantt $ metrics $ json_out))
+        $ deadline_factor $ retry_backoff $ spec_budget $ no_spec $ trace_out
+        $ gantt $ metrics $ json_out))
   in
   Cmd.v
     (Cmd.info "simulate"

@@ -54,6 +54,25 @@ let reason_key = function
 
 type edge = { e_from : int; e_to : int; reasons : reason list }
 
+type confidence = Proven | Speculative
+
+(* Structural reasons are genuine compile-order inputs (the callee's
+   body or signature feeds the caller's compilation), so any edge
+   carrying one is proven.  Data reasons — global conflicts, channel
+   pairings, and the blanket summary-limit pin — are over-approximate:
+   the runs they order may be dynamically independent, so edges
+   carrying only those are speculative and a dag+spec schedule may
+   dispatch past them under the commit protocol. *)
+let edge_confidence (e : edge) : confidence =
+  if List.exists (function Inline_of | Sig_agreement -> true | _ -> false)
+       e.reasons
+  then Proven
+  else Speculative
+
+let confidence_to_string = function
+  | Proven -> "proven"
+  | Speculative -> "speculative"
+
 type refuter = Refuted_region | Refuted_protocol
 
 let refuter_to_string = function
@@ -91,6 +110,7 @@ type section_info = {
   si_fixpoint_sweeps : int;
   si_pruned : pruned list;
   si_disjoint : string list;
+  si_hot : (int * int) list;
 }
 
 type t = {
@@ -331,33 +351,43 @@ let analyze_section ~sound ~max_tracked (sec : Ast.section) : section_info =
       direct
   in
   let scc = tarjan succs in
+  let num_sccs = Array.fold_left (fun m s -> max m (s + 1)) 0 scc in
   (* Bottom-up SCC fixpoint: callee SCCs (lower ids) first, then
      iterate each SCC until its members' summaries stop changing. *)
-  let summary = Array.map (fun e -> e) direct in
   let sweeps = ref 0 in
-  let num_sccs = Array.fold_left (fun m s -> max m (s + 1)) 0 scc in
-  for s = 0 to num_sccs - 1 do
-    let members =
-      List.filter (fun i -> scc.(i) = s) (List.init n (fun i -> i))
-    in
-    let changed = ref true in
-    while !changed do
-      changed := false;
-      incr sweeps;
-      List.iter
-        (fun i ->
-          let fresh =
-            List.fold_left
-              (fun acc j -> eff_union acc summary.(j))
-              direct.(i) succs.(i)
-          in
-          if not (eff_equal fresh summary.(i)) then begin
-            summary.(i) <- fresh;
-            changed := true
-          end)
-        members
-    done
-  done;
+  let close ~tally base =
+    let summary = Array.copy base in
+    for s = 0 to num_sccs - 1 do
+      let members =
+        List.filter (fun i -> scc.(i) = s) (List.init n (fun i -> i))
+      in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        if tally then incr sweeps;
+        List.iter
+          (fun i ->
+            let fresh =
+              List.fold_left
+                (fun acc j -> eff_union acc summary.(j))
+                base.(i) succs.(i)
+            in
+            if not (eff_equal fresh summary.(i)) then begin
+              summary.(i) <- fresh;
+              changed := true
+            end)
+          members
+      done
+    done;
+    summary
+  in
+  let summary = close ~tally:true direct in
+  (* Full-precision closure over the UNCAPPED direct effects (the call
+     sets are never capped, so the graph is the same): the commit
+     oracle's ground truth for whether a pair actually shares state. *)
+  let full_summary =
+    close ~tally:false (Array.map (direct_effects ~globals) funcs)
+  in
   (* Canonical rank: SCC id first (callees before callers), section
      order second.  Every edge points from lower rank to higher. *)
   let order =
@@ -442,6 +472,30 @@ let analyze_section ~sound ~max_tracked (sec : Ast.section) : section_info =
       edge_tbl []
     |> List.sort (fun a b -> compare (a.e_from, a.e_to) (b.e_from, b.e_to))
   in
+  (* Hot pairs: pairs whose uncapped summaries really share written
+     state or a channel.  A speculative edge over a hot pair aborts at
+     commit time; over a cold pair it always commits.  Oriented like
+     edges: lower canonical rank first. *)
+  let hot = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = full_summary.(i) and b = full_summary.(j) in
+      let data =
+        not
+          (SS.is_empty
+             (SS.union
+                (SS.inter a.w (SS.union b.r b.w))
+                (SS.inter (SS.union a.r a.w) b.w)))
+      in
+      let chan =
+        ((a.sx || a.rx) && (b.sx || b.rx))
+        || ((a.sy || a.ry) && (b.sy || b.ry))
+      in
+      if data || chan then
+        hot := (if rankpos.(i) <= rankpos.(j) then (i, j) else (j, i)) :: !hot
+    done
+  done;
+  let si_hot = List.sort compare !hot in
   (* Antichain levels: longest-path depth.  Ranks only grow along
      edges, so one pass in rank order suffices. *)
   let depth = Array.make n 0 in
@@ -506,6 +560,7 @@ let analyze_section ~sound ~max_tracked (sec : Ast.section) : section_info =
     si_fixpoint_sweeps = !sweeps;
     si_pruned = [];
     si_disjoint = [];
+    si_hot;
   }
 
 (* --- the abstract-interpretation refinement pass --- *)
@@ -731,6 +786,19 @@ let pruned_by_name (si : section_info) =
         p.p_reason,
         p.p_refuted_by ))
     si.si_pruned
+
+let spec_edges_by_name (si : section_info) =
+  List.filter_map
+    (fun e ->
+      if edge_confidence e = Speculative then
+        Some (si.si_funcs.(e.e_from).fi_name, si.si_funcs.(e.e_to).fi_name)
+      else None)
+    si.si_edges
+
+let hot_pairs_by_name (si : section_info) =
+  List.map
+    (fun (i, j) -> (si.si_funcs.(i).fi_name, si.si_funcs.(j).fi_name))
+    si.si_hot
 
 (* --- lint bridge (W008/W009) --- *)
 

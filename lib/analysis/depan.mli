@@ -62,6 +62,22 @@ type edge = {
   reasons : reason list; (** deduplicated, in a fixed display order *)
 }
 
+type confidence =
+  | Proven
+      (** the edge carries a structural reason ([Inline_of] /
+          [Sig_agreement]): the source's body or signature is a genuine
+          compile-time input of the target, so the order is mandatory *)
+  | Speculative
+      (** every reason is a data over-approximation ([Global_conflict],
+          [Channel_pair], or a blanket [Summary_limit]): the pair may
+          be dynamically independent, so a [dag+spec] schedule may
+          dispatch past the edge under the commit protocol *)
+
+val edge_confidence : edge -> confidence
+
+val confidence_to_string : confidence -> string
+(** ["proven"] / ["speculative"]. *)
+
 type refuter =
   | Refuted_region
       (** the array-region domain proved every write/any-access overlap
@@ -123,6 +139,13 @@ type section_info = {
   si_disjoint : string list;
       (** globals whose every write/access pair is element-disjoint —
           the W008 downgrade set *)
+  si_hot : (int * int) list;
+      (** function pairs whose {e uncapped} closed summaries really
+          share written state or a channel, oriented like edges (lower
+          canonical rank first) and sorted — the commit oracle's ground
+          truth: a speculative edge over a hot pair must abort when the
+          attempt overlapped its predecessor, over a cold pair it
+          always commits *)
 }
 
 type t = {
@@ -176,6 +199,13 @@ val edges_by_name : section_info -> (string * string * reason list) list
 val pruned_by_name :
   section_info -> (string * string * reason * refuter) list
 (** [si_pruned] with indices resolved to function names. *)
+
+val spec_edges_by_name : section_info -> (string * string) list
+(** The {!Speculative} subset of [si_edges], indices resolved to
+    function names. *)
+
+val hot_pairs_by_name : section_info -> (string * string) list
+(** [si_hot] with indices resolved to function names. *)
 
 val lint_section : section_info -> W2.Diag.t list
 (** W008/W009 for one section via {!W2.Lint.coupling_warnings}, fed

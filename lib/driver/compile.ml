@@ -186,7 +186,8 @@ let compile_section ?(level = 2) ?(verify_each = false)
 (* The whole compiler, from source text.  Raises [Compile_error] on
    phase-1 failure (the master aborts, as in the paper). *)
 let compile_source ?(level = 2) ?(verify_each = false) ?(file = "<module>")
-    ?(absint = true) ?(absint_max_intervals = Analysis.Absint.default_max_intervals)
+    ?max_tracked ?(absint = true)
+    ?(absint_max_intervals = Analysis.Absint.default_max_intervals)
     (source : string) : module_work =
   let tokens = count_tokens source in
   let m =
@@ -206,7 +207,7 @@ let compile_source ?(level = 2) ?(verify_each = false) ?(file = "<module>")
      sequential master; its section summaries feed the coupling lints
      and the per-section IR cross-check below. *)
   let analysis =
-    Analysis.Depan.analyze ~absint ~absint_max_intervals m
+    Analysis.Depan.analyze ?max_tracked ~absint ~absint_max_intervals m
   in
   {
     mw_name = m.W2.Ast.mname;
@@ -221,9 +222,10 @@ let compile_source ?(level = 2) ?(verify_each = false) ?(file = "<module>")
 
 (* Convenience: compile an AST (pretty-printing it first so that the
    token count reflects a real source file). *)
-let compile_module ?(level = 2) ?(verify_each = false) ?(absint = true)
-    (m : W2.Ast.modul) : module_work =
-  compile_source ~level ~verify_each ~absint (W2.Pretty.module_to_string m)
+let compile_module ?(level = 2) ?(verify_each = false) ?max_tracked
+    ?(absint = true) (m : W2.Ast.modul) : module_work =
+  compile_source ~level ~verify_each ?max_tracked ~absint
+    (W2.Pretty.module_to_string m)
 
 let all_funcs (mw : module_work) : func_work list =
   List.concat_map (fun s -> s.sw_funcs) mw.mw_sections

@@ -99,6 +99,7 @@ val compile_source :
   ?level:int ->
   ?verify_each:bool ->
   ?file:string ->
+  ?max_tracked:int ->
   ?absint:bool ->
   ?absint_max_intervals:int ->
   string ->
@@ -107,11 +108,19 @@ val compile_source :
     runs the abstract-interpretation refinement inside the phase-1
     dependence analysis; with [~absint:false] the analysis — and every
     timing derived from it — is bit-identical to the pre-absint
-    compiler.
+    compiler.  [max_tracked] caps the analyzer's per-summary global
+    tracking ({!Analysis.Depan.analyze}); lowering it manufactures
+    [summary_limit]-pinned sections, the speculation experiments'
+    worst-case input.
     @raise Compile_error on phase-1 failure. *)
 
 val compile_module :
-  ?level:int -> ?verify_each:bool -> ?absint:bool -> W2.Ast.modul -> module_work
+  ?level:int ->
+  ?verify_each:bool ->
+  ?max_tracked:int ->
+  ?absint:bool ->
+  W2.Ast.modul ->
+  module_work
 (** Convenience: pretty-print the AST so the token count reflects a
     real source file, then {!compile_source}. *)
 

@@ -21,6 +21,9 @@ type t = {
   deadline_factor : float; (* task deadline = factor * cost estimate *)
   retry_budget : int; (* re-dispatches before sequential fallback *)
   retry_backoff_seconds : float; (* base of the exponential backoff *)
+  spec_budget : int; (* misspeculations per task before its speculative
+                        edges harden to gated; 0 disables speculation
+                        entirely (dag+spec degrades to dag+lpt) *)
   trace : Trace.t; (* span sink wired into the cluster; [Trace.none] =
                       no recording, zero overhead *)
 }
@@ -46,8 +49,24 @@ let default =
     deadline_factor = 6.0;
     retry_budget = 2;
     retry_backoff_seconds = 30.0;
+    spec_budget = 2;
     trace = Trace.none;
   }
+
+(* The policy the runner actually executes: dag+spec with a zero (or
+   negative) misspeculation budget cannot speculate at all, so it IS
+   dag+lpt — mapping it here, before scheduling, makes `--spec-budget
+   0` bit-identical to dag+lpt by construction. *)
+let effective_policy (cfg : t) : Sched.policy =
+  match cfg.sched_policy with
+  | Sched.Dag_spec when cfg.spec_budget <= 0 -> Sched.Dag_lpt
+  | p -> p
+
+(* Exponential backoff before re-dispatching a timed-out attempt:
+   [step] counts prior re-dispatches of the task (0 for the first
+   retry). *)
+let backoff_delay (cfg : t) ~step =
+  cfg.retry_backoff_seconds *. (2.0 ** float_of_int step)
 
 (* Deterministic multiplicative noise, mirroring the paper's repeated
    measurements (individual runs deviate a few percent; section 4.2). *)

@@ -32,6 +32,12 @@ type t = {
       (** a task is presumed lost after [factor × cost estimate] *)
   retry_budget : int; (** re-dispatches before sequential fallback *)
   retry_backoff_seconds : float; (** base of the exponential backoff *)
+  spec_budget : int;
+      (** misspeculations (speculative-attempt aborts) per task before
+          the task's speculative edges harden to gated dispatch
+          (default 2).  [0] disables speculation: {!effective_policy}
+          maps [Sched.Dag_spec] to [Sched.Dag_lpt], so such runs are
+          bit-identical to [dag+lpt]. *)
   trace : Trace.t;
       (** span sink wired into the cluster and consulted by the runners
           ({!Trace.none} = no recording: emits are no-ops and the event
@@ -40,6 +46,18 @@ type t = {
 }
 
 val default : t
+
+val effective_policy : t -> Sched.policy
+(** The policy the runner actually executes: [sched_policy], except
+    {!Sched.Dag_spec} with [spec_budget <= 0] degrades to
+    {!Sched.Dag_lpt} before any scheduling happens.  Both {!Parrun} and
+    its trace oracles consult this, never [sched_policy] directly. *)
+
+val backoff_delay : t -> step:int -> float
+(** Exponential backoff before re-dispatching a timed-out attempt:
+    [retry_backoff_seconds × 2{^step}], where [step] counts the task's
+    prior re-dispatches.  Monotone non-decreasing in [step] for any
+    non-negative base. *)
 
 val noise : t -> int -> float
 (** Deterministic multiplicative noise stream, mirroring the paper's

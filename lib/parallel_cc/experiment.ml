@@ -557,3 +557,117 @@ let absint_sweep ?(cfg = Config.default) ?(pool = 4) () : absint_point list =
         ap_race_violations = violations;
       })
     (absint_series ())
+
+(* --- speculative dispatch (dag+spec) --- *)
+
+type spec_point = {
+  zp_series : string;
+  zp_functions : int;
+  zp_spec_edges : int; (* speculative edges in the plan *)
+  zp_hot_edges : int; (* genuinely conflicting speculative edges *)
+  zp_elapsed_lpt : float; (* dag+lpt elapsed (every edge gated) *)
+  zp_elapsed_spec : float; (* dag+spec elapsed *)
+  zp_speedup : float; (* lpt / spec: what speculation buys *)
+  zp_dispatched : int;
+  zp_committed : int;
+  zp_rolled_back : int;
+  zp_race_violations : int;
+}
+
+(* The "blinded" programs are dynamically independent but compiled with
+   the abstract interpretation off and the summary tracking cap below
+   the write fan-out, so the analyzer pins every pair with
+   summary_limit — the conservative-analysis regime speculation is for.
+   The racy program is the adversarial control: its conflicts are real,
+   so dag+spec must roll attempts back and still finish correctly. *)
+let spec_series () =
+  [
+    ( "blinded4",
+      (fun () -> W2.Gen.speculative_program ~workers:4 ~fanout:24 ()),
+      Some 8,
+      false,
+      4 );
+    ( "blinded8",
+      (fun () -> W2.Gen.speculative_program ~workers:8 ~fanout:24 ()),
+      Some 8,
+      false,
+      8 );
+    ("racy3", (fun () -> W2.Gen.racy_program ~scatters:3 ()), None, true, 3);
+  ]
+
+let spec_program_work ?(level = 2) ?max_tracked ~absint ~name
+    (make : unit -> W2.Ast.modul) : Driver.Compile.module_work =
+  let key =
+    Printf.sprintf "spec:%s:%d:%b:%d" name level absint
+      (Option.value ~default:(-1) max_tracked)
+  in
+  match Hashtbl.find_opt cache key with
+  | Some mw -> mw
+  | None ->
+    let mw =
+      Driver.Compile.compile_source ~level ?max_tracked ~absint
+        (W2.Pretty.module_to_string (make ()))
+    in
+    Hashtbl.replace cache key mw;
+    mw
+
+(* Each program is played under dag+lpt (every dependence edge gated)
+   and dag+spec (speculative edges overlapped under the commit
+   protocol) on a pool matching its width, traced, with the
+   speculation-aware race oracle counting violations on the dag+spec
+   trace.  [Parrun.run] already asserts both runs race-free; the
+   explicit count lands in the benchmark artifact. *)
+let spec_sweep ?(cfg = Config.default) () : spec_point list =
+  List.map
+    (fun (name, make, max_tracked, absint, pool) ->
+      let mw =
+        spec_program_work ~level:cfg.Config.opt_level ?max_tracked ~absint
+          ~name make
+      in
+      let plan = Plan.one_per_station mw in
+      let play policy =
+        let tr = Trace.create () in
+        let cfg_run =
+          {
+            cfg with
+            Config.stations = pool + 1;
+            noise_seed = 3;
+            sched_policy = policy;
+            trace = tr;
+          }
+        in
+        let r = (Parrun.run cfg_run mw plan).Parrun.run in
+        let scheduled =
+          Sched.schedule ~static:cfg.Config.static_cost ~policy
+            ~cost:cfg.Config.cost ~threshold:cfg.Config.batch_threshold
+            ~stations:(pool + 1) plan
+        in
+        let violations =
+          if policy = Sched.Dag_spec then
+            List.length (Traceview.race_check_spec tr ~plan:scheduled)
+          else List.length (Traceview.race_check tr ~plan:scheduled)
+        in
+        (r, violations)
+      in
+      let lpt, _ = play Sched.Dag_lpt in
+      let spec, violations = play Sched.Dag_spec in
+      {
+        zp_series = name;
+        zp_functions = List.length (Driver.Compile.all_funcs mw);
+        zp_spec_edges =
+          List.fold_left
+            (fun n (_, es) -> n + List.length es)
+            0 plan.Plan.spec_edges;
+        zp_hot_edges =
+          List.fold_left
+            (fun n (_, es) -> n + List.length es)
+            0 plan.Plan.hot_edges;
+        zp_elapsed_lpt = lpt.Timings.elapsed;
+        zp_elapsed_spec = spec.Timings.elapsed;
+        zp_speedup = lpt.Timings.elapsed /. spec.Timings.elapsed;
+        zp_dispatched = spec.Timings.spec_dispatched;
+        zp_committed = spec.Timings.spec_committed;
+        zp_rolled_back = spec.Timings.spec_rolled_back;
+        zp_race_violations = violations;
+      })
+    (spec_series ())

@@ -190,3 +190,47 @@ val absint_sweep : ?cfg:Config.t -> ?pool:int -> unit -> absint_point list
 (** Each program compiled with the refinement off and on, both DAGs
     played under dag+lpt on a [pool]-station cluster (default 4) with
     the race oracle armed; seeded (noise seed 3), so reproducible. *)
+
+(** {1 Speculative dispatch (dag+spec)} *)
+
+type spec_point = {
+  zp_series : string;
+  zp_functions : int;
+  zp_spec_edges : int; (** speculative edges in the plan *)
+  zp_hot_edges : int; (** genuinely conflicting speculative edges *)
+  zp_elapsed_lpt : float; (** dag+lpt elapsed (every edge gated) *)
+  zp_elapsed_spec : float; (** dag+spec elapsed *)
+  zp_speedup : float; (** lpt / spec — what speculation buys *)
+  zp_dispatched : int; (** speculative attempts launched *)
+  zp_committed : int; (** staged outputs promoted to durable *)
+  zp_rolled_back : int; (** staged outputs quarantined *)
+  zp_race_violations : int;
+      (** {!Traceview.race_check_spec} violations on the dag+spec
+          trace; the commit protocol's soundness means this is 0 *)
+}
+
+val spec_series :
+  unit -> (string * (unit -> W2.Ast.modul) * int option * bool * int) list
+(** The sweep's (name, program, max_tracked, absint, pool) points: two
+    "blinded" programs — dynamically independent but compiled with the
+    refinement off and the tracking cap below their write fan-out, so
+    every pair is pinned by [summary_limit] — plus the deliberately
+    racy scatter program whose conflicts are real. *)
+
+val spec_program_work :
+  ?level:int ->
+  ?max_tracked:int ->
+  absint:bool ->
+  name:string ->
+  (unit -> W2.Ast.modul) ->
+  Driver.Compile.module_work
+(** Compile one sweep program (cached on every knob that shapes the
+    analysis, [max_tracked] and [absint] included). *)
+
+val spec_sweep : ?cfg:Config.t -> unit -> spec_point list
+(** Each program played under dag+lpt and dag+spec on a pool matching
+    its width, traced, with the speculation-aware race oracle armed;
+    seeded (noise seed 3), so reproducible.  On the blinded points
+    every speculation commits and dag+spec beats dag+lpt; on the racy
+    point attempts roll back and the run still terminates with every
+    task written back exactly once. *)

@@ -63,6 +63,9 @@ type stats = {
   mutable retries : int;
   mutable fallback_tasks : int;
   mutable wasted_cpu : float;
+  mutable spec_dispatched : int;
+  mutable spec_committed : int;
+  mutable spec_rolled_back : int;
 }
 
 let fresh_stats () =
@@ -75,6 +78,9 @@ let fresh_stats () =
     retries = 0;
     fallback_tasks = 0;
     wasted_cpu = 0.0;
+    spec_dispatched = 0;
+    spec_committed = 0;
+    spec_rolled_back = 0;
   }
 
 (* A function-master attempt lost its station.  Raised and caught
@@ -86,8 +92,19 @@ let check = function
   | Netsim.Fault.Station_failed f -> raise (Lost f)
 
 (* Supervision messages; attempt-numbered so a supervisor can ignore
-   verdicts about attempts it has already given up on. *)
-type sup_msg = Msg_completed | Msg_failed of int | Msg_timed_out of int
+   verdicts about attempts it has already given up on.  [Msg_aborted]
+   is the commit oracle's verdict on a speculative attempt: the staged
+   output read stale state and was quarantined. *)
+type sup_msg =
+  | Msg_completed
+  | Msg_failed of int
+  | Msg_timed_out of int
+  | Msg_aborted of int
+
+(* Bytes of the version-pointer flip that commits a staged artifact
+   (or quarantines an aborted one) on the file server: metadata only,
+   the staged payload itself was already charged at staging time. *)
+let spec_meta_bytes = 256.0
 
 (* The master process body; spawnable so that several modules can be
    compiled concurrently on one cluster (the parallel-make study). *)
@@ -101,9 +118,9 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
      compiler.  Applied here rather than in [run] so the parallel-make
      study (which spawns master processes directly) is scheduled
      too. *)
+  let policy = Config.effective_policy cfg in
   let plan =
-    Sched.schedule ~static:cfg.Config.static_cost
-      ~policy:cfg.Config.sched_policy ~cost
+    Sched.schedule ~static:cfg.Config.static_cost ~policy ~cost
       ~threshold:cfg.Config.batch_threshold ~stations:cfg.Config.stations plan
   in
   stats.dispatch_units <- stats.dispatch_units + Plan.task_count plan;
@@ -112,9 +129,17 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
      a station.  Everything is a no-op for edge-free sections (and for
      the non-DAG policies, whose dependence lists are empty): awaiting
      an already-set event never suspends and setting an event nobody
-     awaits schedules nothing, so the event schedule is untouched. *)
-  let gated = Sched.dag_gated cfg.Config.sched_policy in
-  let supervised = not (Netsim.Fault.is_none cfg.Config.faults) in
+     awaits schedules nothing, so the event schedule is untouched.
+
+     Under [Dag_spec] only the PROVEN edges gate; attempts dispatched
+     past speculative edges stage their write-back and run the commit
+     protocol below.  Speculation needs the supervisor even on a
+     fault-free host (aborted attempts re-dispatch through it). *)
+  let gated = Sched.dag_gated policy in
+  let spec_mode = policy = Sched.Dag_spec in
+  let supervised =
+    (not (Netsim.Fault.is_none cfg.Config.faults)) || spec_mode
+  in
   let tr = cfg.Config.trace in
   let ether = cluster.Netsim.Host.ether in
   (* Fetches identify the client station and a file label so the
@@ -185,11 +210,32 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                ~seconds:interpret);
           stats.section_cpu <- stats.section_cpu +. interpret;
           let tasks_done = Netsim.Sync.join (List.length tasks) in
+          (* [deps] gates dispatch.  Under [Dag_spec] only the proven
+             edges gate; the speculative remainder ([spec_deps]) is
+             checked by the commit protocol instead, and its hot subset
+             ([hot_deps]) — pairs the uncapped analysis proves really
+             share state — is what forces an abort. *)
           let deps =
             if gated then
-              Sched.task_deps ~func_deps:plan.Plan.func_deps
+              Sched.task_deps
+                ~func_deps:
+                  (if spec_mode then Plan.proven_deps plan
+                   else plan.Plan.func_deps)
                 ~section:section_name tasks
             else Array.make (List.length tasks) []
+          in
+          let spec_deps, hot_deps =
+            if spec_mode then
+              ( Array.mapi
+                  (fun i full ->
+                    List.filter (fun d -> not (List.mem d deps.(i))) full)
+                  (Sched.task_deps ~func_deps:plan.Plan.func_deps
+                     ~section:section_name tasks),
+                Sched.task_deps ~func_deps:plan.Plan.hot_edges
+                  ~section:section_name tasks )
+            else
+              ( Array.make (List.length tasks) [],
+                Array.make (List.length tasks) [] )
           in
           let completion =
             Array.init (List.length tasks) (fun _ -> Netsim.Sync.event ())
@@ -255,8 +301,21 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                  CPU work and explicitly after network operations,
                  which do not touch the station's CPU).  On the
                  fault-free path every check is a no-op, so the event
-                 schedule is exactly the pre-fault-tolerance one. *)
-              let attempt ~note ~spent ~attempt_n () =
+                 schedule is exactly the pre-fault-tolerance one.
+
+                 [hardened] suppresses speculation for this attempt
+                 (its task exhausted [Config.spec_budget]); [staged]
+                 tells the watchdog a speculative attempt has parked
+                 its output on the server and is merely awaiting the
+                 commit verdict; [spec_pending] reports back which
+                 speculative predecessors were still incomplete when
+                 the attempt claimed its station — empty means the
+                 attempt wrote back durably, non-empty means the
+                 caller must run the commit protocol.  On every policy
+                 but dag+spec [spec_deps] is all-empty, so the pending
+                 set is always empty and none of this executes. *)
+              let attempt ~note ~spent ~attempt_n ~hardened ~staged
+                  ~spec_pending () =
                 let alive ws =
                   match Netsim.Host.crashed ws ~now:(Netsim.Des.now sim) with
                   | Some f -> raise (Lost f)
@@ -285,9 +344,7 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                    whatever the granted station has.  First attempts
                    and the FCFS policy never reach these branches, so
                    their schedule is untouched. *)
-                let locality =
-                  attempt_n > 1 && cfg.Config.sched_policy <> Sched.Fcfs
-                in
+                let locality = attempt_n > 1 && policy <> Sched.Fcfs in
                 let has w file =
                   Netsim.Net.cached ether ~client:w.Netsim.Host.ws_id ~file
                 in
@@ -312,6 +369,24 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                 (match head_name with
                 | Some name -> note name ws.Netsim.Host.ws_id
                 | None -> ());
+                (* Speculation decision, made once the station is
+                   granted: any speculative predecessor not yet durably
+                   complete makes this attempt speculative — its output
+                   will be staged, not written back, and the commit
+                   oracle rules at predecessor write-back time. *)
+                let pending =
+                  if spec_mode && not hardened then
+                    List.filter
+                      (fun d -> not (Netsim.Sync.is_set completion.(d)))
+                      spec_deps.(ti)
+                  else []
+                in
+                spec_pending := pending;
+                let speculative = pending <> [] in
+                if speculative then begin
+                  stats.spec_dispatched <- stats.spec_dispatched + 1;
+                  linstant ~name:"spec-dispatch" ~attempt_n ()
+                end;
                 (* Lisp startup: every function master downloads the
                    core image and initializes (a warm station maps the
                    image it already holds: same resident set, no
@@ -356,7 +431,16 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                   let t_wb = Netsim.Des.now sim in
                   store output_bytes;
                   alive ws;
-                  lspan ws ~name:"write-back" ~t0:t_wb;
+                  if speculative then begin
+                    (* Stage into a versioned buffer and release the
+                       station immediately: the commit verdict is
+                       awaited off-station, so speculation never holds
+                       a pool slot hostage. *)
+                    lspan ws ~name:"stage" ~t0:t_wb;
+                    staged := true;
+                    lspan ws ~name:"spec-attempt" ~t0:t_claim
+                  end
+                  else lspan ws ~name:"write-back" ~t0:t_wb;
                   set_resident ws 0.0;
                   Netsim.Host.release_station sim cluster ws
                 end
@@ -428,7 +512,12 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                   let t_wb = Netsim.Des.now sim in
                   store output_bytes;
                   alive ws3;
-                  lspan ws3 ~name:"write-back" ~t0:t_wb;
+                  if speculative then begin
+                    lspan ws3 ~name:"stage" ~t0:t_wb;
+                    staged := true;
+                    lspan ws3 ~name:"spec-attempt" ~t0:t_claim
+                  end
+                  else lspan ws3 ~name:"write-back" ~t0:t_wb;
                   set_resident ws3 0.0;
                   Netsim.Host.release_station sim cluster ws3
                 end
@@ -448,7 +537,8 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                     attempt
                       ~note:(fun name id ->
                         stats.placements <- (name, id) :: stats.placements)
-                      ~spent:(ref 0.0) ~attempt_n:1 ();
+                      ~spent:(ref 0.0) ~attempt_n:1 ~hardened:true
+                      ~staged:(ref false) ~spec_pending:(ref []) ();
                     Netsim.Sync.set completion.(ti);
                     Netsim.Sync.signal tasks_done)
               else begin
@@ -468,42 +558,106 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                 let sup : sup_msg Netsim.Sync.mailbox = Netsim.Sync.mailbox () in
                 let completed = ref false in
                 let attempt_no = ref 0 in
+                (* Commit-oracle state: aborts so far, and whether the
+                   task's speculative edges have hardened to gated. *)
+                let spec_fails = ref 0 in
+                let hardened = ref false in
                 let launch () =
                   incr attempt_no;
                   let n = !attempt_no in
+                  let staged = ref false in
                   (* Watchdog: the section master presumes the attempt
-                     lost if it has not reported by the deadline. *)
+                     lost if it has not reported by the deadline.  A
+                     staged speculative attempt is off-station merely
+                     awaiting its commit verdict — the oracle, not the
+                     clock, rules on it. *)
                   Netsim.Des.spawn sim (fun () ->
                       Netsim.Des.delay deadline;
-                      if not !completed then begin
+                      if (not !completed) && not !staged then begin
                         linstant ~name:"timeout" ~attempt_n:n ();
                         Netsim.Sync.send sup (Msg_timed_out n)
                       end);
                   let noted = ref [] in
                   let spent = ref 0.0 in
+                  let spec_pending = ref [] in
                   let note name id = noted := (name, id) :: !noted in
+                  let wasted () =
+                    stats.wasted_cpu <- stats.wasted_cpu +. !spent;
+                    linstant ~name:"wasted" ~attempt_n:n
+                      ~extra:[ ("cpu", Trace.farg !spent) ]
+                      ()
+                  in
+                  let win () =
+                    completed := true;
+                    stats.placements <- !noted @ stats.placements;
+                    Netsim.Sync.send sup Msg_completed
+                  in
                   Netsim.Des.spawn sim (fun () ->
-                      match attempt ~note ~spent ~attempt_n:n () with
-                      | () ->
-                        if !completed then begin
-                          (* A re-dispatch beat this straggler: its
-                             write-back is superseded, not repeated. *)
-                          stats.wasted_cpu <- stats.wasted_cpu +. !spent;
-                          linstant ~name:"wasted" ~attempt_n:n
-                            ~extra:[ ("cpu", Trace.farg !spent) ]
-                            ()
-                        end
-                        else begin
-                          completed := true;
-                          stats.placements <- !noted @ stats.placements;
-                          Netsim.Sync.send sup Msg_completed
-                        end
+                      match
+                        attempt ~note ~spent ~attempt_n:n
+                          ~hardened:!hardened ~staged ~spec_pending ()
+                      with
+                      | () -> (
+                        match !spec_pending with
+                        | [] ->
+                          (* Durable write-back already happened inside
+                             the attempt. *)
+                          if !completed then
+                            (* A re-dispatch beat this straggler: its
+                               write-back is superseded, not
+                               repeated. *)
+                            wasted ()
+                          else win ()
+                        | pending -> (
+                          (* Commit protocol, off-station.  The online
+                             race check is per involved edge: a pending
+                             predecessor the attempt overlapped is a
+                             race exactly when the pair really shares
+                             state (hot); cold edges are conservative
+                             artifacts and commit without waiting. *)
+                          match
+                            List.filter
+                              (fun d -> List.mem d hot_deps.(ti))
+                              pending
+                          with
+                          | d :: _ ->
+                            (* Conflict: rule at predecessor write-back
+                               time, then quarantine the stale staged
+                               artifact (a version-pointer flip on the
+                               file server) and surrender the attempt's
+                               CPU to the wasted account. *)
+                            Netsim.Sync.await completion.(d);
+                            if !completed then wasted ()
+                            else begin
+                              let t_ab = Netsim.Des.now sim in
+                              store spec_meta_bytes;
+                              stats.spec_rolled_back <-
+                                stats.spec_rolled_back + 1;
+                              lspan ws_m ~name:"spec-abort" ~attempt_n:n
+                                ~t0:t_ab;
+                              wasted ();
+                              Netsim.Sync.send sup (Msg_aborted n)
+                            end
+                          | [] ->
+                            if !completed then wasted ()
+                            else begin
+                              (* Commit: claim the completion token
+                                 before the pointer flip yields, so the
+                                 staged artifact becomes the durable
+                                 write-back exactly once. *)
+                              completed := true;
+                              let t_cm = Netsim.Des.now sim in
+                              store spec_meta_bytes;
+                              stats.spec_committed <-
+                                stats.spec_committed + 1;
+                              lspan ws_m ~name:"spec-commit" ~attempt_n:n
+                                ~t0:t_cm;
+                              stats.placements <- !noted @ stats.placements;
+                              Netsim.Sync.send sup Msg_completed
+                            end))
                       | exception Lost _ ->
-                        stats.wasted_cpu <- stats.wasted_cpu +. !spent;
                         linstant ~name:"attempt-lost" ~attempt_n:n ();
-                        linstant ~name:"wasted" ~attempt_n:n
-                          ~extra:[ ("cpu", Trace.farg !spent) ]
-                          ();
+                        wasted ();
                         Netsim.Sync.send sup (Msg_failed n))
                 in
                 let fallback () =
@@ -548,9 +702,7 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                         when n = !attempt_no && not !completed ->
                         if budget > 0 then begin
                           let step = cfg.Config.retry_budget - budget in
-                          Netsim.Des.delay
-                            (cfg.Config.retry_backoff_seconds
-                            *. (2.0 ** float_of_int step));
+                          Netsim.Des.delay (Config.backoff_delay cfg ~step);
                           (* A straggler may have finished during the
                              backoff; its Msg_completed is queued. *)
                           if !completed then ()
@@ -562,7 +714,26 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                           end
                         end
                         else fallback ()
-                      | Msg_failed _ | Msg_timed_out _ ->
+                      | Msg_aborted n when n = !attempt_no && not !completed ->
+                        (* Misspeculation.  The conflicting predecessor
+                           just wrote back durably, so an immediate
+                           relaunch cannot re-conflict on it: no
+                           backoff, and the retry budget (which pays for
+                           faults, not oracle verdicts) is untouched.
+                           Past the speculation budget the task hardens:
+                           further launches gate on every erstwhile
+                           speculative edge, which is the dag+lpt
+                           discipline for this task. *)
+                        spec_fails := !spec_fails + 1;
+                        if !spec_fails >= cfg.Config.spec_budget then begin
+                          hardened := true;
+                          List.iter
+                            (fun d -> Netsim.Sync.await completion.(d))
+                            spec_deps.(ti)
+                        end;
+                        launch ();
+                        await budget
+                      | Msg_failed _ | Msg_timed_out _ | Msg_aborted _ ->
                         (* Stale attempt, or the task completed since
                            this verdict was posted. *)
                         await budget
@@ -648,6 +819,9 @@ let run (cfg : Config.t) (mw : Driver.Compile.module_work) (plan : Plan.t) : out
       stations_lost = Netsim.Host.lost_stations cluster ~now:!finish;
       fallback_tasks = stats.fallback_tasks;
       wasted_cpu = stats.wasted_cpu;
+      spec_dispatched = stats.spec_dispatched;
+      spec_committed = stats.spec_committed;
+      spec_rolled_back = stats.spec_rolled_back;
     }
   in
   if fresh_trace then begin
@@ -655,14 +829,21 @@ let run (cfg : Config.t) (mw : Driver.Compile.module_work) (plan : Plan.t) : out
     (* Under a DAG policy the schedule promises dependence order; let
        the trace prove it kept that promise.  [Sched.schedule] is pure
        and deterministic, so re-deriving the scheduled plan here sees
-       exactly the task queues the master dispatched. *)
-    if Sched.dag_gated cfg.Config.sched_policy then
-      Traceview.assert_race_free tr
-        ~plan:
-          (Sched.schedule ~static:cfg.Config.static_cost
-             ~policy:cfg.Config.sched_policy ~cost:cfg.Config.cost
-             ~threshold:cfg.Config.batch_threshold
-             ~stations:cfg.Config.stations plan)
+       exactly the task queues the master dispatched.  dag+spec makes a
+       weaker promise — proven edges ordered, speculative edges ordered
+       only for the winning attempt of genuinely conflicting pairs —
+       checked by the speculation-aware oracle. *)
+    let policy = Config.effective_policy cfg in
+    if Sched.dag_gated policy then begin
+      let scheduled =
+        Sched.schedule ~static:cfg.Config.static_cost ~policy
+          ~cost:cfg.Config.cost ~threshold:cfg.Config.batch_threshold
+          ~stations:cfg.Config.stations plan
+      in
+      if policy = Sched.Dag_spec then
+        Traceview.assert_race_free_spec tr ~plan:scheduled
+      else Traceview.assert_race_free tr ~plan:scheduled
+    end
   end;
   {
     run;

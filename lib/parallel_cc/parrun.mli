@@ -21,7 +21,19 @@
     write-back, and — once the budget is exhausted — sequential
     fallback in the master's own Lisp, so the compilation terminates
     with identical output no matter the fault plan.  With an empty
-    plan the legacy unsupervised schedule runs bit-for-bit. *)
+    plan the legacy unsupervised schedule runs bit-for-bit.
+
+    Under {!Sched.Dag_spec} (as resolved by {!Config.effective_policy})
+    tasks also run supervised, fault plan or not: an attempt whose
+    speculative predecessors are not all durably complete at claim time
+    stages its output in a versioned buffer on the file server instead
+    of writing back, and a commit protocol rules on it — commit (a
+    version-pointer flip promotes the staged artifact, exactly once)
+    when no genuinely conflicting ("hot") predecessor was pending,
+    abort (quarantine the stale version, charge the attempt's CPU to
+    [wasted_cpu], re-dispatch) at the first hot predecessor's
+    write-back.  After {!Config.t.spec_budget} aborts a task hardens:
+    further launches gate on every speculative edge, dag+lpt style. *)
 
 type outcome = {
   run : Timings.run;
@@ -41,6 +53,9 @@ type stats = {
   mutable retries : int;
   mutable fallback_tasks : int;
   mutable wasted_cpu : float;
+  mutable spec_dispatched : int;
+  mutable spec_committed : int;
+  mutable spec_rolled_back : int;
 }
 (** Mutable counters one or more master processes accumulate into;
     {!run} folds them into the {!Timings.run}. *)

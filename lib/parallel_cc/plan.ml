@@ -23,6 +23,15 @@ type t = {
   (* per section: the analyzer's function-level dependence edges,
      (compile-first, compile-second) by name.  FCFS/LPT policies ignore
      them; the DAG-aware policies in [Sched] order and gate by them. *)
+  spec_edges : (string * (string * string) list) list;
+  (* the speculative subset of [func_deps]: edges whose only reasons
+     are data over-approximations.  [dag+spec] dispatches past them
+     under the commit protocol; every other policy treats them exactly
+     like the rest of [func_deps]. *)
+  hot_edges : (string * (string * string) list) list;
+  (* the subset of [spec_edges] whose endpoints the uncapped analysis
+     proves really share state: speculating past one of these aborts
+     when the attempt overlapped its predecessor. *)
 }
 
 (* The dependence edges come straight from the phase-1 analysis the
@@ -37,6 +46,34 @@ let deps_of (mw : Driver.Compile.module_work) :
           (fun (from_name, to_name, _) -> (from_name, to_name))
           (Analysis.Depan.edges_by_name si) ))
     mw.Driver.Compile.mw_analysis.Analysis.Depan.dp_sections
+
+let spec_deps_of (mw : Driver.Compile.module_work) :
+    (string * (string * string) list) list =
+  List.map
+    (fun si ->
+      (si.Analysis.Depan.si_name, Analysis.Depan.spec_edges_by_name si))
+    mw.Driver.Compile.mw_analysis.Analysis.Depan.dp_sections
+
+let hot_deps_of (mw : Driver.Compile.module_work) :
+    (string * (string * string) list) list =
+  List.map
+    (fun si ->
+      let hot = Analysis.Depan.hot_pairs_by_name si in
+      ( si.Analysis.Depan.si_name,
+        List.filter (fun e -> List.mem e hot)
+          (Analysis.Depan.spec_edges_by_name si) ))
+    mw.Driver.Compile.mw_analysis.Analysis.Depan.dp_sections
+
+let proven_deps (plan : t) : (string * (string * string) list) list =
+  List.map
+    (fun (sec, edges) ->
+      let spec =
+        match List.assoc_opt sec plan.spec_edges with
+        | Some s -> s
+        | None -> []
+      in
+      (sec, List.filter (fun e -> not (List.mem e spec)) edges))
+    plan.func_deps
 
 (* The paper's proxy for compile time: "a combination of lines of code
    and loop nesting". *)
@@ -62,6 +99,8 @@ let one_per_station (mw : Driver.Compile.module_work) : t =
         mw.Driver.Compile.mw_sections;
     estimate_used = false;
     func_deps = deps_of mw;
+    spec_edges = spec_deps_of mw;
+    hot_edges = hot_deps_of mw;
   }
 
 (* LPT bin packing of all functions of one section onto [bins]
@@ -137,6 +176,8 @@ let grouped (mw : Driver.Compile.module_work) ~processors : t =
         sections bins_per_section;
     estimate_used = true;
     func_deps = deps_of mw;
+    spec_edges = spec_deps_of mw;
+    hot_edges = hot_deps_of mw;
   }
 
 let task_count (plan : t) =

@@ -23,7 +23,20 @@ type t = {
           {!Driver.Compile.module_work.mw_analysis}, so every plan
           carries its DAG; FCFS/LPT ignore it, the DAG-aware policies
           in {!Sched} order and gate dispatch by it. *)
+  spec_edges : (string * (string * string) list) list;
+      (** the {!Analysis.Depan.Speculative} subset of [func_deps]:
+          edges whose only reasons are data over-approximations.  The
+          [dag+spec] policy dispatches past them under the commit
+          protocol; every other policy gates on them as usual. *)
+  hot_edges : (string * (string * string) list) list;
+      (** the subset of [spec_edges] whose endpoints the uncapped
+          analysis proves really share state — speculating past one
+          aborts whenever the attempt overlapped its predecessor *)
 }
+
+val proven_deps : t -> (string * (string * string) list) list
+(** [func_deps] minus [spec_edges]: the edges [dag+spec] still gates
+    on. *)
 
 val estimate : Driver.Compile.func_work -> float
 (** The paper's compile-time proxy: lines of code weighted by

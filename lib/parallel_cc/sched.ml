@@ -26,12 +26,15 @@
    exactly-once write-back and tracing in [Parrun] see the scheduled
    plan and work unchanged. *)
 
-type policy = Fcfs | Lpt | Lpt_batch | Dag | Dag_lpt
+type policy = Fcfs | Lpt | Lpt_batch | Dag | Dag_lpt | Dag_spec
 
 let all = [ Fcfs; Lpt; Lpt_batch ]
 let dag_policies = [ Dag; Dag_lpt ]
-let all_policies = all @ dag_policies
-let dag_gated = function Dag | Dag_lpt -> true | Fcfs | Lpt | Lpt_batch -> false
+let all_policies = all @ dag_policies @ [ Dag_spec ]
+
+let dag_gated = function
+  | Dag | Dag_lpt | Dag_spec -> true
+  | Fcfs | Lpt | Lpt_batch -> false
 
 let policy_name = function
   | Fcfs -> "fcfs"
@@ -39,6 +42,7 @@ let policy_name = function
   | Lpt_batch -> "lpt+batch"
   | Dag -> "dag"
   | Dag_lpt -> "dag+lpt"
+  | Dag_spec -> "dag+spec"
 
 let policy_of_string = function
   | "fcfs" -> Some Fcfs
@@ -46,6 +50,7 @@ let policy_of_string = function
   | "lpt+batch" | "lpt-batch" -> Some Lpt_batch
   | "dag" -> Some Dag
   | "dag+lpt" | "dag-lpt" -> Some Dag_lpt
+  | "dag+spec" | "dag-spec" -> Some Dag_spec
   | _ -> None
 
 (* The scheduler's cost signal: estimated phases-2+3 seconds of one
@@ -342,8 +347,17 @@ let task_levels (deps : int list array) : int list list =
 (* The [Dag] policy: merge task cycles, then dispatch in stable
    topological FCFS order.  [Dag_lpt] additionally applies LPT and
    tiny-task batching within each antichain level, composing the
-   overhead amortization of [Lpt_batch] with dependence safety. *)
-let schedule_dag ~lpt ~costf ~threshold ~max_bins
+   overhead amortization of [Lpt_batch] with dependence safety.
+
+   [level_func_deps] narrows the edge set used for levelling (and the
+   topological order) without touching the cycle merge: [Dag_spec]
+   passes the proven-only edges here, so speculative successors land in
+   the same level as their predecessors and dispatch immediately, while
+   cycles are still merged over the FULL edge set — scheduling past a
+   speculative edge whose reverse is proven would otherwise deadlock
+   the commit protocol (the attempt awaits a predecessor that gates on
+   the attempt's own completion). *)
+let schedule_dag ~lpt ~costf ~threshold ~max_bins ?level_func_deps
     ~(func_deps : (string * (string * string) list) list) ~section tasks =
   let edges =
     match List.assoc_opt section func_deps with Some e -> e | None -> []
@@ -351,7 +365,10 @@ let schedule_dag ~lpt ~costf ~threshold ~max_bins
   let tasks =
     merge_task_cycles edges (task_deps ~func_deps ~section tasks) tasks
   in
-  let deps = task_deps ~func_deps ~section tasks in
+  let level_func_deps =
+    match level_func_deps with Some d -> d | None -> func_deps
+  in
+  let deps = task_deps ~func_deps:level_func_deps ~section tasks in
   if not lpt then topo_fcfs deps tasks
   else
     let arr = Array.of_list tasks in
@@ -408,5 +425,19 @@ let schedule ?(static = false) ~policy ~(cost : Driver.Cost.model) ~threshold
             ( s,
               schedule_dag ~lpt:true ~costf ~threshold ~max_bins
                 ~func_deps:plan.Plan.func_deps ~section:s tasks ))
+          plan.Plan.tasks_per_section;
+    }
+  | Dag_spec ->
+    let max_bins = max 1 (stations - 1) in
+    let proven = Plan.proven_deps plan in
+    {
+      plan with
+      Plan.tasks_per_section =
+        List.map
+          (fun (s, tasks) ->
+            ( s,
+              schedule_dag ~lpt:true ~costf ~threshold ~max_bins
+                ~level_func_deps:proven ~func_deps:plan.Plan.func_deps
+                ~section:s tasks ))
           plan.Plan.tasks_per_section;
     }

@@ -37,6 +37,14 @@ type policy =
           of the task DAG — whose members are pairwise independent —
           tasks are LPT-ordered and tiny ones batched, so overhead
           amortization never violates dependence order. *)
+  | Dag_spec
+      (** [Dag_lpt] with optimistic dispatch past
+          {!Analysis.Depan.Speculative} edges: levelling uses only the
+          proven edges (task cycles are still merged over the full
+          set), so speculative successors dispatch immediately and
+          {!Parrun} runs them under a staged write-back/commit/abort
+          protocol bounded by {!Config.t.spec_budget}.  Worst case —
+          every speculation aborts — degrades to [Dag_lpt] behaviour. *)
 
 val all : policy list
 (** The classic dispatch policies, in ascending sophistication:
@@ -45,22 +53,25 @@ val all : policy list
     schema is, too). *)
 
 val dag_policies : policy list
-(** [[Dag; Dag_lpt]] — swept by {!Experiment.dag_sweep}. *)
+(** [[Dag; Dag_lpt]] — swept by {!Experiment.dag_sweep} (kept stable so
+    its bench artifact schema is, too; [Dag_spec] is swept separately
+    by {!Experiment.spec_sweep}). *)
 
 val all_policies : policy list
-(** [all @ dag_policies], the full CLI choice set. *)
+(** [all @ dag_policies @ [Dag_spec]], the full CLI choice set. *)
 
 val dag_gated : policy -> bool
 (** Does the policy require {!Parrun} to gate dispatch on task
     completion events? *)
 
 val policy_name : policy -> string
-(** ["fcfs"], ["lpt"], ["lpt+batch"], ["dag"], ["dag+lpt"] — the names
-    used by [warpcc simulate --sched] and the bench tables. *)
+(** ["fcfs"], ["lpt"], ["lpt+batch"], ["dag"], ["dag+lpt"],
+    ["dag+spec"] — the names used by [warpcc simulate --sched] and the
+    bench tables. *)
 
 val policy_of_string : string -> policy option
-(** Inverse of {!policy_name} (also accepts ["lpt-batch"] and
-    ["dag-lpt"]). *)
+(** Inverse of {!policy_name} (also accepts ["lpt-batch"],
+    ["dag-lpt"] and ["dag-spec"]). *)
 
 val task_cost : ?static:bool -> Driver.Cost.model -> Plan.task -> float
 (** Estimated phases-2+3 seconds of one task — the signal every policy

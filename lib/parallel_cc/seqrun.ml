@@ -114,4 +114,7 @@ let run (cfg : Config.t) (mw : Driver.Compile.module_work) : Timings.run =
     stations_lost = 0;
     fallback_tasks = 0;
     wasted_cpu = 0.0;
+    spec_dispatched = 0;
+    spec_committed = 0;
+    spec_rolled_back = 0;
   }

@@ -24,6 +24,11 @@ type run = {
   stations_lost : int; (* stations crashed or reclaimed by run's end *)
   fallback_tasks : int; (* tasks finished sequentially on the master *)
   wasted_cpu : float; (* CPU burned by attempts whose output was lost *)
+  spec_dispatched : int; (* attempts launched past a speculative edge *)
+  spec_committed : int; (* speculative attempts whose staged output
+                           won the commit check *)
+  spec_rolled_back : int; (* speculative attempts aborted by the commit
+                             oracle (charged to wasted_cpu) *)
 }
 
 type comparison = {
@@ -82,12 +87,15 @@ let comparison_to_json (c : comparison) : string =
     pr "%s  \"stations_lost\": %d,\n" indent r.stations_lost;
     pr "%s  \"fallback_tasks\": %d,\n" indent r.fallback_tasks;
     pr "%s  \"wasted_cpu\": %s,\n" indent (f r.wasted_cpu);
+    pr "%s  \"spec_dispatched\": %d,\n" indent r.spec_dispatched;
+    pr "%s  \"spec_committed\": %d,\n" indent r.spec_committed;
+    pr "%s  \"spec_rolled_back\": %d,\n" indent r.spec_rolled_back;
     pr "%s  \"cpu_per_station\": [%s]\n" indent
       (String.concat ", " (List.map f r.cpu_per_station));
     pr "%s}" indent
   in
   pr "{\n";
-  pr "  \"schema\": \"warpcc-simulate/1\",\n";
+  pr "  \"schema\": \"warpcc-simulate/2\",\n";
   pr "  \"processors\": %d,\n" c.processors;
   pr "  \"speedup\": %s,\n" (f c.speedup);
   pr "  \"total_overhead\": %s,\n" (f c.total_overhead);

@@ -16,8 +16,18 @@ type run = {
   stations_lost : int; (** stations crashed or reclaimed by run's end *)
   fallback_tasks : int; (** tasks finished sequentially on the master *)
   wasted_cpu : float;
-      (** CPU seconds burned by attempts whose output was lost (crashed
-          or superseded by a re-dispatch) *)
+      (** CPU seconds burned by attempts whose output was lost (crashed,
+          superseded by a re-dispatch, or rolled back by the
+          speculation commit oracle) *)
+  spec_dispatched : int;
+      (** attempts launched past a speculative dependence edge
+          ([dag+spec] only; 0 everywhere else) *)
+  spec_committed : int;
+      (** speculative attempts whose staged output won the commit
+          check and became the durable write-back *)
+  spec_rolled_back : int;
+      (** speculative attempts the commit oracle aborted; their CPU is
+          charged to [wasted_cpu] and the task re-dispatches *)
 }
 
 type comparison = {
@@ -44,6 +54,7 @@ val max_cpu : run -> float
     paper's figures report. *)
 
 val comparison_to_json : comparison -> string
-(** The comparison as a JSON document (schema ["warpcc-simulate/1"]),
-    with both runs inlined and floats printed to round-trip exactly —
-    the machine-readable face of [warpcc simulate --json]. *)
+(** The comparison as a JSON document (schema ["warpcc-simulate/2"]:
+    /1 plus the three speculation counters per run), with both runs
+    inlined and floats printed to round-trip exactly — the
+    machine-readable face of [warpcc simulate --json]. *)

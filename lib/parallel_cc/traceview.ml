@@ -23,6 +23,9 @@ type recovered = {
   r_fallback_tasks : int;
   r_wasted_cpu : float;
   r_stations_lost : int;
+  r_spec_dispatched : int; (* "spec-dispatch" instants *)
+  r_spec_committed : int; (* "spec-commit" spans *)
+  r_spec_rolled_back : int; (* "spec-abort" spans *)
 }
 
 let span_tag (s : Trace.span) =
@@ -42,6 +45,7 @@ let recover ?elapsed (tr : Trace.t) : recovered =
   in
   let master = ref 0.0 and section = ref 0.0 and parse = ref 0.0 in
   let fallbacks = ref 0 in
+  let commits = ref 0 and aborts = ref 0 in
   List.iter
     (fun (s : Trace.span) ->
       match s.Trace.cat with
@@ -54,9 +58,12 @@ let recover ?elapsed (tr : Trace.t) : recovered =
         | "reparse" -> parse := !parse +. nominal s
         | _ -> ())
       | "task" when s.Trace.name = "fallback" -> incr fallbacks
+      | "task" when s.Trace.name = "spec-commit" -> incr commits
+      | "task" when s.Trace.name = "spec-abort" -> incr aborts
       | _ -> ())
     (Trace.spans tr);
   let retries = ref 0 and timeouts = ref 0 and lost_attempts = ref 0 in
+  let dispatched = ref 0 in
   let wasted = ref 0.0 in
   let lost = Hashtbl.create 8 in
   List.iter
@@ -65,6 +72,7 @@ let recover ?elapsed (tr : Trace.t) : recovered =
       | "task", "retry" -> incr retries
       | "task", "timeout" -> incr timeouts
       | "task", "attempt-lost" -> incr lost_attempts
+      | "task", "spec-dispatch" -> incr dispatched
       | "task", "wasted" -> (
         match Trace.arg_float "cpu" i.Trace.i_args with
         | Some v -> wasted := !wasted +. v
@@ -83,6 +91,9 @@ let recover ?elapsed (tr : Trace.t) : recovered =
     r_fallback_tasks = !fallbacks;
     r_wasted_cpu = !wasted;
     r_stations_lost = Hashtbl.length lost;
+    r_spec_dispatched = !dispatched;
+    r_spec_committed = !commits;
+    r_spec_rolled_back = !aborts;
   }
 
 let assert_matches_run (tr : Trace.t) (run : Timings.run) : unit =
@@ -107,7 +118,12 @@ let assert_matches_run (tr : Trace.t) (run : Timings.run) : unit =
   check_f "wasted CPU" run.Timings.wasted_cpu r.r_wasted_cpu;
   check_i "retries" run.Timings.retries r.r_retries;
   check_i "fallback tasks" run.Timings.fallback_tasks r.r_fallback_tasks;
-  check_i "stations lost" run.Timings.stations_lost r.r_stations_lost
+  check_i "stations lost" run.Timings.stations_lost r.r_stations_lost;
+  check_i "speculative dispatches" run.Timings.spec_dispatched
+    r.r_spec_dispatched;
+  check_i "speculative commits" run.Timings.spec_committed r.r_spec_committed;
+  check_i "speculative rollbacks" run.Timings.spec_rolled_back
+    r.r_spec_rolled_back
 
 type decomposition = {
   d_processors : int;
@@ -184,54 +200,87 @@ let violation_to_string (v : ordering_violation) =
      wrote back at %.6f"
     v.ov_section v.ov_after v.ov_start v.ov_before v.ov_finish
 
-let race_check (tr : Trace.t) ~(plan : Plan.t) : ordering_violation list =
-  (* Span args identify tasks by head-function label only, so a label
-     reused across sections cannot be attributed; skip such edges
-     rather than report phantom races. *)
-  let label_of (t : Plan.task) =
-    match t.Plan.t_funcs with
-    | fw :: _ -> Some fw.Driver.Compile.fw_name
-    | [] -> None
-  in
+(* Span args identify tasks by head-function label only, so a label
+   reused across sections cannot be attributed; skip such edges rather
+   than report phantom races. *)
+let label_of (t : Plan.task) =
+  match t.Plan.t_funcs with
+  | fw :: _ -> Some fw.Driver.Compile.fw_name
+  | [] -> None
+
+let unambiguous_labels (plan : Plan.t) =
   let owners = Hashtbl.create 32 in
   List.iter
     (fun (_, tasks) ->
       List.iter
         (fun t ->
           match label_of t with
-          | Some l -> Hashtbl.replace owners l (1 + Option.value ~default:0 (Hashtbl.find_opt owners l))
+          | Some l ->
+            Hashtbl.replace owners l
+              (1 + Option.value ~default:0 (Hashtbl.find_opt owners l))
           | None -> ())
         tasks)
     plan.Plan.tasks_per_section;
-  let unambiguous l = Hashtbl.find_opt owners l = Some 1 in
-  (* First claim start and earliest durable write-back end per label. *)
-  let starts = Hashtbl.create 32 in
-  let finishes = Hashtbl.create 32 in
+  fun l -> Hashtbl.find_opt owners l = Some 1
+
+(* Per-label marks recovered from the span store: the first claim over
+   all attempts, the first claim of each particular attempt, and the
+   earliest durable publication (write-back, fallback, or speculative
+   commit — a committed stage IS the durable artifact, its quarantined
+   sibling never becomes readable) together with the attempt that won
+   it. *)
+type marks = {
+  m_first_claim : (string, float) Hashtbl.t;
+  m_claim_of_attempt : (string * string, float) Hashtbl.t;
+  m_durable : (string, float * string) Hashtbl.t;
+}
+
+let collect_marks (tr : Trace.t) : marks =
+  let m =
+    {
+      m_first_claim = Hashtbl.create 32;
+      m_claim_of_attempt = Hashtbl.create 32;
+      m_durable = Hashtbl.create 32;
+    }
+  in
   List.iter
     (fun (s : Trace.span) ->
       if s.Trace.cat = "task" then
         match List.assoc_opt "task" s.Trace.args with
         | None -> ()
         | Some label -> (
+          let attempt =
+            Option.value ~default:"" (List.assoc_opt "attempt" s.Trace.args)
+          in
           match s.Trace.name with
           | "claim" ->
             let t0 = s.Trace.t0 in
-            (match Hashtbl.find_opt starts label with
+            (match Hashtbl.find_opt m.m_first_claim label with
             | Some t when t <= t0 -> ()
-            | _ -> Hashtbl.replace starts label t0)
-          | "write-back" | "fallback" ->
+            | _ -> Hashtbl.replace m.m_first_claim label t0);
+            (match Hashtbl.find_opt m.m_claim_of_attempt (label, attempt) with
+            | Some t when t <= t0 -> ()
+            | _ -> Hashtbl.replace m.m_claim_of_attempt (label, attempt) t0)
+          | "write-back" | "fallback" | "spec-commit" ->
             let t1 = s.Trace.t1 in
-            (match Hashtbl.find_opt finishes label with
-            | Some t when t <= t1 -> ()
-            | _ -> Hashtbl.replace finishes label t1)
+            (match Hashtbl.find_opt m.m_durable label with
+            | Some (t, _) when t <= t1 -> ()
+            | _ -> Hashtbl.replace m.m_durable label (t1, attempt))
           | _ -> ()))
     (Trace.spans tr);
+  m
+
+(* Check every [func_deps] edge of [plan] as finish(before) <=
+   start(after), where the successor's start is chosen by [start_of]
+   (first claim for gated edges; the winning attempt's claim for
+   speculative ones). *)
+let edge_violations (m : marks) ~(plan : Plan.t) ~func_deps ~start_of :
+    ordering_violation list =
+  let unambiguous = unambiguous_labels plan in
   let violations = ref [] in
   List.iter
     (fun (section, tasks) ->
-      let deps =
-        Sched.task_deps ~func_deps:plan.Plan.func_deps ~section tasks
-      in
+      let deps = Sched.task_deps ~func_deps ~section tasks in
       let arr = Array.of_list tasks in
       Array.iteri
         (fun j ds ->
@@ -241,9 +290,10 @@ let race_check (tr : Trace.t) ~(plan : Plan.t) : ordering_violation list =
               | Some before, Some after
                 when unambiguous before && unambiguous after -> (
                 match
-                  (Hashtbl.find_opt finishes before, Hashtbl.find_opt starts after)
+                  ( Hashtbl.find_opt m.m_durable before,
+                    start_of m after )
                 with
-                | Some finish, Some start when start < finish ->
+                | Some (finish, _), Some start when start < finish ->
                   violations :=
                     {
                       ov_section = section;
@@ -260,10 +310,51 @@ let race_check (tr : Trace.t) ~(plan : Plan.t) : ordering_violation list =
     plan.Plan.tasks_per_section;
   List.rev !violations
 
+let first_claim (m : marks) label = Hashtbl.find_opt m.m_first_claim label
+
+(* The claim of the attempt whose publication became durable.  A task
+   finished by the master's sequential fallback has no claim span for
+   the winning "attempt"; the fallback runs in the master's own Lisp
+   over the already-parsed module, so such edges are vacuous and the
+   lookup's [None] skips them. *)
+let winning_claim (m : marks) label =
+  match Hashtbl.find_opt m.m_durable label with
+  | None -> None
+  | Some (_, attempt) -> Hashtbl.find_opt m.m_claim_of_attempt (label, attempt)
+
+let race_check (tr : Trace.t) ~(plan : Plan.t) : ordering_violation list =
+  edge_violations (collect_marks tr) ~plan ~func_deps:plan.Plan.func_deps
+    ~start_of:first_claim
+
+(* The dag+spec promise is weaker than the gated one, and different per
+   edge class:
+   - proven edges are still gated: no attempt of the successor may
+     claim before the predecessor's durable publication;
+   - hot speculative edges (pairs the uncapped effect summaries show
+     really conflict) may be overlapped by attempts that lose, but the
+     WINNING attempt — the one whose output readers see — must have
+     claimed after the predecessor published;
+   - cold speculative edges (conservative analysis artifacts between
+     pairs that share no state) are unconstrained. *)
+let race_check_spec (tr : Trace.t) ~(plan : Plan.t) : ordering_violation list =
+  let m = collect_marks tr in
+  edge_violations m ~plan ~func_deps:(Plan.proven_deps plan)
+    ~start_of:first_claim
+  @ edge_violations m ~plan ~func_deps:plan.Plan.hot_edges
+      ~start_of:winning_claim
+
 let assert_race_free (tr : Trace.t) ~(plan : Plan.t) : unit =
   match race_check tr ~plan with
   | [] -> ()
   | vs ->
     failwith
       ("Traceview.race_check: dependence-order violation(s):\n"
+      ^ String.concat "\n" (List.map violation_to_string vs))
+
+let assert_race_free_spec (tr : Trace.t) ~(plan : Plan.t) : unit =
+  match race_check_spec tr ~plan with
+  | [] -> ()
+  | vs ->
+    failwith
+      ("Traceview.race_check_spec: dependence-order violation(s):\n"
       ^ String.concat "\n" (List.map violation_to_string vs))

@@ -13,6 +13,9 @@ type recovered = {
   r_fallback_tasks : int;
   r_wasted_cpu : float;
   r_stations_lost : int;
+  r_spec_dispatched : int; (** "spec-dispatch" instants *)
+  r_spec_committed : int; (** "spec-commit" spans *)
+  r_spec_rolled_back : int; (** "spec-abort" spans *)
 }
 
 val recover : ?elapsed:float -> Trace.t -> recovered
@@ -71,3 +74,20 @@ val race_check : Trace.t -> plan:Plan.t -> ordering_violation list
 
 val assert_race_free : Trace.t -> plan:Plan.t -> unit
 (** @raise Failure listing every {!race_check} violation. *)
+
+val race_check_spec : Trace.t -> plan:Plan.t -> ordering_violation list
+(** The dag+spec variant of {!race_check}, enforcing the weaker
+    per-edge-class promise: proven edges are checked like {!race_check}
+    (no claim of the successor before the predecessor's durable
+    publication, which now includes speculative commits); hot
+    speculative edges — pairs whose uncapped effect summaries really
+    conflict — require only that the {e winning} attempt (the one whose
+    output became durable) claimed after the predecessor published,
+    since losing overlapped attempts are rolled back unread; cold
+    speculative edges (conservative analysis artifacts) are
+    unconstrained.  Tasks finished by the sequential fallback have no
+    winning claim span and their incoming speculative edges are vacuous
+    (the fallback reruns in the master's own Lisp). *)
+
+val assert_race_free_spec : Trace.t -> plan:Plan.t -> unit
+(** @raise Failure listing every {!race_check_spec} violation. *)

@@ -541,6 +541,117 @@ let histogram_program ?(drivers = 4) () =
     mloc = dummy;
   }
 
+(* --- programs exercising the dag+spec speculation machinery --- *)
+
+(* Dynamically independent workers the analyzer cannot prove apart:
+   worker [k] writes only its own [fanout] private scalar globals, so
+   the pairs share no state — but compiled with [max_tracked] below
+   [fanout] every summary hits the tracking cap, and sound mode pins
+   every worker pair with a [Summary_limit] edge.  dag+lpt serializes
+   the section; dag+spec speculates past the (cold) edges and every
+   attempt commits.  Compile with [~absint:false] (or a conservative
+   interval budget) so the refinement cannot discharge the limit. *)
+let speculative_program ?(workers = 4) ?(fanout = 24) () =
+  let gname k j = Printf.sprintf "g_%d_%d" k j in
+  let worker k =
+    let writes =
+      List.init fanout (fun j ->
+          assign (gname k j)
+            (bin Ast.Add
+               (bin Ast.Mul (var "x") (flt 0.5))
+               (bin Ast.Mul (call "float" [ int j ]) (flt 0.0625))))
+    in
+    {
+      Ast.fname = Printf.sprintf "stage_%d" k;
+      params = [ param "seed" Ast.Tint; param "n" Ast.Tint ];
+      ret = Some Ast.Tfloat;
+      locals = [ decl "i" Ast.Tint; decl "x" Ast.Tfloat ];
+      body =
+        [
+          assign "x" (bin Ast.Mul (call "float" [ var "seed" ]) (flt 0.0625));
+          for_ "i" 0 7
+            [
+              assign "x"
+                (bin Ast.Add (bin Ast.Mul (var "x") (flt 0.5)) (flt 0.125));
+            ];
+        ]
+        @ writes
+        @ [ return_ (var "x") ];
+      floc = dummy;
+    }
+  in
+  let globals =
+    List.concat
+      (List.init workers (fun k ->
+           List.init fanout (fun j -> decl (gname k j) Ast.Tfloat)))
+  in
+  {
+    Ast.mname = "speculative_stages";
+    sections =
+      [
+        {
+          Ast.sname = "spec_sec";
+          cells = workers;
+          globals;
+          funcs = List.init workers worker;
+          secloc = dummy;
+        };
+      ];
+    mloc = dummy;
+  }
+
+(* Deliberately racy: every scatter function writes the shared
+   accumulator array through a data-dependent index (derived from its
+   seed parameter), which no interval reasoning can split into disjoint
+   regions.  The unrefuted global conflicts make every pair a
+   speculative {e and} genuinely hot edge, so dag+spec attempts that
+   overlap a predecessor are rolled back by the commit oracle — the
+   guaranteed-misspeculation input.  The compiled artifact is
+   schedule-independent, so its output must match a sequential build
+   bit for bit no matter how many rollbacks the run takes. *)
+let racy_program ?(scatters = 3) () =
+  let scatter k =
+    {
+      Ast.fname = Printf.sprintf "scatter_%d" k;
+      params = [ param "seed" Ast.Tint; param "n" Ast.Tint ];
+      ret = Some Ast.Tfloat;
+      locals = [ decl "i" Ast.Tint; decl "s" Ast.Tint; decl "x" Ast.Tfloat ];
+      body =
+        [
+          assign "s" (bin Ast.Mod (var "seed") (int 8));
+          assign "x" (bin Ast.Mul (call "float" [ var "seed" ]) (flt 0.0625));
+          for_ "i" 0 7
+            [
+              assign "s"
+                (bin Ast.Mod
+                   (bin Ast.Add (bin Ast.Mul (var "s") (int 5)) (int (3 + k)))
+                   (int 8));
+              store "acc"
+                (var "s")
+                (bin Ast.Add
+                   (bin Ast.Mul (idx "acc" (var "s")) (flt 0.5))
+                   (var "x"));
+            ];
+          return_ (bin Ast.Add (var "x") (idx "acc" (int 0)));
+        ];
+      floc = dummy;
+    }
+  in
+  {
+    Ast.mname = "racy_scatter";
+    sections =
+      [
+        {
+          Ast.sname = "racy_sec";
+          cells = scatters;
+          globals = [ decl "acc" (Ast.Tarray (8, Ast.Tfloat)) ];
+          funcs = List.init scatters scatter;
+          secloc = dummy;
+        };
+      ];
+    mloc = dummy;
+  }
+
 (* Channel traffic with one provably dead sender: [probe]'s send sits
    in a loop whose range is empty ([for i := 1 to 0]), so its X
    multiplicity is exactly [0,0] and the protocol domain prunes its

@@ -76,6 +76,24 @@ val deadchan_program : unit -> Ast.modul
     provably empty loop ([for i := 1 to 0]): the protocol domain prunes
     the dead sender's channel pairings and keeps the live one. *)
 
+(** {1 Programs exercising dag+spec speculation} *)
+
+val speculative_program : ?workers:int -> ?fanout:int -> unit -> Ast.modul
+(** [workers] functions each writing only their own [fanout] private
+    scalar globals — dynamically independent, but compiled with
+    [max_tracked < fanout] (and the abstract interpretation off or
+    starved) every summary hits the tracking cap and sound mode pins
+    every pair with a [Summary_limit] edge.  dag+lpt serializes the
+    section; dag+spec speculates past the cold edges and commits every
+    attempt. *)
+
+val racy_program : ?scatters:int -> unit -> Ast.modul
+(** [scatters] functions all writing a shared accumulator array through
+    data-dependent indices no interval reasoning can separate: every
+    pair is a speculative and genuinely conflicting (hot) edge, so
+    overlapped dag+spec attempts are guaranteed to roll back, while the
+    compiled artifact stays bit-identical to a sequential build. *)
+
 (** {1 Random programs for property-based testing} *)
 
 val random_function :

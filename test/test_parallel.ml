@@ -393,6 +393,9 @@ let run_fixture ~elapsed ~master ~section ~parse =
     stations_lost = 0;
     fallback_tasks = 0;
     wasted_cpu = 0.0;
+    spec_dispatched = 0;
+    spec_committed = 0;
+    spec_rolled_back = 0;
   }
 
 let test_negative_system_overhead_sign () =

@@ -1,0 +1,395 @@
+(* Speculative dispatch (dag+spec): edge confidence classification, the
+   commit protocol, its interaction with fault injection, and the
+   degradation knobs.
+
+   The guarantees, by layer:
+   - Depan splits edges into proven (structural: inline_of or
+     sig_agreement) and speculative (data reasons only), and its
+     uncapped-summary oracle marks which speculative pairs really
+     conflict (hot).
+   - On blinded programs (independent, but pinned by summary_limit at a
+     lowered tracking cap) dag+spec overlaps every speculative edge,
+     commits every attempt, and beats dag+lpt.
+   - On the deliberately racy program the commit oracle rolls attempts
+     back, the run terminates, every task is written back exactly once,
+     and the compiled artifact is bit-identical to a sequential build.
+   - spec_budget 0 degrades to dag+lpt bit for bit; the whole chaos
+     matrix passes under dag+spec with the trace oracles armed. *)
+
+open Parallel_cc
+
+(* The blinded module: 4 independent workers the analyzer cannot prove
+   apart (abstract interpretation off, tracking cap 8 < fan-out 24). *)
+let blinded () =
+  Experiment.spec_program_work ~max_tracked:8 ~absint:false ~name:"blinded4"
+    (fun () -> W2.Gen.speculative_program ~workers:4 ~fanout:24 ())
+
+let racy () =
+  Experiment.spec_program_work ~absint:true ~name:"racy3" (fun () ->
+      W2.Gen.racy_program ~scatters:3 ())
+
+(* --- edge confidence and the hot-pair oracle --- *)
+
+let test_confidence_classification () =
+  let mw = blinded () in
+  let plan = Plan.one_per_station mw in
+  let spec_count =
+    List.fold_left (fun n (_, es) -> n + List.length es) 0 plan.Plan.spec_edges
+  in
+  let hot_count =
+    List.fold_left (fun n (_, es) -> n + List.length es) 0 plan.Plan.hot_edges
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "blinded: summary_limit edges are speculative (%d)"
+       spec_count)
+    true (spec_count > 0);
+  Alcotest.(check int) "blinded: no pair really conflicts (cold)" 0 hot_count;
+  (* Proven = full minus speculative, per section. *)
+  let proven = Plan.proven_deps plan in
+  List.iter
+    (fun (s, es) ->
+      let full = List.assoc s plan.Plan.func_deps in
+      let spec = List.assoc s plan.Plan.spec_edges in
+      Alcotest.(check int)
+        (s ^ ": proven + speculative = all edges")
+        (List.length full)
+        (List.length es + List.length spec))
+    proven
+
+let test_racy_edges_hot () =
+  let mw = racy () in
+  let plan = Plan.one_per_station mw in
+  List.iter
+    (fun (s, es) ->
+      let hot = List.assoc s plan.Plan.hot_edges in
+      Alcotest.(check bool)
+        (s ^ ": racy conflicts survive as speculative edges")
+        true (es <> []);
+      Alcotest.(check (list (pair string string)))
+        (s ^ ": every racy speculative edge is hot")
+        (List.sort compare es) (List.sort compare hot))
+    plan.Plan.spec_edges
+
+let test_structural_edges_stay_proven () =
+  (* The helper program's edges are all inline_of/sig_agreement:
+     nothing to speculate past, so dag+spec degenerates to gating
+     every edge. *)
+  let mw = Experiment.helper_program_work () in
+  let plan = Plan.one_per_station mw in
+  List.iter
+    (fun (s, es) ->
+      Alcotest.(check int) (s ^ ": no speculative edges") 0 (List.length es))
+    plan.Plan.spec_edges
+
+(* --- the sweep: speculation wins where analysis was conservative --- *)
+
+let test_spec_sweep () =
+  let points = Experiment.spec_sweep () in
+  Alcotest.(check int) "three series" 3 (List.length points);
+  List.iter
+    (fun (p : Experiment.spec_point) ->
+      Alcotest.(check int)
+        (p.Experiment.zp_series ^ ": race-free")
+        0 p.Experiment.zp_race_violations;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: dag+spec %.1f <= dag+lpt %.1f"
+           p.Experiment.zp_series p.Experiment.zp_elapsed_spec
+           p.Experiment.zp_elapsed_lpt)
+        true
+        (p.Experiment.zp_elapsed_spec <= p.Experiment.zp_elapsed_lpt);
+      if String.length p.Experiment.zp_series >= 7
+         && String.sub p.Experiment.zp_series 0 7 = "blinded"
+      then begin
+        Alcotest.(check bool)
+          (p.Experiment.zp_series ^ ": strictly faster than dag+lpt")
+          true
+          (p.Experiment.zp_elapsed_spec < p.Experiment.zp_elapsed_lpt);
+        Alcotest.(check int)
+          (p.Experiment.zp_series ^ ": every speculation committed")
+          p.Experiment.zp_dispatched p.Experiment.zp_committed;
+        Alcotest.(check int)
+          (p.Experiment.zp_series ^ ": no rollbacks")
+          0 p.Experiment.zp_rolled_back
+      end
+      else begin
+        Alcotest.(check bool)
+          (p.Experiment.zp_series ^ ": misspeculation detected")
+          true
+          (p.Experiment.zp_rolled_back >= 1);
+        Alcotest.(check bool)
+          (p.Experiment.zp_series ^ ": hot edges present")
+          true
+          (p.Experiment.zp_hot_edges > 0)
+      end)
+    points
+
+(* --- the racy program: rollback, exactly-once, identical artifact --- *)
+
+let all_heads mw =
+  List.map
+    (fun fw -> fw.Driver.Compile.fw_name)
+    (Driver.Compile.all_funcs mw)
+  |> List.sort compare
+
+(* Under dag+spec the proven edges rarely split levels, so tiny tasks
+   can batch into shared dispatch units; coverage is then checked
+   against the scheduled plan's unit heads (the test_sched idiom). *)
+let spec_scheduled_heads ~stations mw =
+  let scheduled =
+    Sched.schedule ~policy:Sched.Dag_spec ~cost:Config.default.Config.cost
+      ~threshold:Config.default.Config.batch_threshold ~stations
+      (Plan.one_per_station mw)
+  in
+  List.concat_map
+    (fun (_, tasks) ->
+      List.map
+        (fun (t : Plan.task) ->
+          (List.hd t.Plan.t_funcs).Driver.Compile.fw_name)
+        tasks)
+    scheduled.Plan.tasks_per_section
+  |> List.sort compare
+
+let completed_heads (o : Parrun.outcome) =
+  List.filter_map
+    (fun (name, _) ->
+      let n = String.length name in
+      if n >= 3 && String.sub name (n - 3) 3 = "#p3" then None else Some name)
+    o.Parrun.station_of_task
+  |> List.sort compare
+
+let spec_cfg ?(stations = 4) ?(budget = Config.default.Config.spec_budget) () =
+  {
+    Config.default with
+    Config.stations;
+    noise_seed = 3;
+    sched_policy = Sched.Dag_spec;
+    spec_budget = budget;
+  }
+
+let test_racy_rolls_back_and_recovers () =
+  let mw = racy () in
+  let plan = Plan.one_per_station mw in
+  let tr = Trace.create () in
+  let o = Parrun.run { (spec_cfg ()) with Config.trace = tr } mw plan in
+  (* Parrun already asserted the trace matches the counters and the
+     speculation-aware race oracle on this fresh trace. *)
+  Alcotest.(check bool) "at least one rollback" true
+    (o.Parrun.run.Timings.spec_rolled_back >= 1);
+  Alcotest.(check (list string))
+    "every task written back exactly once"
+    (spec_scheduled_heads ~stations:4 mw)
+    (completed_heads o);
+  (* The racy tasks sit above the batch threshold, so no units merged
+     and the unit heads really are all three scatter functions. *)
+  Alcotest.(check (list string))
+    "racy units are unmerged" (all_heads mw)
+    (spec_scheduled_heads ~stations:4 mw);
+  Alcotest.(check int) "dispatched = committed + rolled back"
+    o.Parrun.run.Timings.spec_dispatched
+    (o.Parrun.run.Timings.spec_committed
+    + o.Parrun.run.Timings.spec_rolled_back);
+  (* Rolled-back attempts' CPU lands in the wasted account. *)
+  Alcotest.(check bool) "rollbacks charged to wasted_cpu" true
+    (o.Parrun.run.Timings.wasted_cpu > 0.0)
+
+let test_racy_artifact_schedule_independent () =
+  (* The compiled artifact is a pure function of the source: however
+     many rollbacks the simulated schedule takes, the object code is
+     the sequential compiler's, bit for bit. *)
+  let source = W2.Pretty.module_to_string (W2.Gen.racy_program ()) in
+  let a = Driver.Compile.compile_source source in
+  let b = Driver.Compile.compile_source source in
+  Alcotest.(check int) "identical image bytes"
+    (Driver.Compile.total_image_bytes a)
+    (Driver.Compile.total_image_bytes b);
+  List.iter2
+    (fun (sa : Driver.Compile.section_work) (sb : Driver.Compile.section_work) ->
+      Alcotest.(check bool)
+        (sa.Driver.Compile.sw_name ^ ": identical section image")
+        true
+        (sa.Driver.Compile.sw_image = sb.Driver.Compile.sw_image))
+    a.Driver.Compile.mw_sections b.Driver.Compile.mw_sections
+
+(* --- degradation: spec_budget 0 is dag+lpt, bit for bit --- *)
+
+let test_budget_zero_is_dag_lpt () =
+  List.iter
+    (fun (name, mw) ->
+      let plan = Plan.one_per_station mw in
+      let lpt_cfg =
+        { (spec_cfg ()) with Config.sched_policy = Sched.Dag_lpt }
+      in
+      let lpt = (Parrun.run lpt_cfg mw plan).Parrun.run in
+      let off = (Parrun.run (spec_cfg ~budget:0 ()) mw plan).Parrun.run in
+      Alcotest.(check (float 0.0))
+        (name ^ ": --spec-budget 0 elapsed bit-identical to dag+lpt")
+        lpt.Timings.elapsed off.Timings.elapsed;
+      Alcotest.(check int) (name ^ ": no speculative dispatches") 0
+        off.Timings.spec_dispatched;
+      Alcotest.(check int)
+        (name ^ ": dag+lpt itself never speculates")
+        0 lpt.Timings.spec_dispatched)
+    [ ("racy", racy ()); ("blinded", blinded ()) ]
+
+let test_nonspec_policies_keep_zero_counters () =
+  let mw = blinded () in
+  let plan = Plan.one_per_station mw in
+  List.iter
+    (fun policy ->
+      let cfg =
+        { (spec_cfg ~stations:5 ()) with Config.sched_policy = policy }
+      in
+      let r = (Parrun.run cfg mw plan).Parrun.run in
+      Alcotest.(check int)
+        (Sched.policy_name policy ^ ": zero spec counters")
+        0
+        (r.Timings.spec_dispatched + r.Timings.spec_committed
+       + r.Timings.spec_rolled_back))
+    [ Sched.Fcfs; Sched.Lpt; Sched.Lpt_batch; Sched.Dag; Sched.Dag_lpt ]
+
+(* --- the chaos matrix under dag+spec --- *)
+
+(* Every fault kind crossed with coarse/fine grain and retry budgets,
+   on both the racy and the blinded module.  Each run is freshly
+   traced, so Parrun's oracles (trace-vs-counters and the
+   speculation-aware race check) arm themselves; on top we require
+   termination and exactly-once write-back. *)
+let test_chaos_matrix_spec () =
+  List.iter
+    (fun (mname, mw) ->
+      let plan = Plan.one_per_station mw in
+      let run ?(budget = Config.default.Config.retry_budget) ~fine faults =
+        let cfg =
+          {
+            (spec_cfg ()) with
+            Config.fine_grained = fine;
+            faults;
+            retry_budget = budget;
+            trace = Trace.create ();
+          }
+        in
+        Parrun.run cfg mw plan
+      in
+      let expected = spec_scheduled_heads ~stations:4 mw in
+      let ff =
+        (run ~fine:false Netsim.Fault.none).Parrun.run.Timings.elapsed
+      in
+      let fault_plans =
+        [
+          ("crash", Netsim.Fault.Crash { station = 2; at = 0.3 *. ff });
+          ("reclaim", Netsim.Fault.Reclaim { station = 2; at = 0.25 *. ff });
+          ( "slowdown",
+            Netsim.Fault.Slowdown
+              { station = 3; from_ = 0.1 *. ff; until = 0.6 *. ff; factor = 3.0 }
+          );
+          ( "fs-brownout",
+            Netsim.Fault.Fs_brownout
+              { from_ = 0.05 *. ff; until = 0.5 *. ff; factor = 4.0 } );
+          ( "ether-degrade",
+            Netsim.Fault.Ether_degrade
+              { from_ = 0.05 *. ff; until = 0.5 *. ff; factor = 3.0 } );
+        ]
+      in
+      List.iter
+        (fun fine ->
+          List.iter
+            (fun (kind, event) ->
+              List.iter
+                (fun budget ->
+                  let label =
+                    Printf.sprintf "%s %s %s budget=%d" mname
+                      (if fine then "fine" else "coarse")
+                      kind budget
+                  in
+                  let o =
+                    run ~budget ~fine { Netsim.Fault.events = [ event ] }
+                  in
+                  Alcotest.(check bool)
+                    (label ^ ": terminates")
+                    true
+                    (o.Parrun.run.Timings.elapsed > 0.0);
+                  Alcotest.(check (list string))
+                    (label ^ ": exactly-once write-back")
+                    expected (completed_heads o))
+                [ 0; 2 ])
+            fault_plans)
+        [ false; true ])
+    [ ("racy", racy ()); ("blinded", blinded ()) ]
+
+(* --- properties: backoff monotonicity, stragglers are wasted --- *)
+
+let test_backoff_monotone () =
+  QCheck.Test.make ~count:200 ~name:"exponential backoff is monotone"
+    QCheck.(pair (float_bound_inclusive 120.0) (int_range 0 20))
+    (fun (base, step) ->
+      let cfg = { Config.default with Config.retry_backoff_seconds = base } in
+      let d0 = Config.backoff_delay cfg ~step in
+      let d1 = Config.backoff_delay cfg ~step:(step + 1) in
+      d0 >= 0.0 && d1 >= d0 && d1 = 2.0 *. d0)
+
+(* A slowdown (never a crash) stretches one station: any timeout-driven
+   re-dispatch leaves a straggler that eventually finishes, and whoever
+   loses the race — straggler or re-dispatch — must be charged to
+   wasted_cpu. *)
+let test_straggler_charged_to_wasted () =
+  QCheck.Test.make ~count:25 ~name:"beaten stragglers land in wasted_cpu"
+    QCheck.(pair (int_range 2 4) (float_range 2.5 8.0))
+    (fun (station, factor) ->
+      let mw = Experiment.s_program_work ~size:W2.Gen.Small ~count:4 () in
+      let plan = Plan.one_per_station mw in
+      let ff =
+        (Parrun.run
+           { Config.default with Config.stations = 5; noise_seed = 3 }
+           mw plan)
+          .Parrun.run.Timings.elapsed
+      in
+      let faults =
+        {
+          Netsim.Fault.events =
+            [
+              Netsim.Fault.Slowdown
+                { station; from_ = 0.0; until = 2.0 *. ff; factor };
+            ];
+        }
+      in
+      let r =
+        (Parrun.run
+           { Config.default with Config.stations = 5; noise_seed = 3; faults }
+           mw plan)
+          .Parrun.run
+      in
+      (* No stations are ever lost to a slowdown, so a retry implies a
+         straggler raced a re-dispatch and the loser was superseded. *)
+      r.Timings.stations_lost = 0
+      && (r.Timings.retries = 0 || r.Timings.wasted_cpu > 0.0))
+
+let suites =
+  [
+    ( "spec.analysis",
+      [
+        Alcotest.test_case "confidence classification" `Quick
+          test_confidence_classification;
+        Alcotest.test_case "racy edges are hot" `Quick test_racy_edges_hot;
+        Alcotest.test_case "structural edges stay proven" `Quick
+          test_structural_edges_stay_proven;
+      ] );
+    ( "spec.runtime",
+      [
+        Alcotest.test_case "spec sweep" `Slow test_spec_sweep;
+        Alcotest.test_case "racy rolls back and recovers" `Quick
+          test_racy_rolls_back_and_recovers;
+        Alcotest.test_case "racy artifact schedule-independent" `Quick
+          test_racy_artifact_schedule_independent;
+        Alcotest.test_case "spec-budget 0 is dag+lpt" `Quick
+          test_budget_zero_is_dag_lpt;
+        Alcotest.test_case "non-spec policies keep zero counters" `Quick
+          test_nonspec_policies_keep_zero_counters;
+      ] );
+    ( "spec.chaos",
+      [ Alcotest.test_case "chaos matrix (dag+spec)" `Slow test_chaos_matrix_spec ] );
+    ( "spec.props",
+      [
+        QCheck_alcotest.to_alcotest (test_backoff_monotone ());
+        QCheck_alcotest.to_alcotest (test_straggler_charged_to_wasted ());
+      ] );
+  ]
