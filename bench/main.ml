@@ -14,6 +14,7 @@
      main.exe absint          abstract-interpretation pruning sweep
                               + BENCH_absint.json
      main.exe spec            speculative-dispatch sweep + BENCH_spec.json
+     main.exe profile         critical-path attribution sweep + BENCH_profile.json
      main.exe json            write machine-readable BENCH_parallel.json
      main.exe trace           traced parallel run: warpcc_trace.json + Gantt
      main.exe bechamel        only the micro-benchmarks
@@ -731,6 +732,89 @@ let write_spec_json () =
             p.Experiment.zp_dispatched p.Experiment.zp_committed
             p.Experiment.zp_rolled_back p.Experiment.zp_race_violations))
 
+(* --- critical-path profile: where does the second go --- *)
+
+let profile_points_cache = ref None
+
+let profile_points () =
+  match !profile_points_cache with
+  | Some points -> points
+  | None ->
+    let points = Experiment.profile_sweep () in
+    profile_points_cache := Some points;
+    points
+
+let print_profile_sweep () =
+  let table =
+    t
+      ~title:
+        "Critical-path attribution (buckets fold to elapsed exactly;         dominant = largest bucket: shrinking the pool shifts it from         compute toward pool-wait)"
+      ~columns:
+        [
+          "series @ policy";
+          "pool";
+          "segs";
+          "elapsed (min)";
+          "cpu %";
+          "pool %";
+          "comms %";
+          "dominant";
+        ]
+  in
+  let share buckets name elapsed =
+    100.0 *. List.assoc name buckets /. elapsed
+  in
+  let table =
+    List.fold_left
+      (fun table (p : Experiment.profile_point) ->
+        Stats.Table.add_row table
+          [
+            Printf.sprintf "%-8s @ %s" p.Experiment.fp_series
+              (Sched.policy_name p.Experiment.fp_policy);
+            string_of_int p.Experiment.fp_pool;
+            string_of_int p.Experiment.fp_segments;
+            Printf.sprintf "%.2f" (minutes p.Experiment.fp_elapsed);
+            Printf.sprintf "%.1f"
+              (share p.Experiment.fp_buckets "cpu" p.Experiment.fp_elapsed);
+            Printf.sprintf "%.1f"
+              (share p.Experiment.fp_buckets "pool_wait"
+                 p.Experiment.fp_elapsed);
+            Printf.sprintf "%.1f"
+              (share p.Experiment.fp_buckets "ether" p.Experiment.fp_elapsed
+              +. share p.Experiment.fp_buckets "fs" p.Experiment.fp_elapsed);
+            p.Experiment.fp_dominant;
+          ])
+      table (profile_points ())
+  in
+  Stats.Table.print table;
+  print_newline ()
+
+let write_profile_json () =
+  let points = profile_points () in
+  write_json ~schema:"warpcc-bench-profile/1" ~default:"BENCH_profile.json"
+    ~summary:(Printf.sprintf "%d points" (List.length points))
+    (fun b ->
+      (* Buckets round-trip at full precision so consumers can re-fold
+         them and reproduce the elapsed time bit for bit. *)
+      json_array b ~key:"points" points
+        (fun (p : Experiment.profile_point) ->
+          bpr b
+            "{\"series\": \"%s\", \"policy\": \"%s\", \"pool\": %d, \
+             \"segments\": %d, \"dominant\": \"%s\", \"elapsed\": %.17g, \
+             \"buckets\": {"
+            (json_escape p.Experiment.fp_series)
+            (json_escape (Sched.policy_name p.Experiment.fp_policy))
+            p.Experiment.fp_pool p.Experiment.fp_segments
+            (json_escape p.Experiment.fp_dominant)
+            p.Experiment.fp_elapsed;
+          List.iteri
+            (fun i (name, v) ->
+              bpr b "%s\"%s\": %.17g"
+                (if i = 0 then "" else ", ")
+                (json_escape name) v)
+            p.Experiment.fp_buckets;
+          bpr b "}}"))
+
 let write_bench_json () =
   let speedup_rows =
     List.concat_map
@@ -1007,6 +1091,9 @@ let () =
     | "spec" ->
       print_spec_sweep ();
       write_spec_json ()
+    | "profile" ->
+      print_profile_sweep ();
+      write_profile_json ()
     | "json" -> write_bench_json ()
     | "trace" -> print_trace_demo ()
     | "bechamel" -> print_bechamel ()
@@ -1027,6 +1114,8 @@ let () =
       write_absint_json ();
       print_spec_sweep ();
       write_spec_json ();
+      print_profile_sweep ();
+      write_profile_json ();
       write_bench_json ();
       print_bechamel ()
     | other ->

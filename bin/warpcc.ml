@@ -443,124 +443,130 @@ let run_cmd =
 
 (* --- simulate --- *)
 
+(* Replay arguments shared by [simulate] and [profile]. *)
+
+let file =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"W2 source module")
+
+let processors =
+  Arg.(value & opt (some int) None & info [ "processors"; "p" ] ~docv:"N"
+         ~doc:"Workstations for function masters (default: one per function)")
+
+let level =
+  Arg.(value & opt int 2 & info [ "O"; "opt-level" ] ~docv:"LEVEL" ~doc:"Optimization level")
+
+let fault_seed =
+  Arg.(value & opt int 0 & info [ "fault-seed" ] ~docv:"SEED"
+         ~doc:"Seed of the injected fault plan (0 = no faults unless --fault-rate is set)")
+
+let fault_rate =
+  Arg.(value & opt float 0.0 & info [ "fault-rate" ] ~docv:"RATE"
+         ~doc:"Fault rate in [0,1]: fraction of pool stations hit by crashes/reclaims/slowdowns")
+
+let retries =
+  Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N"
+         ~doc:"Re-dispatches per task before sequential fallback")
+
+let deadline_factor =
+  Arg.(value
+       & opt float
+           Parallel_cc.Config.default.Parallel_cc.Config.deadline_factor
+       & info [ "deadline-factor" ] ~docv:"FACTOR"
+           ~doc:"A dispatched task is presumed lost after FACTOR times its \
+                 cost estimate and is re-dispatched (after the exponential \
+                 backoff; past $(b,--retries) it falls back to the \
+                 sequential path)")
+
+let retry_backoff =
+  Arg.(value
+       & opt float
+           Parallel_cc.Config.default.Parallel_cc.Config
+           .retry_backoff_seconds
+       & info [ "retry-backoff" ] ~docv:"SECONDS"
+           ~doc:"Base of the exponential backoff before re-dispatching a \
+                 timed-out task: the k-th re-dispatch of a task waits \
+                 SECONDS times 2^k")
+
+let spec_budget =
+  Arg.(value
+       & opt int Parallel_cc.Config.default.Parallel_cc.Config.spec_budget
+       & info [ "spec-budget" ] ~docv:"N"
+           ~doc:"Misspeculations (speculative-attempt aborts) per task \
+                 before its speculative edges harden to gated dispatch \
+                 under $(b,--sched dag+spec); 0 disables speculation, \
+                 making the run bit-identical to $(b,--sched dag+lpt)")
+
+let no_spec =
+  Arg.(value & flag & info [ "no-spec" ]
+         ~doc:"Disable speculative dispatch entirely; shorthand for \
+               $(b,--spec-budget 0)")
+
+let sched =
+  let policies =
+    List.map
+      (fun p -> (Parallel_cc.Sched.policy_name p, p))
+      Parallel_cc.Sched.all_policies
+  in
+  Arg.(value & opt (enum policies) Parallel_cc.Sched.Fcfs
+       & info [ "sched" ] ~docv:"POLICY"
+           ~doc:"Dispatch policy: $(b,fcfs) (the paper's first-come \
+                 first-served order), $(b,lpt) (longest processing time \
+                 first within each section), $(b,lpt+batch) (LPT plus \
+                 batching of tiny functions into one dispatch unit), \
+                 $(b,dag) (topological dispatch gated on the depan \
+                 dependence DAG; identical to fcfs when the DAG has no \
+                 edges), $(b,dag+lpt) (dag with LPT ordering and tiny \
+                 batching inside each antichain level), or $(b,dag+spec) \
+                 (dag+lpt that dispatches past speculative dependence \
+                 edges immediately, staging outputs and committing or \
+                 rolling back when the predecessors write back; see \
+                 $(b,--spec-budget))")
+
+let batch_threshold =
+  Arg.(value & opt float Parallel_cc.Config.default.Parallel_cc.Config.batch_threshold
+       & info [ "batch-threshold" ] ~docv:"SECONDS"
+           ~doc:"Estimated phase-2+3 seconds below which a function counts \
+                 as tiny for $(b,--sched lpt+batch)")
+
+let trace_out =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Replay one traced parallel run and write it as Chrome \
+               trace-event JSON (load in Perfetto or chrome://tracing)")
+
+let gantt =
+  Arg.(value & flag & info [ "gantt" ]
+         ~doc:"Print an ASCII Gantt timeline of the traced run")
+
+let metrics =
+  Arg.(value & flag & info [ "metrics" ]
+         ~doc:"Print the metrics registry and the trace-derived overhead \
+               decomposition of the traced run")
+
+let json_out =
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+         ~doc:"Write the timings comparison as JSON (\"-\" = stdout)")
+
+let no_absint =
+  Arg.(value & flag & info [ "no-absint" ]
+         ~doc:"Skip the abstract-interpretation refinement in the phase-1 \
+               dependence analysis: the DAG keeps every flow-insensitive \
+               edge and all timings are bit-identical to the pre-absint \
+               compiler")
+
+let static_cost =
+  Arg.(value & flag & info [ "static-cost" ]
+         ~doc:"Rank and batch tasks by the abstract interpretation's \
+               statically bounded cost instead of the measured work units \
+               (no effect under $(b,--sched fcfs))")
+
+let gantt_width =
+  Arg.(value & opt int 64 & info [ "gantt-width" ] ~docv:"COLS"
+         ~doc:"Time buckets (columns) of the $(b,--gantt) timeline")
+
 let simulate_cmd =
-  let file =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"W2 source module")
-  in
-  let processors =
-    Arg.(value & opt (some int) None & info [ "processors"; "p" ] ~docv:"N"
-           ~doc:"Workstations for function masters (default: one per function)")
-  in
-  let level =
-    Arg.(value & opt int 2 & info [ "O"; "opt-level" ] ~docv:"LEVEL" ~doc:"Optimization level")
-  in
-  let fault_seed =
-    Arg.(value & opt int 0 & info [ "fault-seed" ] ~docv:"SEED"
-           ~doc:"Seed of the injected fault plan (0 = no faults unless --fault-rate is set)")
-  in
-  let fault_rate =
-    Arg.(value & opt float 0.0 & info [ "fault-rate" ] ~docv:"RATE"
-           ~doc:"Fault rate in [0,1]: fraction of pool stations hit by crashes/reclaims/slowdowns")
-  in
-  let retries =
-    Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N"
-           ~doc:"Re-dispatches per task before sequential fallback")
-  in
-  let deadline_factor =
-    Arg.(value
-         & opt float
-             Parallel_cc.Config.default.Parallel_cc.Config.deadline_factor
-         & info [ "deadline-factor" ] ~docv:"FACTOR"
-             ~doc:"A dispatched task is presumed lost after FACTOR times its \
-                   cost estimate and is re-dispatched (after the exponential \
-                   backoff; past $(b,--retries) it falls back to the \
-                   sequential path)")
-  in
-  let retry_backoff =
-    Arg.(value
-         & opt float
-             Parallel_cc.Config.default.Parallel_cc.Config
-             .retry_backoff_seconds
-         & info [ "retry-backoff" ] ~docv:"SECONDS"
-             ~doc:"Base of the exponential backoff before re-dispatching a \
-                   timed-out task: the k-th re-dispatch of a task waits \
-                   SECONDS times 2^k")
-  in
-  let spec_budget =
-    Arg.(value
-         & opt int Parallel_cc.Config.default.Parallel_cc.Config.spec_budget
-         & info [ "spec-budget" ] ~docv:"N"
-             ~doc:"Misspeculations (speculative-attempt aborts) per task \
-                   before its speculative edges harden to gated dispatch \
-                   under $(b,--sched dag+spec); 0 disables speculation, \
-                   making the run bit-identical to $(b,--sched dag+lpt)")
-  in
-  let no_spec =
-    Arg.(value & flag & info [ "no-spec" ]
-           ~doc:"Disable speculative dispatch entirely; shorthand for \
-                 $(b,--spec-budget 0)")
-  in
-  let sched =
-    let policies =
-      List.map
-        (fun p -> (Parallel_cc.Sched.policy_name p, p))
-        Parallel_cc.Sched.all_policies
-    in
-    Arg.(value & opt (enum policies) Parallel_cc.Sched.Fcfs
-         & info [ "sched" ] ~docv:"POLICY"
-             ~doc:"Dispatch policy: $(b,fcfs) (the paper's first-come \
-                   first-served order), $(b,lpt) (longest processing time \
-                   first within each section), $(b,lpt+batch) (LPT plus \
-                   batching of tiny functions into one dispatch unit), \
-                   $(b,dag) (topological dispatch gated on the depan \
-                   dependence DAG; identical to fcfs when the DAG has no \
-                   edges), $(b,dag+lpt) (dag with LPT ordering and tiny \
-                   batching inside each antichain level), or $(b,dag+spec) \
-                   (dag+lpt that dispatches past speculative dependence \
-                   edges immediately, staging outputs and committing or \
-                   rolling back when the predecessors write back; see \
-                   $(b,--spec-budget))")
-  in
-  let batch_threshold =
-    Arg.(value & opt float Parallel_cc.Config.default.Parallel_cc.Config.batch_threshold
-         & info [ "batch-threshold" ] ~docv:"SECONDS"
-             ~doc:"Estimated phase-2+3 seconds below which a function counts \
-                   as tiny for $(b,--sched lpt+batch)")
-  in
-  let trace_out =
-    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
-           ~doc:"Replay one traced parallel run and write it as Chrome \
-                 trace-event JSON (load in Perfetto or chrome://tracing)")
-  in
-  let gantt =
-    Arg.(value & flag & info [ "gantt" ]
-           ~doc:"Print an ASCII Gantt timeline of the traced run")
-  in
-  let metrics =
-    Arg.(value & flag & info [ "metrics" ]
-           ~doc:"Print the metrics registry and the trace-derived overhead \
-                 decomposition of the traced run")
-  in
-  let json_out =
-    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
-           ~doc:"Write the timings comparison as JSON (\"-\" = stdout)")
-  in
-  let no_absint =
-    Arg.(value & flag & info [ "no-absint" ]
-           ~doc:"Skip the abstract-interpretation refinement in the phase-1 \
-                 dependence analysis: the DAG keeps every flow-insensitive \
-                 edge and all timings are bit-identical to the pre-absint \
-                 compiler")
-  in
-  let static_cost =
-    Arg.(value & flag & info [ "static-cost" ]
-           ~doc:"Rank and batch tasks by the abstract interpretation's \
-                 statically bounded cost instead of the measured work units \
-                 (no effect under $(b,--sched fcfs))")
-  in
   let action file processors level fault_seed fault_rate retries sched
       batch_threshold no_absint static_cost deadline_factor retry_backoff
-      spec_budget no_spec trace_out gantt metrics json_out =
+      spec_budget no_spec trace_out gantt gantt_width metrics json_out =
     or_compile_error (fun () ->
         let mw =
           Driver.Compile.compile_source ~level ~file ~absint:(not no_absint)
@@ -679,7 +685,7 @@ let simulate_cmd =
           | None -> ());
           if gantt then begin
             print_newline ();
-            Stats.Table.print (Trace.gantt tr)
+            Stats.Table.print (Trace.gantt ~width:gantt_width tr)
           end;
           if metrics then begin
             print_newline ();
@@ -699,11 +705,154 @@ let simulate_cmd =
         (const action $ file $ processors $ level $ fault_seed $ fault_rate
         $ retries $ sched $ batch_threshold $ no_absint $ static_cost
         $ deadline_factor $ retry_backoff $ spec_budget $ no_spec $ trace_out
-        $ gantt $ metrics $ json_out))
+        $ gantt $ gantt_width $ metrics $ json_out))
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Replay sequential vs parallel compilation on the simulated network")
+    term
+
+(* --- profile --- *)
+
+let profile_cmd =
+  let top_k =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N"
+           ~doc:"Rows of the bottleneck report")
+  in
+  let what_if =
+    Arg.(value & flag & info [ "what-if" ]
+           ~doc:"Print the what-if upper bounds (free comms, infinite \
+                 stations, zero faults, perfect speculation) next to the \
+                 dependence-DAG bound from the phase-1 analysis")
+  in
+  let prof_json =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the profile as JSON, schema warpcc-profile/1 \
+                 (\"-\" = stdout)")
+  in
+  let prof_trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write the profiled run as Chrome trace-event JSON with the \
+                 critical path rendered as flow arrows between tracks")
+  in
+  let action file processors level fault_seed fault_rate retries sched
+      batch_threshold no_absint static_cost deadline_factor retry_backoff
+      spec_budget no_spec top_k what_if prof_json prof_trace =
+    or_compile_error (fun () ->
+        let mw =
+          Driver.Compile.compile_source ~level ~file ~absint:(not no_absint)
+            (read_file file)
+        in
+        let open Parallel_cc in
+        (* Same plan and configuration derivation as [simulate], so the
+           profiled trace is the trace [simulate --trace] writes. *)
+        let plan, n_fm =
+          match processors with
+          | None ->
+            let plan = Plan.one_per_station mw in
+            (plan, Plan.task_count plan)
+          | Some p -> (Plan.grouped mw ~processors:p, p)
+        in
+        let cfg =
+          {
+            Config.default with
+            Config.sched_policy = sched;
+            batch_threshold;
+            static_cost;
+            deadline_factor;
+            retry_backoff_seconds = retry_backoff;
+            spec_budget = (if no_spec then 0 else spec_budget);
+            stations = n_fm + 1;
+            noise_seed = 1 + (17 * n_fm);
+            retry_budget = retries;
+          }
+        in
+        let fault_requested = fault_seed <> 0 || fault_rate > 0.0 in
+        let faults =
+          if fault_requested then
+            (* Fault-free run first, to size the fault horizon. *)
+            let free = (Parrun.run cfg mw plan).Parrun.run in
+            Netsim.Fault.random
+              ~seed:(if fault_seed = 0 then 1 else fault_seed)
+              ~stations:(n_fm + 1)
+              ~rate:(if fault_rate > 0.0 then fault_rate else 0.5)
+              ~horizon:(free.Timings.elapsed *. 1.5) ()
+          else Netsim.Fault.none
+        in
+        let tr = Trace.create () in
+        let run =
+          (Parrun.run { cfg with Config.faults; trace = tr } mw plan).Parrun.run
+        in
+        let splan =
+          Sched.schedule ~static:cfg.Config.static_cost
+            ~policy:(Config.effective_policy cfg) ~cost:cfg.Config.cost
+            ~threshold:cfg.Config.batch_threshold ~stations:cfg.Config.stations
+            plan
+        in
+        let p =
+          Critpath.of_trace ~plan:splan ~elapsed:run.Timings.elapsed tr
+        in
+        Critpath.assert_exact p;
+        let bound = Critpath.dag_bound ~cost:cfg.Config.cost mw in
+        Printf.printf
+          "module %s: %d function(s), %d dispatch task(s), %d station(s), \
+           --sched %s\n"
+          mw.Driver.Compile.mw_name
+          (List.length (Driver.Compile.all_funcs mw))
+          (Plan.task_count splan) (n_fm + 1) (Sched.policy_name sched);
+        Printf.printf "elapsed            : %10.3f s  (%d critical-path segment(s))\n"
+          p.Critpath.p_elapsed
+          (List.length p.Critpath.p_segments);
+        (if p.Critpath.p_dep_edges <> [] then
+           Printf.printf "dependence edges   : %s\n"
+             (String.concat ", "
+                (List.map
+                   (fun (a, b) -> a ^ " -> " ^ b)
+                   p.Critpath.p_dep_edges)));
+        print_newline ();
+        Stats.Table.print (Critpath.bucket_table p);
+        print_newline ();
+        Stats.Table.print (Critpath.top_table ~k:top_k p);
+        if what_if then begin
+          print_newline ();
+          Stats.Table.print (Critpath.whatif_table ~bound p)
+        end;
+        let json () =
+          Critpath.to_json ~module_name:mw.Driver.Compile.mw_name
+            ~policy:(Sched.policy_name sched) ~processors:n_fm ~top:top_k
+            ~bound p
+        in
+        (match prof_json with
+        | Some "-" -> print_string (json ())
+        | Some path ->
+          let oc = open_out path in
+          output_string oc (json ());
+          close_out oc;
+          Printf.printf "wrote %s\n" path
+        | None -> ());
+        match prof_trace with
+        | Some path ->
+          let oc = open_out path in
+          output_string oc
+            (Trace.to_chrome_json ~flows:(Critpath.path_flows p) tr);
+          close_out oc;
+          Printf.printf "wrote %s (%d spans, %d instants, %d tracks)\n" path
+            (Trace.span_count tr) (Trace.instant_count tr)
+            (List.length (Trace.used_tracks tr))
+        | None -> ())
+  in
+  let term =
+    Term.(
+      term_result
+        (const action $ file $ processors $ level $ fault_seed $ fault_rate
+        $ retries $ sched $ batch_threshold $ no_absint $ static_cost
+        $ deadline_factor $ retry_backoff $ spec_budget $ no_spec $ top_k
+        $ what_if $ prof_json $ prof_trace))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Replay one traced parallel run and attribute every second of \
+             its elapsed time to a bottleneck bucket along the critical path")
     term
 
 let () =
@@ -727,4 +876,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ check_cmd; compile_cmd; analyze_cmd; run_cmd; simulate_cmd ]))
+          [ check_cmd; compile_cmd; analyze_cmd; run_cmd; simulate_cmd; profile_cmd ]))

@@ -671,3 +671,81 @@ let spec_sweep ?(cfg = Config.default) () : spec_point list =
         zp_race_violations = violations;
       })
     (spec_series ())
+
+(* --- critical-path profile sweep --- *)
+
+type profile_point = {
+  fp_series : string;
+  fp_policy : Sched.policy;
+  fp_pool : int;
+  fp_elapsed : float;
+  fp_buckets : (string * float) list; (* canonical order, exact sum *)
+  fp_dominant : string;
+  fp_segments : int;
+}
+
+(* Three bottleneck regimes: the overhead-dominated tiny S_8, the
+   dependence-coupled helper program, and the speculation-exercising
+   blinded program.  One function master per function on pools smaller
+   than the task count, so shrinking the pool turns compute time into
+   pool-wait time and the dominant bucket shifts. *)
+let profile_series ?(level = 2) () =
+  [
+    ("tiny8", s_program_work ~level ~size:W2.Gen.Tiny ~count:8 ());
+    ("helpers", helper_program_work ~level ());
+    ( "blinded8",
+      spec_program_work ~level ~max_tracked:8 ~absint:false ~name:"blinded8"
+        (fun () -> W2.Gen.speculative_program ~workers:8 ~fanout:24 ()) );
+  ]
+
+let profile_pools = [ 2; 4; 8 ]
+let profile_policies = [ Sched.Fcfs; Sched.Dag_lpt; Sched.Dag_spec ]
+
+let profile_sweep ?(cfg = Config.default) () : profile_point list =
+  List.concat_map
+    (fun (name, mw) ->
+      let plan = Plan.one_per_station mw in
+      List.concat_map
+        (fun pool ->
+          List.map
+            (fun policy ->
+              let tr = Trace.create () in
+              let cfg_run =
+                {
+                  cfg with
+                  Config.stations = pool + 1;
+                  noise_seed = 3;
+                  sched_policy = policy;
+                  trace = tr;
+                }
+              in
+              let r = (Parrun.run cfg_run mw plan).Parrun.run in
+              let scheduled =
+                Sched.schedule ~static:cfg.Config.static_cost ~policy
+                  ~cost:cfg.Config.cost ~threshold:cfg.Config.batch_threshold
+                  ~stations:(pool + 1) plan
+              in
+              let p =
+                Critpath.of_trace ~plan:scheduled ~elapsed:r.Timings.elapsed
+                  tr
+              in
+              Critpath.assert_exact p;
+              let dominant =
+                fst
+                  (List.fold_left
+                     (fun (bn, bv) (n, v) ->
+                       if v > bv then (n, v) else (bn, bv))
+                     ("", neg_infinity) p.Critpath.p_buckets)
+              in
+              {
+                fp_series = name;
+                fp_policy = policy;
+                fp_pool = pool;
+                fp_elapsed = p.Critpath.p_elapsed;
+                fp_buckets = p.Critpath.p_buckets;
+                fp_dominant = dominant;
+                fp_segments = List.length p.Critpath.p_segments;
+              })
+            profile_policies)
+        profile_pools)
+    (profile_series ())

@@ -234,3 +234,33 @@ val spec_sweep : ?cfg:Config.t -> unit -> spec_point list
     every speculation commits and dag+spec beats dag+lpt; on the racy
     point attempts roll back and the run still terminates with every
     task written back exactly once. *)
+
+(** {1 Critical-path profile sweep} *)
+
+type profile_point = {
+  fp_series : string;
+  fp_policy : Sched.policy;
+  fp_pool : int;
+  fp_elapsed : float;
+  fp_buckets : (string * float) list;
+      (** {!Critpath.bucket_names} order; folds to [fp_elapsed] exactly *)
+  fp_dominant : string; (** largest bucket — the bottleneck regime *)
+  fp_segments : int;
+}
+
+val profile_series :
+  ?level:int -> unit -> (string * Driver.Compile.module_work) list
+(** Three bottleneck regimes: the overhead-dominated tiny S_8, the
+    dependence-coupled helper program, and the speculation-exercising
+    blinded program. *)
+
+val profile_pools : int list
+val profile_policies : Sched.policy list
+
+val profile_sweep : ?cfg:Config.t -> unit -> profile_point list
+(** Every {!profile_series} program, one master per function, on each
+    pool size under each policy, traced and profiled with
+    {!Critpath.of_trace} ({!Critpath.assert_exact} armed); seeded
+    (noise seed 3), so reproducible.  Shrinking the pool below the task
+    count shifts the dominant bucket from compute/overhead toward
+    pool-wait — the bottleneck-migration story the artifact records. *)

@@ -183,6 +183,8 @@ let of_trace (tr : Trace.t) : t =
       | "task" -> (
         match s.Trace.name with
         | "fallback" -> incr m "fallback_tasks" ()
+        | "spec-commit" -> incr m "spec_committed" ()
+        | "spec-abort" -> incr m "spec_rolled_back" ()
         | _ -> ())
       | _ -> ())
     (Trace.spans tr);
@@ -193,6 +195,7 @@ let of_trace (tr : Trace.t) : t =
     (fun (i : Trace.instant) ->
       match (i.Trace.i_cat, i.Trace.i_name) with
       | "task", "retry" -> incr m "retries" ()
+      | "task", "spec-dispatch" -> incr m "spec_dispatched" ()
       | "task", "timeout" -> incr m "timeouts" ()
       | "task", "attempt-lost" -> incr m "attempts_lost" ()
       | "task", "wasted" ->

@@ -5,7 +5,10 @@
     metrics — pool wait time and queue depth, per-phase CPU,
     paging-slowdown distribution, network and file-server traffic, and
     the recovery counters (retries, timeouts, fallbacks, wasted CPU,
-    stations lost) — purely from recorded spans, so nothing is
+    stations lost) and the speculation counters ([spec_dispatched] /
+    [spec_committed] / [spec_rolled_back], from the same spans
+    [Parallel_cc.Traceview.recover] reads) — purely from recorded
+    spans, so nothing is
     accumulated twice.  [Parallel_cc.Traceview.assert_matches_run]
     asserts the derived recovery counters agree with the [Timings]
     bookkeeping. *)

@@ -148,7 +148,28 @@ let add_args b args =
 (* Micro-seconds: the unit of the Chrome trace-event format. *)
 let usec t = t *. 1e6
 
-let to_chrome_json t =
+(* Step function of concurrent selected spans over time: +1/-1 edges,
+   -1 applying before +1 at equal times (touching intervals do not
+   overlap — the Metrics.max_overlap convention), equal-time runs
+   collapsed to their final value. *)
+let counter_points t select =
+  let edges =
+    List.concat_map
+      (fun (s : span) ->
+        if select s && s.t1 > s.t0 then [ (s.t0, 1); (s.t1, -1) ] else [])
+      (spans t)
+    |> List.sort (fun (a, da) (b, db) -> compare (a, da) (b, db))
+  in
+  let depth = ref 0 in
+  let points = List.map (fun (at, d) -> depth := !depth + d; (at, !depth)) edges in
+  let rec squash = function
+    | (t1, _) :: ((t2, _) :: _ as rest) when t1 = t2 -> squash rest
+    | p :: rest -> p :: squash rest
+    | [] -> []
+  in
+  squash points
+
+let to_chrome_json ?(flows = []) ?(counters = true) t =
   let b = Buffer.create 4096 in
   let first = ref true in
   let sep () =
@@ -200,6 +221,45 @@ let to_chrome_json t =
       add_args b i.i_args;
       Buffer.add_string b "}")
     (instants t);
+  (if counters then
+     (* Perfetto counter tracks: cluster-wide time series derived from
+        the spans, so bottleneck shifts are visible at a glance. *)
+     List.iter
+       (fun (name, key, select) ->
+         List.iter
+           (fun (at, v) ->
+             sep ();
+             Buffer.add_string b
+               (Printf.sprintf
+                  "{\"ph\": \"C\", \"name\": \"%s\", \"pid\": 0, \"ts\": %.3f, \
+                   \"args\": {\"%s\": %d}}"
+                  name (usec at) key v))
+           (counter_points t select))
+       [
+         ( "stations-busy", "busy",
+           fun (s : span) -> s.cat = "cpu" && s.track < ether_track );
+         ("pool-queue-depth", "waiting", fun (s : span) -> s.cat = "pool");
+         ( "fs-in-flight", "requests",
+           fun (s : span) -> s.cat = "net" && s.track = fs_track );
+       ]);
+  List.iteri
+    (fun i (from_track, from_t, to_track, to_t) ->
+      (* A flow arrow: an "s"/"f" pair with a shared id, bound to the
+         enclosing slices at each end. *)
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"ph\": \"s\", \"id\": %d, \"name\": \"critical-path\", \"cat\": \
+            \"critpath\", \"pid\": 0, \"tid\": %d, \"ts\": %.3f}"
+           i from_track (usec from_t));
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"ph\": \"f\", \"bp\": \"e\", \"id\": %d, \"name\": \
+            \"critical-path\", \"cat\": \"critpath\", \"pid\": 0, \"tid\": %d, \
+            \"ts\": %.3f}"
+           i to_track (usec to_t)))
+    flows;
   Buffer.add_string b "\n  ]\n}\n";
   Buffer.contents b
 
@@ -209,6 +269,7 @@ let to_chrome_json t =
    activity: CPU work (#), network transfer (~), pool/claim waiting (.),
    crash/reclaim aftermath (x), idle (space). *)
 let gantt ?(width = 64) t =
+  if width <= 0 then invalid_arg "Trace.gantt: width must be positive";
   let finish = end_time t in
   let finish = if finish <= 0.0 then 1.0 else finish in
   let bucket_len = finish /. float_of_int width in
@@ -253,7 +314,12 @@ let gantt ?(width = 64) t =
               | "cpu" ->
                 busy := !busy +. (s.t1 -. s.t0);
                 mark_range 4 '#' s.t0 s.t1
-              | "net" -> mark_range 3 '~' s.t0 s.t1
+              | "net" ->
+                (* Net spans live on the named infrastructure tracks
+                   (ethernet / file server); their busy column counts
+                   transfer/disk seconds instead of CPU. *)
+                busy := !busy +. (s.t1 -. s.t0);
+                mark_range 3 '~' s.t0 s.t1
               | "pool" -> mark_range 2 '.' s.t0 s.t1
               | _ -> ())
           all_spans;

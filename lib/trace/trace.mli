@@ -105,12 +105,29 @@ val end_time : t -> float
 
 val used_tracks : t -> int list
 
-val to_chrome_json : t -> string
+val counter_points : t -> (span -> bool) -> (float * int) list
+(** Step function of concurrently open selected spans over time:
+    one [(time, value)] point per change, [-1] edges applying before
+    [+1] at equal times (touching intervals do not overlap). *)
+
+val to_chrome_json :
+  ?flows:(int * float * int * float) list -> ?counters:bool -> t -> string
 (** The trace as Chrome trace-event JSON ([chrome://tracing] or
     Perfetto loadable): one thread per track, spans as ["X"] duration
     events, instants as ["i"] events, numeric-looking args as JSON
-    numbers. *)
+    numbers.  With [counters] (default [true]) three derived Perfetto
+    counter tracks ride along: [stations-busy] (concurrent CPU spans on
+    workstation tracks), [pool-queue-depth] (open claim-to-grant
+    waits) and [fs-in-flight] (open file-server operations).  [flows]
+    — [(from_track, from_t, to_track, to_t)] hops, e.g.
+    [Parallel_cc.Critpath.path_flows] — render as ["s"]/["f"]
+    flow-arrow pairs named [critical-path]. *)
 
 val gantt : ?width:int -> t -> Stats.Table.t
-(** ASCII Gantt timeline: one row per track, [width] time buckets;
-    ['#'] CPU, ['~'] network, ['.'] pool wait, ['x'] dead station. *)
+(** ASCII Gantt timeline: one row per track — infrastructure tracks
+    labelled by name ([ethernet], [file server]) — and [width] time
+    buckets (default 64; [warpcc simulate --gantt-width] plumbs this);
+    ['#'] CPU, ['~'] network, ['.'] pool wait, ['x'] dead station.
+    The busy column counts CPU seconds on workstation tracks and
+    transfer/disk seconds on the infrastructure tracks.
+    @raise Invalid_argument when [width <= 0]. *)

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json artifacts with per-metric thresholds.
+
+The bench sweeps are seeded discrete-event simulations, so by default a
+committed artifact must reproduce bit for bit (--exact is therefore the
+common CI mode and the default).  When a sweep is deliberately noisy,
+per-metric relative thresholds loosen individual numeric leaves:
+
+    bench_diff.py committed.json fresh.json \
+        --threshold elapsed=0.05 --threshold speedup=0.10
+
+matches each numeric leaf by its innermost key name.  Structure
+(object keys, array lengths), strings and booleans always compare
+exactly, and the top-level "schema" fields must agree before anything
+else is looked at.  Exit status: 0 = match, 1 = diff (every differing
+path is printed), 2 = usage or unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def is_number(x):
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def rel_diff(a, b):
+    denom = max(abs(a), abs(b), 1e-300)
+    return abs(a - b) / denom
+
+
+class Differ:
+    def __init__(self, thresholds, default_threshold):
+        self.thresholds = thresholds
+        self.default = default_threshold
+        self.failures = []
+
+    def fail(self, path, msg):
+        self.failures.append(f"  {path or '$'}: {msg}")
+
+    def threshold_for(self, key):
+        return self.thresholds.get(key, self.default)
+
+    def compare(self, path, key, a, b):
+        if is_number(a) and is_number(b):
+            if a == b:
+                return
+            t = self.threshold_for(key)
+            d = rel_diff(a, b)
+            if d > t:
+                self.fail(
+                    path,
+                    f"{a!r} != {b!r} (rel diff {d:.3e} > threshold {t:g})",
+                )
+        elif isinstance(a, dict) and isinstance(b, dict):
+            for k in sorted(set(a) | set(b)):
+                sub = f"{path}.{k}" if path else k
+                if k not in a:
+                    self.fail(sub, "only in the fresh file")
+                elif k not in b:
+                    self.fail(sub, "only in the committed file")
+                else:
+                    self.compare(sub, k, a[k], b[k])
+        elif isinstance(a, list) and isinstance(b, list):
+            if len(a) != len(b):
+                self.fail(path, f"length {len(a)} != {len(b)}")
+                return
+            for i, (x, y) in enumerate(zip(a, b)):
+                self.compare(f"{path}[{i}]", key, x, y)
+        elif type(a) is not type(b):
+            self.fail(path, f"type {type(a).__name__} != {type(b).__name__}")
+        elif a != b:
+            self.fail(path, f"{a!r} != {b!r}")
+
+
+def parse_threshold(spec):
+    key, sep, val = spec.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"expected KEY=REL_DIFF, got {spec!r}"
+        )
+    try:
+        rel = float(val)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad threshold value in {spec!r}")
+    if rel < 0.0:
+        raise argparse.ArgumentTypeError(f"negative threshold in {spec!r}")
+    return key, rel
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    ap.add_argument("committed", help="the committed (baseline) artifact")
+    ap.add_argument("fresh", help="the freshly generated artifact")
+    ap.add_argument(
+        "--exact",
+        action="store_true",
+        help="force every numeric leaf to compare exactly "
+        "(overrides all thresholds)",
+    )
+    ap.add_argument(
+        "--threshold",
+        metavar="KEY=REL_DIFF",
+        type=parse_threshold,
+        action="append",
+        default=[],
+        help="relative threshold for numeric leaves whose innermost key "
+        "is KEY (repeatable)",
+    )
+    ap.add_argument(
+        "--default-threshold",
+        metavar="REL_DIFF",
+        type=float,
+        default=0.0,
+        help="relative threshold for numeric leaves without a --threshold "
+        "entry (default 0.0 = exact)",
+    )
+    args = ap.parse_args()
+
+    def load(path):
+        try:
+            with open(path) as f:
+                return json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
+            sys.exit(2)
+
+    committed = load(args.committed)
+    fresh = load(args.fresh)
+
+    cs = committed.get("schema") if isinstance(committed, dict) else None
+    fs = fresh.get("schema") if isinstance(fresh, dict) else None
+    if cs != fs or cs is None:
+        print(f"bench_diff: schema mismatch: {cs!r} vs {fs!r}")
+        sys.exit(1)
+
+    thresholds = {} if args.exact else dict(args.threshold)
+    default = 0.0 if args.exact else args.default_threshold
+    d = Differ(thresholds, default)
+    d.compare("", None, fresh, committed)
+
+    if d.failures:
+        print(
+            f"bench_diff: {args.fresh} drifted from {args.committed} "
+            f"({len(d.failures)} difference(s)):"
+        )
+        for line in d.failures:
+            print(line)
+        sys.exit(1)
+    print(f"bench_diff: {args.fresh} matches {args.committed} (schema {cs})")
+
+
+if __name__ == "__main__":
+    main()
