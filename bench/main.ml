@@ -15,9 +15,12 @@
                               + BENCH_absint.json
      main.exe spec            speculative-dispatch sweep + BENCH_spec.json
      main.exe profile         critical-path attribution sweep + BENCH_profile.json
+     main.exe cache           compile-cache cold/warm/one-edit sweep
+                              + BENCH_cache.json
      main.exe json            write machine-readable BENCH_parallel.json
      main.exe trace           traced parallel run: warpcc_trace.json + Gantt
      main.exe bechamel        only the micro-benchmarks
+     main.exe --help          the full target table (see [targets] below)
 
    The flag --out PATH redirects the JSON writer of a single-target
    invocation (e.g. main.exe spec --out /tmp/spec.json); without it
@@ -815,6 +818,82 @@ let write_profile_json () =
             p.Experiment.fp_buckets;
           bpr b "}}"))
 
+(* --- content-addressed compile cache: cold / warm / one-edit --- *)
+
+let cache_points_cache = ref None
+
+let cache_points () =
+  match !cache_points_cache with
+  | Some points -> points
+  | None ->
+    let points = Experiment.cache_sweep () in
+    cache_points_cache := Some points;
+    points
+
+let print_cache_sweep () =
+  let table =
+    t
+      ~title:
+        "Compile cache (one store per series: the cold run misses every         lookup, the warm run hits every lookup, and the one-edit run         recompiles exactly the edited function's invalidation closure)"
+      ~columns:
+        [
+          "series";
+          "pool";
+          "funcs";
+          "cold (min)";
+          "warm (min)";
+          "warm speedup";
+          "edit (min)";
+          "edited";
+          "closure";
+          "edit misses";
+        ]
+  in
+  let table =
+    List.fold_left
+      (fun table (p : Experiment.cache_point) ->
+        Stats.Table.add_row table
+          [
+            p.Experiment.cp_series;
+            string_of_int p.Experiment.cp_pool;
+            string_of_int p.Experiment.cp_functions;
+            Printf.sprintf "%.2f" (minutes p.Experiment.cp_cold_elapsed);
+            Printf.sprintf "%.2f" (minutes p.Experiment.cp_warm_elapsed);
+            Printf.sprintf "%.2f" p.Experiment.cp_warm_speedup;
+            Printf.sprintf "%.2f" (minutes p.Experiment.cp_edit_elapsed);
+            p.Experiment.cp_edited;
+            string_of_int p.Experiment.cp_closure;
+            string_of_int p.Experiment.cp_edit_misses;
+          ])
+      table (cache_points ())
+  in
+  Stats.Table.print table;
+  print_newline ()
+
+let write_cache_json () =
+  let points = cache_points () in
+  write_json ~schema:"warpcc-bench-cache/1" ~default:"BENCH_cache.json"
+    ~summary:(Printf.sprintf "%d points" (List.length points))
+    (fun b ->
+      json_array b ~key:"points" points
+        (fun (p : Experiment.cache_point) ->
+          bpr b
+            "{\"series\": \"%s\", \"pool\": %d, \"functions\": %d, \
+             \"edited\": \"%s\", \"closure\": %d, \"cold_elapsed\": %.3f, \
+             \"warm_elapsed\": %.3f, \"edit_elapsed\": %.3f, \
+             \"warm_speedup\": %.4f, \"cold_hits\": %d, \"cold_misses\": \
+             %d, \"warm_hits\": %d, \"warm_misses\": %d, \"edit_hits\": %d, \
+             \"edit_misses\": %d, \"edit_invalidated\": %d}"
+            (json_escape p.Experiment.cp_series)
+            p.Experiment.cp_pool p.Experiment.cp_functions
+            (json_escape p.Experiment.cp_edited)
+            p.Experiment.cp_closure p.Experiment.cp_cold_elapsed
+            p.Experiment.cp_warm_elapsed p.Experiment.cp_edit_elapsed
+            p.Experiment.cp_warm_speedup p.Experiment.cp_cold_hits
+            p.Experiment.cp_cold_misses p.Experiment.cp_warm_hits
+            p.Experiment.cp_warm_misses p.Experiment.cp_edit_hits
+            p.Experiment.cp_edit_misses p.Experiment.cp_edit_invalidated))
+
 let write_bench_json () =
   let speedup_rows =
     List.concat_map
@@ -1041,6 +1120,118 @@ let all_figures () =
   print_saturation ();
   print_summary ()
 
+(* The bench-registration table: one row per target — name, the
+   one-line doc `--help` prints, whether `all` (the default) includes
+   it, and the runner.  Adding a sweep means adding one row here;
+   dispatch, the help listing and the `all` sequence all derive from
+   the table, so they cannot drift apart. *)
+let targets : (string * string * bool * (unit -> unit)) list =
+  let fig n doc run = (Printf.sprintf "fig%d" n, doc, false, run) in
+  [
+    ( "figures",
+      "figures 3-16, the saturation sweep and the headline summary",
+      true,
+      all_figures );
+    fig 3 "execution times, f_tiny" (fun () ->
+        print_time_series ~fig:"3" W2.Gen.Tiny);
+    fig 4 "execution times, f_large" (fun () ->
+        print_time_series ~fig:"4" W2.Gen.Large);
+    fig 5 "execution times, f_huge" (fun () ->
+        print_time_series ~fig:"5" W2.Gen.Huge);
+    fig 6 "speedup over the sequential compiler" print_fig6;
+    fig 7 "speedup versus function size" print_fig7;
+    fig 8 "relative overheads, f_tiny + f_small" (fun () ->
+        print_overheads ~fig:"8" ~relative:true [ W2.Gen.Tiny; W2.Gen.Small ]);
+    fig 9 "relative overheads, f_medium + f_large" (fun () ->
+        print_overheads ~fig:"9" ~relative:true [ W2.Gen.Medium; W2.Gen.Large ]);
+    fig 10 "relative overheads, f_huge" (fun () ->
+        print_overheads ~fig:"10" ~relative:true [ W2.Gen.Huge ]);
+    fig 11 "speedup for the user program" print_fig11;
+    fig 12 "execution times, f_small" (fun () ->
+        print_time_series ~fig:"12" W2.Gen.Small);
+    fig 13 "execution times, f_medium" (fun () ->
+        print_time_series ~fig:"13" W2.Gen.Medium);
+    fig 14 "absolute overheads, f_tiny + f_small" (fun () ->
+        print_overheads ~fig:"14" ~relative:false [ W2.Gen.Tiny; W2.Gen.Small ]);
+    fig 15 "absolute overheads, f_medium + f_large" (fun () ->
+        print_overheads ~fig:"15" ~relative:false
+          [ W2.Gen.Medium; W2.Gen.Large ]);
+    fig 16 "absolute overheads, f_huge" (fun () ->
+        print_overheads ~fig:"16" ~relative:false [ W2.Gen.Huge ]);
+    ("saturation", "section 4.2.2 processor-saturation sweep", false,
+     print_saturation);
+    ("summary", "the abstract's headline numbers", false, print_summary);
+    ("scaling", "section-6 scaling limit, capped and uncapped pools", true,
+     print_scaling);
+    ("codegen", "generated-code quality by optimization level", true,
+     print_codegen_ablation);
+    ("makestudy", "section-3.4 parallel-make coexistence study", true,
+     print_make_study);
+    ("grain", "finer-grain (phase-pipelined) study", true, print_grain_study);
+    ("inlining", "section-5.1 inlining as grain coarsening", true,
+     print_inlining_study);
+    ("ablations", "DESIGN.md section-5 ablations", true, print_ablations);
+    ("faults", "seeded fault/recovery sweep (docs/FAULTS.md)", true,
+     print_fault_sweep);
+    ( "sched",
+      "scheduling-policy sweep + BENCH_sched.json",
+      true,
+      fun () ->
+        print_sched_sweep ();
+        write_sched_json () );
+    ( "deps",
+      "dependence-aware dispatch sweep + BENCH_deps.json",
+      true,
+      fun () ->
+        print_dag_sweep ();
+        write_deps_json () );
+    ( "absint",
+      "abstract-interpretation pruning sweep + BENCH_absint.json",
+      true,
+      fun () ->
+        print_absint_sweep ();
+        write_absint_json () );
+    ( "spec",
+      "speculative-dispatch sweep + BENCH_spec.json",
+      true,
+      fun () ->
+        print_spec_sweep ();
+        write_spec_json () );
+    ( "profile",
+      "critical-path attribution sweep + BENCH_profile.json",
+      true,
+      fun () ->
+        print_profile_sweep ();
+        write_profile_json () );
+    ( "cache",
+      "compile-cache cold/warm/one-edit sweep + BENCH_cache.json",
+      true,
+      fun () ->
+        print_cache_sweep ();
+        write_cache_json () );
+    ("json", "machine-readable BENCH_parallel.json", true, write_bench_json);
+    ("trace", "traced parallel run: warpcc_trace.json + Gantt", false,
+     print_trace_demo);
+    ("bechamel", "Bechamel micro-benchmarks of the real compiler", true,
+     print_bechamel);
+  ]
+
+let print_help () =
+  print_endline "usage: main.exe [TARGET...] [--out PATH]";
+  print_newline ();
+  print_endline "targets (* = part of `all`, the no-argument default):";
+  List.iter
+    (fun (name, doc, in_all, _) ->
+      Printf.printf "  %c %-10s %s\n" (if in_all then '*' else ' ') name doc)
+    targets;
+  print_endline "  * all        every target marked *, in table order";
+  print_newline ();
+  print_endline
+    "--out PATH redirects the JSON writer of a single-target invocation;";
+  print_endline
+    "without it every writer keeps its default BENCH_*.json filename,";
+  print_endline "which the CI regression gates depend on."
+
 let () =
   (* Split off [--out PATH] (redirects the JSON writers), leaving the
      target names. *)
@@ -1055,71 +1246,16 @@ let () =
     | a :: rest -> split_args (a :: acc) rest
   in
   let args = split_args [] (List.tl (Array.to_list Sys.argv)) in
-  let run = function
-    | "fig3" -> print_time_series ~fig:"3" W2.Gen.Tiny
-    | "fig4" -> print_time_series ~fig:"4" W2.Gen.Large
-    | "fig5" -> print_time_series ~fig:"5" W2.Gen.Huge
-    | "fig6" -> print_fig6 ()
-    | "fig7" -> print_fig7 ()
-    | "fig8" -> print_overheads ~fig:"8" ~relative:true [ W2.Gen.Tiny; W2.Gen.Small ]
-    | "fig9" -> print_overheads ~fig:"9" ~relative:true [ W2.Gen.Medium; W2.Gen.Large ]
-    | "fig10" -> print_overheads ~fig:"10" ~relative:true [ W2.Gen.Huge ]
-    | "fig11" -> print_fig11 ()
-    | "fig12" -> print_time_series ~fig:"12" W2.Gen.Small
-    | "fig13" -> print_time_series ~fig:"13" W2.Gen.Medium
-    | "fig14" -> print_overheads ~fig:"14" ~relative:false [ W2.Gen.Tiny; W2.Gen.Small ]
-    | "fig15" -> print_overheads ~fig:"15" ~relative:false [ W2.Gen.Medium; W2.Gen.Large ]
-    | "fig16" -> print_overheads ~fig:"16" ~relative:false [ W2.Gen.Huge ]
-    | "saturation" -> print_saturation ()
-    | "makestudy" -> print_make_study ()
-    | "scaling" -> print_scaling ()
-    | "codegen" -> print_codegen_ablation ()
-    | "grain" -> print_grain_study ()
-    | "inlining" -> print_inlining_study ()
-    | "ablations" -> print_ablations ()
-    | "summary" -> print_summary ()
-    | "faults" -> print_fault_sweep ()
-    | "sched" ->
-      print_sched_sweep ();
-      write_sched_json ()
-    | "deps" ->
-      print_dag_sweep ();
-      write_deps_json ()
-    | "absint" ->
-      print_absint_sweep ();
-      write_absint_json ()
-    | "spec" ->
-      print_spec_sweep ();
-      write_spec_json ()
-    | "profile" ->
-      print_profile_sweep ();
-      write_profile_json ()
-    | "json" -> write_bench_json ()
-    | "trace" -> print_trace_demo ()
-    | "bechamel" -> print_bechamel ()
-    | "all" ->
-      all_figures ();
-      print_scaling ();
-      print_codegen_ablation ();
-      print_make_study ();
-      print_grain_study ();
-      print_inlining_study ();
-      print_ablations ();
-      print_fault_sweep ();
-      print_sched_sweep ();
-      write_sched_json ();
-      print_dag_sweep ();
-      write_deps_json ();
-      print_absint_sweep ();
-      write_absint_json ();
-      print_spec_sweep ();
-      write_spec_json ();
-      print_profile_sweep ();
-      write_profile_json ();
-      write_bench_json ();
-      print_bechamel ()
-    | other ->
-      Printf.eprintf "unknown target %S\n" other;
-      exit 2
+  let run name =
+    match List.find_opt (fun (n, _, _, _) -> n = name) targets with
+    | Some (_, _, _, f) -> f ()
+    | None -> (
+      match name with
+      | "all" ->
+        List.iter (fun (_, _, in_all, f) -> if in_all then f ()) targets
+      | "--help" | "-h" | "help" -> print_help ()
+      | other ->
+        Printf.eprintf "unknown target %S (try --help)\n" other;
+        exit 2)
   in
   match args with [] -> run "all" | args -> List.iter run args

@@ -563,10 +563,32 @@ let gantt_width =
   Arg.(value & opt int 64 & info [ "gantt-width" ] ~docv:"COLS"
          ~doc:"Time buckets (columns) of the $(b,--gantt) timeline")
 
+let use_cache =
+  Arg.(value & flag & info [ "cache" ]
+         ~doc:"After the comparison, replay a cold/warm/edited trio of \
+               parallel runs against one content-addressed compile cache \
+               (docs/CACHING.md) and print each run's hit/miss counters")
+
+let no_cache =
+  Arg.(value & flag & info [ "no-cache" ]
+         ~doc:"Force the compile cache off.  This is the default — the \
+               standard pipeline never consults a cache, so every run \
+               without $(b,--cache) is bit-identical to the pre-cache \
+               compiler — but the flag overrides an earlier $(b,--cache)")
+
+let cache_seed_edit =
+  Arg.(value & opt (some string) None
+       & info [ "cache-seed-edit" ] ~docv:"FUNC"
+           ~doc:"Function the $(b,--cache) trio's third run edits (a \
+                 semantics-neutral touch that changes the source hash \
+                 but not the dependence DAG); default: the function \
+                 whose edit invalidates the widest closure")
+
 let simulate_cmd =
   let action file processors level fault_seed fault_rate retries sched
       batch_threshold no_absint static_cost deadline_factor retry_backoff
-      spec_budget no_spec trace_out gantt gantt_width metrics json_out =
+      spec_budget no_spec trace_out gantt gantt_width metrics json_out
+      use_cache no_cache cache_seed_edit =
     or_compile_error (fun () ->
         let mw =
           Driver.Compile.compile_source ~level ~file ~absint:(not no_absint)
@@ -697,6 +719,58 @@ let simulate_cmd =
                     ~seq_elapsed:c.Timings.seq.Timings.elapsed tr));
             Printf.printf "traced elapsed     : %8.1f s\n" traced.Timings.elapsed
           end
+        end;
+        if use_cache && not no_cache then begin
+          (* Cold/warm/one-edit trio against a single store; the runs
+             above stay cache-free, so everything printed before this
+             block is bit-identical with or without --cache. *)
+          let store = Cache.create () in
+          let ccfg = { cfg with Config.cache = Some store } in
+          let play mw' =
+            let plan' =
+              match processors with
+              | None -> Plan.one_per_station mw'
+              | Some p -> Plan.grouped mw' ~processors:p
+            in
+            (Parrun.run ccfg mw' plan').Parrun.run
+          in
+          let cold = play mw in
+          let warm = play mw in
+          let edited =
+            match cache_seed_edit with
+            | Some f -> f
+            | None -> Experiment.widest_edit mw
+          in
+          let edited_src =
+            let m = W2.Parser.module_of_string ~file (read_file file) in
+            match W2.Gen.touch_in m edited with
+            | m' -> W2.Pretty.module_to_string m'
+            | exception Invalid_argument msg ->
+              raise (Driver.Compile.Compile_error msg)
+          in
+          let mw_edit =
+            Driver.Compile.compile_source ~level ~file
+              ~absint:(not no_absint) edited_src
+          in
+          let edit = play mw_edit in
+          let closure =
+            Experiment.edit_closure mw_edit.Driver.Compile.mw_analysis edited
+          in
+          let line name (r : Timings.run) extra =
+            Printf.printf "%-19s: %8.1f s  hits=%d misses=%d invalidated=%d%s\n"
+              name r.Timings.elapsed r.Timings.cache_hits
+              r.Timings.cache_misses r.Timings.cache_invalidated extra
+          in
+          Printf.printf "\ncompile cache (one shared store; docs/CACHING.md):\n";
+          line "cache cold" cold "";
+          line "cache warm" warm
+            (Printf.sprintf "  (%.2fx cold)"
+               (cold.Timings.elapsed /. warm.Timings.elapsed));
+          line "cache edit" edit
+            (Printf.sprintf "  (edited %s, closure %d)" edited closure);
+          Printf.printf "cache store        : %8d artifact(s), %.0f bytes\n"
+            (Cache.size store)
+            (List.fold_left (fun a (_, b) -> a +. b) 0.0 (Cache.entries store))
         end)
   in
   let term =
@@ -705,7 +779,8 @@ let simulate_cmd =
         (const action $ file $ processors $ level $ fault_seed $ fault_rate
         $ retries $ sched $ batch_threshold $ no_absint $ static_cost
         $ deadline_factor $ retry_backoff $ spec_budget $ no_spec $ trace_out
-        $ gantt $ gantt_width $ metrics $ json_out))
+        $ gantt $ gantt_width $ metrics $ json_out $ use_cache $ no_cache
+        $ cache_seed_edit))
   in
   Cmd.v
     (Cmd.info "simulate"

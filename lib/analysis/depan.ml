@@ -778,6 +778,47 @@ let edges_by_name (si : section_info) =
         e.reasons ))
     si.si_edges
 
+(* --- compile-cache key derivation ---
+
+   A function's compile-cache key must change exactly when its
+   phase-2/3 artifact could: when its own resolved source changes
+   ([fi_hash] covers the rendered text, the closed summary and the
+   callees' hashes), when any dependence predecessor changes (an edge
+   means "compile that first" — its output is an input of this
+   compilation), or when the compiler configuration changes (the
+   salt).  Folding the predecessors' KEYS (not merely their hashes)
+   into the digest closes the derivation over the whole [si_edges]
+   ancestry, so a one-function edit invalidates precisely the function
+   and its transitive dependents — the invalidation contract
+   [Parallel_cc.Cache] documents. *)
+
+let cache_salt ~opt_level ~verify_each =
+  Printf.sprintf "warpcc-cache/1:-O%d%s" opt_level
+    (if verify_each then ":verify-each" else "")
+
+let cache_keys ~salt (si : section_info) : string array =
+  let n = Array.length si.si_funcs in
+  let preds = Array.make n [] in
+  List.iter (fun e -> preds.(e.e_to) <- e.e_from :: preds.(e.e_to)) si.si_edges;
+  let keys = Array.make n "" in
+  (* [si_edges] form a DAG by construction, so the recursion grounds
+     out; predecessor keys are concatenated in ascending index order
+     for determinism. *)
+  let rec key i =
+    if keys.(i) <> "" then keys.(i)
+    else begin
+      let pk = List.map key (List.sort_uniq compare preds.(i)) in
+      let k =
+        Digest.to_hex
+          (Digest.string
+             (String.concat "\x00" (salt :: si.si_funcs.(i).fi_hash :: pk)))
+      in
+      keys.(i) <- k;
+      k
+    end
+  in
+  Array.init n key
+
 let pruned_by_name (si : section_info) =
   List.map
     (fun p ->

@@ -196,6 +196,24 @@ val licensed_fraction : section_info -> float
 val edges_by_name : section_info -> (string * string * reason list) list
 (** [si_edges] with indices resolved to function names. *)
 
+val cache_salt : opt_level:int -> verify_each:bool -> string
+(** The configuration salt of the content-addressed compile cache: a
+    versioned rendering of every compiler knob that shapes a phase-2/3
+    artifact (the optimization level and the per-pass verification
+    toggle).  Two compilations may share cache entries only when their
+    salts are equal; bump the embedded format version whenever the
+    artifact encoding itself changes. *)
+
+val cache_keys : salt:string -> section_info -> string array
+(** Content-addressed compile-cache key per function, indexed like
+    [si_funcs]: the MD5 of the salt, the function's own {!func_info.fi_hash}
+    and — recursively — the keys of its [si_edges] predecessors in
+    ascending index order.  Because predecessor {e keys} (not just
+    hashes) are folded in, a key changes exactly when the function or
+    any of its transitive dependence ancestors changes under the same
+    salt: editing one function invalidates precisely that function and
+    its transitive dependents, nothing else. *)
+
 val pruned_by_name :
   section_info -> (string * string * reason * refuter) list
 (** [si_pruned] with indices resolved to function names. *)

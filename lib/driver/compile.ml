@@ -25,6 +25,10 @@ type func_work = {
   fw_static_units : int option; (* statically bounded statement
                                    executions (absint cost domain);
                                    None when the refinement is off *)
+  fw_key : string option; (* content-addressed compile-cache key
+                             (salted, closed over dependence
+                             predecessors); None when the analysis
+                             was not run *)
   fw_diags : W2.Diag.t list; (* findings this function's master reports
                                 back to its section master *)
 }
@@ -69,7 +73,7 @@ let verify_failure violations =
    findings attributed to this function; the function master carries
    them (plus anything the IR verifier reports) back up the hierarchy. *)
 let compile_function ?(level = 2) ?(verify_each = false) ?(diags = [])
-    ?(globals = []) ?static_units ~func_rets ~section (f : W2.Ast.func) :
+    ?(globals = []) ?static_units ?key ~func_rets ~section (f : W2.Ast.func) :
     func_work * Warp.Mcode.mfunc * Midend.Ir.func =
   let ir = Midend.Lower.lower_function ~func_rets ~globals f in
   let fw_ir_instrs = Midend.Ir.instr_count ir in
@@ -95,6 +99,7 @@ let compile_function ?(level = 2) ?(verify_each = false) ?(diags = [])
       fw_pipelined = compiled.Warp.Codegen.pipelined;
       fw_spilled = compiled.Warp.Codegen.spilled;
       fw_static_units = static_units;
+      fw_key = key;
       fw_diags = diags;
     }
   in
@@ -144,12 +149,32 @@ let compile_section ?(level = 2) ?(verify_each = false)
       Option.bind fi (fun fi ->
           Option.map Analysis.Absint.cost_units fi.Analysis.Depan.fi_cost)
   in
+  (* Compile-cache keys: derived from the analyzer's section summary
+     (hash + dependence closure) under the configuration salt, so a
+     function master downstream can address its phase-2/3 artifact by
+     content.  Without the analysis there are no keys and downstream
+     lookups always miss. *)
+  let key_of =
+    match depan with
+    | None -> fun _ -> None
+    | Some si ->
+      let keys =
+        Analysis.Depan.cache_keys
+          ~salt:(Analysis.Depan.cache_salt ~opt_level:level ~verify_each)
+          si
+      in
+      fun (f : W2.Ast.func) ->
+        Array.to_list si.Analysis.Depan.si_funcs
+        |> List.find_opt (fun fi -> fi.Analysis.Depan.fi_name = f.W2.Ast.fname)
+        |> Option.map (fun fi -> keys.(fi.Analysis.Depan.fi_index))
+  in
   let results =
     List.map
       (fun (f : W2.Ast.func) ->
         compile_function ~level ~verify_each
           ~diags:(W2.Diag.for_func f.W2.Ast.fname lints)
-          ?static_units:(static_units_of f) ~globals:sec.W2.Ast.globals
+          ?static_units:(static_units_of f) ?key:(key_of f)
+          ~globals:sec.W2.Ast.globals
           ~func_rets ~section:sec.W2.Ast.sname f)
       sec.W2.Ast.funcs
   in

@@ -28,6 +28,13 @@ type func_work = {
           abstract interpretation's cost domain ({!Analysis.Absint});
           what [--static-cost] scheduling ranks by.  [None] when the
           refinement is off *)
+  fw_key : string option;
+      (** content-addressed compile-cache key of this function's
+          phase-2/3 artifact ({!Analysis.Depan.cache_keys}): salted
+          with the optimization configuration and closed over the
+          function's dependence ancestry.  [None] when the section was
+          compiled without the phase-1 analysis; such functions never
+          hit the cache *)
   fw_diags : W2.Diag.t list;
       (** findings this function's master reports back to its section
           master (lint warnings from phase 1, verifier findings) *)
@@ -68,6 +75,7 @@ val compile_function :
   ?diags:W2.Diag.t list ->
   ?globals:W2.Ast.decl list ->
   ?static_units:int ->
+  ?key:string ->
   func_rets:(string, Midend.Ir.ty option) Hashtbl.t ->
   section:string ->
   W2.Ast.func ->

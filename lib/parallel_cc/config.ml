@@ -24,6 +24,11 @@ type t = {
   spec_budget : int; (* misspeculations per task before its speculative
                         edges harden to gated; 0 disables speculation
                         entirely (dag+spec degrades to dag+lpt) *)
+  cache : Cache.t option; (* content-addressed compile cache shared
+                             across runs; None (the default) charges no
+                             lookups and skips nothing — bit-identical
+                             to a cacheless build.  Coarse grain only:
+                             fine_grained runs bypass it. *)
   trace : Trace.t; (* span sink wired into the cluster; [Trace.none] =
                       no recording, zero overhead *)
 }
@@ -50,6 +55,7 @@ let default =
     retry_budget = 2;
     retry_backoff_seconds = 30.0;
     spec_budget = 2;
+    cache = None;
     trace = Trace.none;
   }
 

@@ -38,6 +38,15 @@ type t = {
           (default 2).  [0] disables speculation: {!effective_policy}
           maps [Sched.Dag_spec] to [Sched.Dag_lpt], so such runs are
           bit-identical to [dag+lpt]. *)
+  cache : Cache.t option;
+      (** content-addressed compile cache ({!Cache}) shared across runs
+          — pass the same store to successive runs to memoize phase-2/3
+          artifacts by function content.  [None] (the default) charges
+          no lookups and skips nothing, so the event schedule is
+          bit-identical to a cacheless build.  Coarse grain only:
+          [fine_grained] runs bypass the cache entirely (their split
+          phase-2/phase-3 tasks do not produce whole-function
+          artifacts). *)
   trace : Trace.t;
       (** span sink wired into the cluster and consulted by the runners
           ({!Trace.none} = no recording: emits are no-ops and the event

@@ -749,3 +749,137 @@ let profile_sweep ?(cfg = Config.default) () : profile_point list =
             profile_policies)
         profile_pools)
     (profile_series ())
+
+(* --- content-addressed compile cache: cold / warm / one-edit --- *)
+
+type cache_point = {
+  cp_series : string;
+  cp_pool : int;
+  cp_functions : int;
+  cp_edited : string;
+  cp_closure : int;
+  cp_cold_elapsed : float;
+  cp_warm_elapsed : float;
+  cp_edit_elapsed : float;
+  cp_warm_speedup : float;
+  cp_cold_hits : int;
+  cp_cold_misses : int;
+  cp_warm_hits : int;
+  cp_warm_misses : int;
+  cp_edit_hits : int;
+  cp_edit_misses : int;
+  cp_edit_invalidated : int;
+}
+
+(* The invalidation closure of editing [name]: the function itself plus
+   every transitive dependent in the analyzer's dependence DAG — by the
+   key construction ([Analysis.Depan.cache_keys] folds predecessor keys
+   in), exactly the set whose keys change, hence exactly the set an
+   incremental rebuild recompiles. *)
+let edit_closure (t : Analysis.Depan.t) name : int =
+  List.fold_left
+    (fun acc (si : Analysis.Depan.section_info) ->
+      if
+        Array.exists
+          (fun fi -> fi.Analysis.Depan.fi_name = name)
+          si.Analysis.Depan.si_funcs
+      then begin
+        let edges = Analysis.Depan.edges_by_name si in
+        let reached = Hashtbl.create 8 in
+        let rec go n =
+          if not (Hashtbl.mem reached n) then begin
+            Hashtbl.replace reached n ();
+            List.iter (fun (f, t', _) -> if f = n then go t') edges
+          end
+        in
+        go name;
+        acc + Hashtbl.length reached
+      end
+      else acc)
+    0 t.Analysis.Depan.dp_sections
+
+(* The most coupled function of the module: editing it invalidates the
+   largest closure, the sweep's most interesting (and still
+   deterministic) incremental edit. *)
+let widest_edit (mw : Driver.Compile.module_work) : string =
+  let best = ref ("", 0) in
+  List.iter
+    (fun (fw : Driver.Compile.func_work) ->
+      let c = edit_closure mw.Driver.Compile.mw_analysis fw.Driver.Compile.fw_name in
+      if c > snd !best then best := (fw.Driver.Compile.fw_name, c))
+    (Driver.Compile.all_funcs mw);
+  fst !best
+
+(* An edge-free point (closure of any edit = 1), the inline-coupled
+   helper program (editing a shared helper invalidates its drivers),
+   and the section-4.3 user program. *)
+let cache_series () =
+  [
+    ("medium8", (fun () -> W2.Gen.s_program ~size:W2.Gen.Medium ~count:8 ()), 4);
+    ("helpers", (fun () -> W2.Gen.helper_program ()), 4);
+    ("user", (fun () -> W2.Gen.user_program ()), 4);
+  ]
+
+let cache_program_work ?(level = 2) ~name ?edit (make : unit -> W2.Ast.modul) :
+    Driver.Compile.module_work =
+  let key =
+    Printf.sprintf "cachebench:%s:%d:%s" name level
+      (Option.value ~default:"" edit)
+  in
+  match Hashtbl.find_opt cache key with
+  | Some mw -> mw
+  | None ->
+    let m = make () in
+    let m = match edit with None -> m | Some f -> W2.Gen.touch_in m f in
+    let mw = Driver.Compile.compile_module ~level m in
+    Hashtbl.replace cache key mw;
+    mw
+
+(* Cold, warm and one-edit runs against a single store, dag+lpt on a
+   small pool.  The cold run populates (every lookup misses), the warm
+   run must hit on every function, and the edit run must recompile
+   exactly the edited function's closure — each such miss flagged as an
+   invalidation — while hitting on everything else. *)
+let cache_sweep ?(cfg = Config.default) () : cache_point list =
+  List.map
+    (fun (name, make, pool) ->
+      let level = cfg.Config.opt_level in
+      let mw = cache_program_work ~level ~name make in
+      let edited = widest_edit mw in
+      let mw_edit = cache_program_work ~level ~name ~edit:edited make in
+      let store = Cache.create () in
+      let play (mw' : Driver.Compile.module_work) =
+        let plan = Plan.one_per_station mw' in
+        let cfg_run =
+          {
+            cfg with
+            Config.stations = pool + 1;
+            noise_seed = 3;
+            sched_policy = Sched.Dag_lpt;
+            cache = Some store;
+          }
+        in
+        (Parrun.run cfg_run mw' plan).Parrun.run
+      in
+      let cold = play mw in
+      let warm = play mw in
+      let edit = play mw_edit in
+      {
+        cp_series = name;
+        cp_pool = pool;
+        cp_functions = List.length (Driver.Compile.all_funcs mw);
+        cp_edited = edited;
+        cp_closure = edit_closure mw_edit.Driver.Compile.mw_analysis edited;
+        cp_cold_elapsed = cold.Timings.elapsed;
+        cp_warm_elapsed = warm.Timings.elapsed;
+        cp_edit_elapsed = edit.Timings.elapsed;
+        cp_warm_speedup = cold.Timings.elapsed /. warm.Timings.elapsed;
+        cp_cold_hits = cold.Timings.cache_hits;
+        cp_cold_misses = cold.Timings.cache_misses;
+        cp_warm_hits = warm.Timings.cache_hits;
+        cp_warm_misses = warm.Timings.cache_misses;
+        cp_edit_hits = edit.Timings.cache_hits;
+        cp_edit_misses = edit.Timings.cache_misses;
+        cp_edit_invalidated = edit.Timings.cache_invalidated;
+      })
+    (cache_series ())

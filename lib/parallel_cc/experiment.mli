@@ -264,3 +264,54 @@ val profile_sweep : ?cfg:Config.t -> unit -> profile_point list
     (noise seed 3), so reproducible.  Shrinking the pool below the task
     count shifts the dominant bucket from compute/overhead toward
     pool-wait — the bottleneck-migration story the artifact records. *)
+
+(** {1 Content-addressed compile cache} *)
+
+type cache_point = {
+  cp_series : string;
+  cp_pool : int;
+  cp_functions : int;
+  cp_edited : string; (** the function the one-edit run touched *)
+  cp_closure : int;
+      (** edited function + transitive dependence dependents: the set
+          whose keys change, hence the expected recompile count *)
+  cp_cold_elapsed : float; (** empty store: every lookup misses *)
+  cp_warm_elapsed : float; (** same module again: every lookup hits *)
+  cp_edit_elapsed : float; (** after {!W2.Gen.touch_in} on [cp_edited] *)
+  cp_warm_speedup : float; (** cold / warm — what memoization buys *)
+  cp_cold_hits : int;
+  cp_cold_misses : int;
+  cp_warm_hits : int;
+  cp_warm_misses : int;
+  cp_edit_hits : int;
+  cp_edit_misses : int; (** = [cp_closure] when the cache is correct *)
+  cp_edit_invalidated : int; (** misses attributed to the edit; = misses *)
+}
+
+val edit_closure : Analysis.Depan.t -> string -> int
+(** Size of the named function's invalidation closure (itself plus
+    transitive dependents over the dependence edges). *)
+
+val widest_edit : Driver.Compile.module_work -> string
+(** The function whose edit invalidates the largest closure — the
+    sweep's deterministic "programmer edit" target. *)
+
+val cache_series :
+  unit -> (string * (unit -> W2.Ast.modul) * int) list
+(** (name, program, pool): an edge-free S_8 (closure 1), the
+    inline-coupled helper program, and the user program. *)
+
+val cache_program_work :
+  ?level:int ->
+  name:string ->
+  ?edit:string ->
+  (unit -> W2.Ast.modul) ->
+  Driver.Compile.module_work
+(** Compile one sweep program (cached), optionally after
+    {!W2.Gen.touch_in} on [edit]. *)
+
+val cache_sweep : ?cfg:Config.t -> unit -> cache_point list
+(** Cold, warm and one-edit runs of each {!cache_series} point against
+    a single {!Cache.t}, dag+lpt on the point's pool; seeded (noise
+    seed 3), so reproducible.  Warm elapsed is strictly below cold on
+    every point, and the edit run recompiles exactly the closure. *)

@@ -66,6 +66,9 @@ type stats = {
   mutable spec_dispatched : int;
   mutable spec_committed : int;
   mutable spec_rolled_back : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_invalidated : int;
 }
 
 let fresh_stats () =
@@ -81,6 +84,9 @@ let fresh_stats () =
     spec_dispatched = 0;
     spec_committed = 0;
     spec_rolled_back = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_invalidated = 0;
   }
 
 (* A function-master attempt lost its station.  Raised and caught
@@ -151,6 +157,17 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
   in
   let store bytes =
     Netsim.Net.store sim cluster.Netsim.Host.fs ether ~bytes
+  in
+  (* The content-addressed compile cache, when one is configured —
+     coarse grain only: the fine-grained split tasks hand IR between
+     two masters and never produce a whole-function artifact, so they
+     bypass the store.  [None] makes every lookup and publication below
+     evaporate, leaving the event schedule bit-identical to a cacheless
+     build. *)
+  let cache =
+    match cfg.Config.cache with
+    | Some c when not cfg.Config.fine_grained -> Some c
+    | _ -> None
   in
   (* File labels of the shared Lisp core image and this module's
      source. *)
@@ -293,6 +310,56 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                       :: extra)
                     ~at:(Netsim.Des.now sim) ()
               in
+              (* Compile-cache bookkeeping for this task.  Index events
+                 live in their own "cache" category (the "cache-hit"
+                 instant under "task" above is the unrelated byte-level
+                 locality cache) and are emitted 1:1 with the counter
+                 increments, so the trace recovery stays exact. *)
+              let cache_instant ~name (fw : Driver.Compile.func_work) ~key
+                  ~extra =
+                if Trace.enabled tr then
+                  Trace.instant tr ~track:ws_m.Netsim.Host.ws_id ~cat:"cache"
+                    ~name
+                    ~args:
+                      (("task", task_label)
+                      :: ("func", fw.Driver.Compile.fw_name)
+                      :: ("key", key) :: extra)
+                    ~at:(Netsim.Des.now sim) ()
+              in
+              let cache_owner (fw : Driver.Compile.func_work) =
+                Cache.owner ~modul:mw.Driver.Compile.mw_name
+                  ~section:section_name ~func:fw.Driver.Compile.fw_name
+              in
+              (* Durable publication of this task's artifacts into the
+                 compile cache.  Called exactly where the task's output
+                 becomes durable — the unsupervised attempt's return,
+                 the winning supervised attempt, a speculative commit,
+                 the sequential fallback — and never for a superseded
+                 straggler or a quarantined speculative artifact, so
+                 each key is stored at most once.  Only newly stored
+                 artifacts cost anything: one store of payload+index
+                 bytes, alongside the durable copy already written. *)
+              let cache_publish () =
+                match cache with
+                | None -> ()
+                | Some c ->
+                  let stored =
+                    List.fold_left
+                      (fun acc (fw : Driver.Compile.func_work) ->
+                        match fw.Driver.Compile.fw_key with
+                        | None -> acc
+                        | Some key ->
+                          let bytes = Cache.artifact_bytes fw in
+                          if Cache.populate c ~owner:(cache_owner fw) ~key ~bytes
+                          then begin
+                            cache_instant ~name:"cache-store" fw ~key ~extra:[];
+                            acc +. bytes +. Cache.meta_bytes
+                          end
+                          else acc)
+                      0.0 task.Plan.t_funcs
+                  in
+                  if stored > 0.0 then store stored
+              in
               (* --- one function-master attempt ---
                  [note] records a placement; [spent] accumulates the
                  CPU this attempt burned (for the wasted-work account
@@ -418,14 +485,44 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                 lspan ws ~name:"parse" ~t0:t_parse;
                 stats.extra_parse_cpu <- stats.extra_parse_cpu +. reparse;
                 if not cfg.Config.fine_grained then begin
-                  (* Coarse grain (the paper): phases 2+3 together. *)
+                  (* Coarse grain (the paper): phases 2+3 together.
+                     With the compile cache on, each function is first
+                     looked up by content key: a hit transfers the
+                     memoized artifact — free when this station's byte
+                     cache still holds it — instead of computing. *)
                   let t_p23 = Netsim.Des.now sim in
                   List.iteri
                     (fun fi (fw : Driver.Compile.func_work) ->
-                      set_resident ws (Driver.Cost.function_master_mb cost fw);
-                      compute_f ~tag:"phase23" ws
-                        (Driver.Cost.phase23_seconds cost fw)
-                        (300 + (31 * ti) + fi))
+                      let hit =
+                        match (cache, fw.Driver.Compile.fw_key) with
+                        | Some c, Some key -> (
+                          match Cache.find c ~owner:(cache_owner fw) ~key with
+                          | Cache.Hit e ->
+                            stats.cache_hits <- stats.cache_hits + 1;
+                            cache_instant ~name:"cache-hit" fw ~key ~extra:[];
+                            let file = "art:" ^ key in
+                            (if not (has ws file) then
+                               fetch ~client:ws.Netsim.Host.ws_id ~file
+                                 (Cache.meta_bytes +. e.Cache.e_bytes));
+                            alive ws;
+                            true
+                          | Cache.Miss { stale } ->
+                            stats.cache_misses <- stats.cache_misses + 1;
+                            if stale then
+                              stats.cache_invalidated <-
+                                stats.cache_invalidated + 1;
+                            cache_instant ~name:"cache-miss" fw ~key
+                              ~extra:
+                                [ ("invalidated", if stale then "1" else "0") ];
+                            false)
+                        | _ -> false
+                      in
+                      if not hit then begin
+                        set_resident ws (Driver.Cost.function_master_mb cost fw);
+                        compute_f ~tag:"phase23" ws
+                          (Driver.Cost.phase23_seconds cost fw)
+                          (300 + (31 * ti) + fi)
+                      end)
                     task.Plan.t_funcs;
                   lspan ws ~name:"phase23" ~t0:t_p23;
                   let t_wb = Netsim.Des.now sim in
@@ -539,6 +636,7 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                         stats.placements <- (name, id) :: stats.placements)
                       ~spent:(ref 0.0) ~attempt_n:1 ~hardened:true
                       ~staged:(ref false) ~spec_pending:(ref []) ();
+                    cache_publish ();
                     Netsim.Sync.set completion.(ti);
                     Netsim.Sync.signal tasks_done)
               else begin
@@ -589,6 +687,7 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                   in
                   let win () =
                     completed := true;
+                    cache_publish ();
                     stats.placements <- !noted @ stats.placements;
                     Netsim.Sync.send sup Msg_completed
                   in
@@ -652,6 +751,7 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                                 stats.spec_committed + 1;
                               lspan ws_m ~name:"spec-commit" ~attempt_n:n
                                 ~t0:t_cm;
+                              cache_publish ();
                               stats.placements <- !noted @ stats.placements;
                               Netsim.Sync.send sup Msg_completed
                             end))
@@ -684,6 +784,7 @@ let master_process (cfg : Config.t) sim (cluster : Netsim.Host.cluster) ~noise
                       Netsim.Host.remove_resident ws_m mb)
                     task.Plan.t_funcs;
                   store output_bytes;
+                  cache_publish ();
                   lspan ws_m ~name:"fallback" ~attempt_n:(!attempt_no + 1)
                     ~t0:t_fb;
                   match head_name with
@@ -822,6 +923,9 @@ let run (cfg : Config.t) (mw : Driver.Compile.module_work) (plan : Plan.t) : out
       spec_dispatched = stats.spec_dispatched;
       spec_committed = stats.spec_committed;
       spec_rolled_back = stats.spec_rolled_back;
+      cache_hits = stats.cache_hits;
+      cache_misses = stats.cache_misses;
+      cache_invalidated = stats.cache_invalidated;
     }
   in
   if fresh_trace then begin

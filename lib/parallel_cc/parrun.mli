@@ -56,6 +56,11 @@ type stats = {
   mutable spec_dispatched : int;
   mutable spec_committed : int;
   mutable spec_rolled_back : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_invalidated : int;
+      (** compile-cache tallies ({!Config.t.cache}); invalidated is the
+          subset of misses whose function had published a different key *)
 }
 (** Mutable counters one or more master processes accumulate into;
     {!run} folds them into the {!Timings.run}. *)

@@ -29,6 +29,13 @@ type run = {
                            won the commit check *)
   spec_rolled_back : int; (* speculative attempts aborted by the commit
                              oracle (charged to wasted_cpu) *)
+  cache_hits : int; (* functions whose phase-2/3 artifact came from the
+                       compile cache (compute skipped) *)
+  cache_misses : int; (* functions looked up but computed; includes the
+                         invalidated ones *)
+  cache_invalidated : int; (* misses whose owner previously published a
+                              different key: dependency-aware
+                              invalidations, a subset of cache_misses *)
 }
 
 type comparison = {
@@ -90,12 +97,15 @@ let comparison_to_json (c : comparison) : string =
     pr "%s  \"spec_dispatched\": %d,\n" indent r.spec_dispatched;
     pr "%s  \"spec_committed\": %d,\n" indent r.spec_committed;
     pr "%s  \"spec_rolled_back\": %d,\n" indent r.spec_rolled_back;
+    pr "%s  \"cache_hits\": %d,\n" indent r.cache_hits;
+    pr "%s  \"cache_misses\": %d,\n" indent r.cache_misses;
+    pr "%s  \"cache_invalidated\": %d,\n" indent r.cache_invalidated;
     pr "%s  \"cpu_per_station\": [%s]\n" indent
       (String.concat ", " (List.map f r.cpu_per_station));
     pr "%s}" indent
   in
   pr "{\n";
-  pr "  \"schema\": \"warpcc-simulate/2\",\n";
+  pr "  \"schema\": \"warpcc-simulate/3\",\n";
   pr "  \"processors\": %d,\n" c.processors;
   pr "  \"speedup\": %s,\n" (f c.speedup);
   pr "  \"total_overhead\": %s,\n" (f c.total_overhead);

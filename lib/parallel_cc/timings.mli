@@ -28,6 +28,17 @@ type run = {
   spec_rolled_back : int;
       (** speculative attempts the commit oracle aborted; their CPU is
           charged to [wasted_cpu] and the task re-dispatches *)
+  cache_hits : int;
+      (** functions whose phase-2/3 artifact came from the compile
+          cache ({!Config.t.cache}): their compute was skipped and an
+          artifact transfer charged instead; 0 when the cache is off *)
+  cache_misses : int;
+      (** functions looked up in the compile cache but computed —
+          includes the invalidated ones *)
+  cache_invalidated : int;
+      (** misses whose function previously published a {e different}
+          key: dependency-aware invalidations after an edit, a subset
+          of [cache_misses] *)
 }
 
 type comparison = {
@@ -54,7 +65,7 @@ val max_cpu : run -> float
     paper's figures report. *)
 
 val comparison_to_json : comparison -> string
-(** The comparison as a JSON document (schema ["warpcc-simulate/2"]:
-    /1 plus the three speculation counters per run), with both runs
+(** The comparison as a JSON document (schema ["warpcc-simulate/3"]:
+    /2 plus the three compile-cache counters per run), with both runs
     inlined and floats printed to round-trip exactly — the
     machine-readable face of [warpcc simulate --json]. *)

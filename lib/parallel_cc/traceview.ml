@@ -26,6 +26,12 @@ type recovered = {
   r_spec_dispatched : int; (* "spec-dispatch" instants *)
   r_spec_committed : int; (* "spec-commit" spans *)
   r_spec_rolled_back : int; (* "spec-abort" spans *)
+  r_cache_hits : int; (* "cache"/"cache-hit" instants *)
+  r_cache_misses : int; (* "cache"/"cache-miss" instants *)
+  r_cache_invalidated : int; (* the misses flagged invalidated=1 *)
+  r_cache_stores : int; (* "cache"/"cache-store" instants; no run
+                           counter — the store itself is the ledger
+                           ([Cache.store_count]) *)
 }
 
 let span_tag (s : Trace.span) =
@@ -65,6 +71,8 @@ let recover ?elapsed (tr : Trace.t) : recovered =
   let retries = ref 0 and timeouts = ref 0 and lost_attempts = ref 0 in
   let dispatched = ref 0 in
   let wasted = ref 0.0 in
+  let hits = ref 0 and misses = ref 0 and invalidated = ref 0 in
+  let stores = ref 0 in
   let lost = Hashtbl.create 8 in
   List.iter
     (fun (i : Trace.instant) ->
@@ -77,6 +85,12 @@ let recover ?elapsed (tr : Trace.t) : recovered =
         match Trace.arg_float "cpu" i.Trace.i_args with
         | Some v -> wasted := !wasted +. v
         | None -> ())
+      | "cache", "cache-hit" -> incr hits
+      | "cache", "cache-miss" ->
+        incr misses;
+        if List.assoc_opt "invalidated" i.Trace.i_args = Some "1" then
+          incr invalidated
+      | "cache", "cache-store" -> incr stores
       | "fault", ("crash" | "reclaim") ->
         if i.Trace.at <= elapsed then Hashtbl.replace lost i.Trace.i_track ()
       | _ -> ())
@@ -94,6 +108,10 @@ let recover ?elapsed (tr : Trace.t) : recovered =
     r_spec_dispatched = !dispatched;
     r_spec_committed = !commits;
     r_spec_rolled_back = !aborts;
+    r_cache_hits = !hits;
+    r_cache_misses = !misses;
+    r_cache_invalidated = !invalidated;
+    r_cache_stores = !stores;
   }
 
 let assert_matches_run (tr : Trace.t) (run : Timings.run) : unit =
@@ -123,7 +141,11 @@ let assert_matches_run (tr : Trace.t) (run : Timings.run) : unit =
     r.r_spec_dispatched;
   check_i "speculative commits" run.Timings.spec_committed r.r_spec_committed;
   check_i "speculative rollbacks" run.Timings.spec_rolled_back
-    r.r_spec_rolled_back
+    r.r_spec_rolled_back;
+  check_i "cache hits" run.Timings.cache_hits r.r_cache_hits;
+  check_i "cache misses" run.Timings.cache_misses r.r_cache_misses;
+  check_i "cache invalidations" run.Timings.cache_invalidated
+    r.r_cache_invalidated
 
 type decomposition = {
   d_processors : int;

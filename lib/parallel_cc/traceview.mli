@@ -16,6 +16,13 @@ type recovered = {
   r_spec_dispatched : int; (** "spec-dispatch" instants *)
   r_spec_committed : int; (** "spec-commit" spans *)
   r_spec_rolled_back : int; (** "spec-abort" spans *)
+  r_cache_hits : int; (** "cache"/"cache-hit" instants *)
+  r_cache_misses : int; (** "cache"/"cache-miss" instants *)
+  r_cache_invalidated : int; (** the misses flagged [invalidated=1] *)
+  r_cache_stores : int;
+      (** "cache"/"cache-store" instants — checked against the store's
+          own ledger by the tests, not against {!Timings.run} (which
+          has no store counter) *)
 }
 
 val recover : ?elapsed:float -> Trace.t -> recovered

@@ -714,3 +714,43 @@ let deadchan_program () =
       ];
     mloc = dummy;
   }
+
+(* --- the compile-cache experiments' "programmer edit" --- *)
+
+(* A behaviour-preserving edit of one function: prepend a dead
+   conditional to its body.  It parses and type-checks, changes the
+   rendered source — hence the analyzer's content hash and every
+   compile-cache key derived from it — while leaving the effect
+   summaries, the dependence DAG and the generated code's semantics
+   alone.  That makes it the minimal model of a programmer touching one
+   function: exactly the touched function and its transitive dependence
+   dependents must recompile, nothing else. *)
+let touch (f : Ast.func) : Ast.func =
+  { f with Ast.body = st (Ast.If (ex (Ast.Bool_lit false), [], [])) :: f.Ast.body }
+
+let touch_in (m : Ast.modul) name : Ast.modul =
+  let hits = ref 0 in
+  let edited =
+    {
+      m with
+      Ast.sections =
+        List.map
+          (fun (sec : Ast.section) ->
+            {
+              sec with
+              Ast.funcs =
+                List.map
+                  (fun (f : Ast.func) ->
+                    if f.Ast.fname = name then begin
+                      incr hits;
+                      touch f
+                    end
+                    else f)
+                  sec.Ast.funcs;
+            })
+          m.Ast.sections;
+    }
+  in
+  if !hits = 0 then
+    invalid_arg (Printf.sprintf "Gen.touch_in: no function %S in module %s" name m.Ast.mname);
+  edited

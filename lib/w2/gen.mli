@@ -101,3 +101,17 @@ val random_function :
 (** A random but always well-typed, always-terminating function named
     [prop_f] with parameters [(n : int, a : float)].  With
     [allow_channels], statements may send on channel X. *)
+
+(** {1 Edits for the compile-cache experiments} *)
+
+val touch : Ast.func -> Ast.func
+(** A behaviour-preserving edit: prepend a dead conditional
+    ([if false then end]) to the function's body.  Parses and
+    type-checks, changes the rendered source — hence the analyzer's
+    content hash and every compile-cache key derived from it — while
+    leaving effect summaries, the dependence DAG and the generated
+    code's semantics alone. *)
+
+val touch_in : Ast.modul -> string -> Ast.modul
+(** {!touch} applied to the named function wherever it occurs.
+    @raise Invalid_argument when no function has that name. *)

@@ -396,6 +396,9 @@ let run_fixture ~elapsed ~master ~section ~parse =
     spec_dispatched = 0;
     spec_committed = 0;
     spec_rolled_back = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_invalidated = 0;
   }
 
 let test_negative_system_overhead_sign () =
