@@ -894,6 +894,140 @@ let write_cache_json () =
             p.Experiment.cp_warm_misses p.Experiment.cp_edit_hits
             p.Experiment.cp_edit_misses p.Experiment.cp_edit_invalidated))
 
+(* --- modular cross-module analysis: summary composition + project
+   scheduling --- *)
+
+let link_compose_points_cache = ref None
+
+let link_compose_points () =
+  match !link_compose_points_cache with
+  | Some points -> points
+  | None ->
+    let points = Experiment.link_compose_sweep () in
+    link_compose_points_cache := Some points;
+    points
+
+let link_sched_points_cache = ref None
+
+let link_sched_points () =
+  match !link_sched_points_cache with
+  | Some points -> points
+  | None ->
+    let points = Experiment.link_sched_sweep () in
+    link_sched_points_cache := Some points;
+    points
+
+let print_link_sweep () =
+  let table =
+    t
+      ~title:
+        "Link-time composition from interface summaries (no source         crosses the module boundary after summarization)"
+      ~columns:
+        [
+          "shape @ modules";
+          "functions";
+          "edges";
+          "cross";
+          "levels";
+          "licensed";
+          "lints";
+        ]
+  in
+  let table =
+    List.fold_left
+      (fun table (p : Experiment.link_compose_point) ->
+        Stats.Table.add_float_row table
+          ~label:
+            (Printf.sprintf "%-9s @ %d" p.Experiment.lc_shape
+               p.Experiment.lc_modules)
+          [
+            float_of_int p.Experiment.lc_functions;
+            float_of_int p.Experiment.lc_edges;
+            float_of_int p.Experiment.lc_cross_edges;
+            float_of_int p.Experiment.lc_levels;
+            p.Experiment.lc_licensed;
+            float_of_int
+              (List.fold_left (fun n (_, k) -> n + k) 0 p.Experiment.lc_diags);
+          ])
+      table (link_compose_points ())
+  in
+  Stats.Table.print table;
+  print_newline ();
+  let table =
+    t
+      ~title:
+        "Project scheduling on the composed DAG (speedup = FCFS elapsed         / policy elapsed on the same project)"
+      ~columns:
+        [
+          "shape @ modules, policy";
+          "funcs";
+          "pool";
+          "units";
+          "elapsed (min)";
+          "speedup";
+          "races";
+        ]
+  in
+  let table =
+    List.fold_left
+      (fun table (p : Experiment.link_sched_point) ->
+        Stats.Table.add_float_row table
+          ~label:
+            (Printf.sprintf "%-9s @ %2d, %s" p.Experiment.lp_shape
+               p.Experiment.lp_modules
+               (Sched.policy_name p.Experiment.lp_policy))
+          [
+            float_of_int p.Experiment.lp_functions;
+            float_of_int p.Experiment.lp_pool;
+            float_of_int p.Experiment.lp_units;
+            minutes p.Experiment.lp_elapsed;
+            p.Experiment.lp_speedup_vs_fcfs;
+            float_of_int p.Experiment.lp_race_violations;
+          ])
+      table (link_sched_points ())
+  in
+  Stats.Table.print table;
+  print_newline ()
+
+let write_link_json () =
+  let compose = link_compose_points () in
+  let sched = link_sched_points () in
+  write_json ~schema:"warpcc-bench-link/1" ~default:"BENCH_link.json"
+    ~summary:
+      (Printf.sprintf "%d compose points, %d sched points"
+         (List.length compose) (List.length sched))
+    (fun b ->
+      json_array b ~key:"compose" compose
+        (fun (p : Experiment.link_compose_point) ->
+          bpr b
+            "{\"shape\": \"%s\", \"modules\": %d, \"functions\": %d, \
+             \"edges\": %d, \"cross_edges\": %d, \"levels\": %d, \
+             \"module_levels\": %d, \"licensed\": %.4f, \"missing\": %d, \
+             \"diags\": {%s}}"
+            (json_escape p.Experiment.lc_shape)
+            p.Experiment.lc_modules p.Experiment.lc_functions
+            p.Experiment.lc_edges p.Experiment.lc_cross_edges
+            p.Experiment.lc_levels p.Experiment.lc_module_levels
+            p.Experiment.lc_licensed p.Experiment.lc_missing
+            (String.concat ", "
+               (List.map
+                  (fun (c, n) ->
+                    Printf.sprintf "\"%s\": %d" (json_escape c) n)
+                  p.Experiment.lc_diags)));
+      json_array b ~key:"sched" sched
+        (fun (p : Experiment.link_sched_point) ->
+          bpr b
+            "{\"shape\": \"%s\", \"modules\": %d, \"functions\": %d, \
+             \"policy\": \"%s\", \"pool\": %d, \"units\": %d, \"elapsed\": \
+             %.3f, \"speedup_vs_fcfs\": %.4f, \"cross_edges\": %d, \
+             \"spec_edges\": %d, \"race_violations\": %d}"
+            (json_escape p.Experiment.lp_shape)
+            p.Experiment.lp_modules p.Experiment.lp_functions
+            (json_escape (Sched.policy_name p.Experiment.lp_policy))
+            p.Experiment.lp_pool p.Experiment.lp_units p.Experiment.lp_elapsed
+            p.Experiment.lp_speedup_vs_fcfs p.Experiment.lp_cross_edges
+            p.Experiment.lp_spec_edges p.Experiment.lp_race_violations))
+
 let write_bench_json () =
   let speedup_rows =
     List.concat_map
@@ -1209,6 +1343,12 @@ let targets : (string * string * bool * (unit -> unit)) list =
       fun () ->
         print_cache_sweep ();
         write_cache_json () );
+    ( "link",
+      "cross-module composition + project scheduling + BENCH_link.json",
+      true,
+      fun () ->
+        print_link_sweep ();
+        write_link_json () );
     ("json", "machine-readable BENCH_parallel.json", true, write_bench_json);
     ("trace", "traced parallel run: warpcc_trace.json + Gantt", false,
      print_trace_demo);

@@ -21,11 +21,19 @@
          simulated 1989 workstation network and report the speedup and
          overhead decomposition of the paper.
 
-     warpcc analyze prog.w2 [--dot FILE] [--json FILE] [--no-absint]
-            [--absint-max-intervals N]
+     warpcc analyze prog.w2 [--dot FILE] [--json FILE] [--sarif FILE]
+            [--no-absint] [--absint-max-intervals N]
          Run the interprocedural dependence analyzer alone and print the
          per-section summaries, dependence edges, pruned edges and
-         licensed-parallelism fraction (or emit Graphviz / JSON).
+         licensed-parallelism fraction (or emit Graphviz / JSON / SARIF).
+
+     warpcc analyze --project dir/ [--dot FILE] [--json FILE]
+            [--sarif FILE] [--Werror]
+         Separately summarize every .w2 module in the directory against
+         its import declarations only, then compose the summaries into
+         the project-wide dependence DAG with the cross-module lints
+         (W010 import mismatch, W011 cross-module global write, W012
+         dead export).
 
    Exit codes (shared by every static path — check, compile, analyze):
      0    the module was accepted
@@ -272,9 +280,123 @@ let check_cmd =
 
 (* --- analyze --- *)
 
+(* Project mode: two passes so peak memory stays one module AST plus
+   all interface summaries, no matter how many modules the project
+   has.  Pass 1 parses every file but keeps only the module name and
+   its import edges (the ASTs are dropped); pass 2 re-parses one file
+   at a time in dependency order, checks it, distills the summary and
+   drops the AST again before touching the next file. *)
+let project_heads dir =
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".w2")
+    |> List.sort compare
+    |> List.map (Filename.concat dir)
+  in
+  if files = [] then
+    raise (Driver.Compile.Compile_error (dir ^ ": no .w2 files"));
+  List.map
+    (fun path ->
+      let m = W2.Parser.module_of_string ~file:path (read_file path) in
+      ( path,
+        m.W2.Ast.mname,
+        List.map (fun (im : W2.Ast.import_decl) -> im.W2.Ast.im_module) m.W2.Ast.imports ))
+    files
+
+(* Dependency order over the heads: providers first (Kahn), leftover
+   members of import cycles appended in input order — [Modan.compose]
+   reports the cycles themselves. *)
+let project_order heads =
+  let present = Hashtbl.create 16 in
+  List.iter (fun (_, m, _) -> Hashtbl.replace present m ()) heads;
+  let emitted = Hashtbl.create 16 in
+  let result = ref [] in
+  let rec sweep remaining =
+    let ready, rest =
+      List.partition
+        (fun (_, _, imports) ->
+          List.for_all
+            (fun p -> (not (Hashtbl.mem present p)) || Hashtbl.mem emitted p)
+            imports)
+        remaining
+    in
+    if ready = [] then result := !result @ rest (* import cycle *)
+    else begin
+      List.iter (fun (_, m, _) -> Hashtbl.replace emitted m ()) ready;
+      result := !result @ ready;
+      if rest <> [] then sweep rest
+    end
+  in
+  sweep heads;
+  !result
+
+let analyze_project ~dir ~sound ~max_tracked ~absint ~absint_max_intervals =
+  let order = project_order (project_heads dir) in
+  let summaries = ref [] in
+  let module_diags = ref [] in
+  List.iter
+    (fun (path, _, _) ->
+      let m = W2.Parser.module_of_string ~file:path (read_file path) in
+      (match W2.Semcheck.check_module m with
+      | [] -> ()
+      | errors ->
+        List.iter
+          (fun e -> prerr_endline (W2.Semcheck.error_to_string e))
+          errors;
+        exit 1);
+      let s =
+        Analysis.Modan.summarize ~deps:!summaries ~sound ~max_tracked ~absint
+          ~absint_max_intervals ~file:path m
+      in
+      (* Per-module source lints.  W007 ("never called from its
+         section") is suppressed for exported functions: their callers
+         live in other modules by design. *)
+      let local =
+        List.filter
+          (fun (d : W2.Diag.t) ->
+            not
+              (d.W2.Diag.d_code = "W007"
+              &&
+              match d.W2.Diag.d_func with
+              | Some f -> W2.Ast.exports_function m f
+              | None -> false))
+          (W2.Lint.lint_module m)
+      in
+      let couplings =
+        Array.to_list s.Analysis.Modan.ms_funcs
+        |> List.map (fun (w : Analysis.Modan.func_summary) ->
+               {
+                 W2.Lint.c_func = w.Analysis.Modan.ws_name;
+                 c_loc = w.Analysis.Modan.ws_loc;
+                 c_greads = w.Analysis.Modan.ws_direct.Analysis.Depan.greads;
+                 c_gwrites = w.Analysis.Modan.ws_direct.Analysis.Depan.gwrites;
+                 c_sends = w.Analysis.Modan.ws_direct.Analysis.Depan.sends;
+                 c_recvs = w.Analysis.Modan.ws_direct.Analysis.Depan.recvs;
+               })
+      in
+      let coupling =
+        W2.Lint.coupling_warnings ~section:s.Analysis.Modan.ms_section
+          ~cells:s.Analysis.Modan.ms_cells
+          ~disjoint:s.Analysis.Modan.ms_disjoint couplings
+      in
+      module_diags := !module_diags @ local @ coupling;
+      summaries := !summaries @ [ s ])
+    order;
+  let link = Analysis.Modan.compose !summaries in
+  (link, W2.Diag.sort (!module_diags @ link.Analysis.Modan.lk_diags))
+
 let analyze_cmd =
   let file =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"W2 source module")
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"W2 source module")
+  in
+  let project =
+    Arg.(value & opt (some dir) None & info [ "project" ] ~docv:"DIR"
+           ~doc:"Analyze a multi-module project: every .w2 file in DIR is \
+                 separately summarized against its import declarations \
+                 (peak memory is one module AST plus the interface \
+                 summaries), then the summaries alone are composed into \
+                 the project-wide dependence DAG with cross-module lints \
+                 (W010-W012)")
   in
   let dot_out =
     Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE"
@@ -282,8 +404,12 @@ let analyze_cmd =
   in
   let json_out =
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
-           ~doc:"Write the full analysis as JSON, schema $(b,warpcc-analyze/2) \
+           ~doc:"Write the full analysis as JSON, schema $(b,warpcc-analyze/3) \
                  (\"-\" = stdout)")
+  in
+  let sarif_out =
+    Arg.(value & opt (some string) None & info [ "sarif" ] ~docv:"FILE"
+           ~doc:"Write every diagnostic as a SARIF 2.1.0 log (\"-\" = stdout)")
   in
   let no_sound =
     Arg.(value & flag & info [ "no-sound" ]
@@ -307,20 +433,9 @@ let analyze_cmd =
            ~doc:"Disjoint element-index slices tracked per array region before \
                  the region widens to the whole array")
   in
-  let action file dot_out json_out no_sound max_tracked no_absint
-      absint_max_intervals werror =
+  let action file project dot_out json_out sarif_out no_sound max_tracked
+      no_absint absint_max_intervals werror =
     or_compile_error (fun () ->
-        let source = read_file file in
-        let m = W2.Parser.module_of_string ~file source in
-        (match W2.Semcheck.check_module m with
-        | [] -> ()
-        | errors ->
-          List.iter (fun e -> prerr_endline (W2.Semcheck.error_to_string e)) errors;
-          exit 1);
-        let t =
-          Analysis.Depan.analyze ~sound:(not no_sound) ~max_tracked
-            ~absint:(not no_absint) ~absint_max_intervals m
-        in
         let write what = function
           | None -> ()
           | Some "-" -> print_string what
@@ -330,21 +445,61 @@ let analyze_cmd =
             close_out oc;
             Printf.printf "wrote %s\n" path
         in
-        (match (dot_out, json_out) with
-        | None, None -> print_string (Analysis.Depan.report t)
-        | _ ->
-          write (Analysis.Depan.to_dot t) dot_out;
-          write (Analysis.Depan.to_json t) json_out);
-        (* The analyzer's own findings (W008/W009) ride the same
-           diagnostics channel as `check --lint`; under --Werror they
-           reject the module with the shared exit code. *)
-        if emit_diags ~werror (Analysis.Depan.lint t) then exit 1)
+        let finish ~report ~dot ~json diags =
+          (match (dot_out, json_out, sarif_out) with
+          | None, None, None -> print_string (report ())
+          | _ ->
+            write (dot ()) dot_out;
+            write (json ()) json_out;
+            write (W2.Sarif.to_string diags) sarif_out);
+          (* The analyzer's findings ride the same diagnostics channel
+             as `check --lint`; under --Werror they reject the module
+             with the shared exit code. *)
+          if emit_diags ~werror diags then exit 1
+        in
+        match (project, file) with
+        | Some _, Some _ ->
+          prerr_endline "warpcc: analyze takes FILE or --project DIR, not both";
+          exit 1
+        | None, None ->
+          prerr_endline "warpcc: analyze needs a FILE or --project DIR";
+          exit 1
+        | Some dir, None ->
+          let link, diags =
+            analyze_project ~dir ~sound:(not no_sound) ~max_tracked
+              ~absint:(not no_absint) ~absint_max_intervals
+          in
+          finish
+            ~report:(fun () -> Analysis.Modan.report link)
+            ~dot:(fun () -> Analysis.Modan.to_dot link)
+            ~json:(fun () -> Analysis.Modan.to_json link)
+            diags
+        | None, Some file ->
+          let source = read_file file in
+          let m = W2.Parser.module_of_string ~file source in
+          (match W2.Semcheck.check_module m with
+          | [] -> ()
+          | errors ->
+            List.iter
+              (fun e -> prerr_endline (W2.Semcheck.error_to_string e))
+              errors;
+            exit 1);
+          let t =
+            Analysis.Depan.analyze ~sound:(not no_sound) ~max_tracked
+              ~absint:(not no_absint) ~absint_max_intervals m
+          in
+          finish
+            ~report:(fun () -> Analysis.Depan.report t)
+            ~dot:(fun () -> Analysis.Depan.to_dot t)
+            ~json:(fun () -> Analysis.Depan.to_json t)
+            (Analysis.Depan.lint t))
   in
   let term =
     Term.(
       term_result
-        (const action $ file $ dot_out $ json_out $ no_sound $ max_tracked
-        $ no_absint $ absint_max_intervals $ werror_flag))
+        (const action $ file $ project $ dot_out $ json_out $ sarif_out
+        $ no_sound $ max_tracked $ no_absint $ absint_max_intervals
+        $ werror_flag))
   in
   Cmd.v
     (Cmd.info "analyze"

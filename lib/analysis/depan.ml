@@ -1008,7 +1008,7 @@ let to_dot (t : t) : string =
   Buffer.add_string b "}\n";
   Buffer.contents b
 
-(* --- JSON (schema warpcc-analyze/2) --- *)
+(* --- JSON (schema warpcc-analyze/3) --- *)
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -1047,7 +1047,8 @@ let json_itv (i : Absint.itv) =
 let to_json (t : t) : string =
   let b = Buffer.create 4096 in
   Printf.bprintf b
-    "{\n  \"schema\": \"warpcc-analyze/2\",\n  \"module\": \"%s\",\n\
+    "{\n  \"schema\": \"warpcc-analyze/3\",\n  \"kind\": \"module\",\n\
+    \  \"module\": \"%s\",\n\
     \  \"sound\": %b,\n  \"absint\": %b,\n  \"sections\": [\n"
     (json_escape t.dp_module) t.dp_sound t.dp_absint;
   let sections =

@@ -251,8 +251,11 @@ val to_dot : t -> string
     their reasons. *)
 
 val to_json : t -> string
-(** Machine-readable dump, schema ["warpcc-analyze/2"]: adds
+(** Machine-readable dump, schema ["warpcc-analyze/3"].  /2 added
     per-function ["purity"], ["summary_hash"] and ["cost"], per-section
     ["pruned"] (with ["refuted_by"] provenance) and
     ["disjoint_globals"], and a top-level ["absint"] flag to the /1
-    layout. *)
+    layout; /3 adds the top-level ["kind"] discriminator (["module"]
+    here, ["project"] for {!Modan.to_json}).  The absint fields stay
+    present under [--no-absint]: ["pruned"] and ["disjoint_globals"]
+    are empty arrays, ["purity"] and ["cost"] are [null]. *)

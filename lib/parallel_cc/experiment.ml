@@ -883,3 +883,202 @@ let cache_sweep ?(cfg = Config.default) () : cache_point list =
         cp_edit_invalidated = edit.Timings.cache_invalidated;
       })
     (cache_series ())
+
+(* --- modular cross-module analysis: compose from summaries, then
+   schedule the whole link as one project --- *)
+
+type link_compose_point = {
+  lc_shape : string;
+  lc_modules : int;
+  lc_functions : int;
+  lc_edges : int;
+  lc_cross_edges : int;
+  lc_levels : int;
+  lc_module_levels : int;
+  lc_licensed : float;
+  lc_missing : int;
+  lc_diags : (string * int) list;
+}
+
+type link_sched_point = {
+  lp_shape : string;
+  lp_modules : int;
+  lp_functions : int;
+  lp_policy : Sched.policy;
+  lp_pool : int;
+  lp_units : int;
+  lp_elapsed : float;
+  lp_speedup_vs_fcfs : float;
+  lp_cross_edges : int;
+  lp_spec_edges : int;
+  lp_race_violations : int;
+}
+
+let link_compose_sizes = [ 100; 200; 400 ]
+let link_sched_sizes = [ 24; 48 ]
+let link_pool = 8
+
+(* Summarize each module separately (providers accumulate as [deps]
+   for the cross-module content keys), then force every summary
+   through the .wsi artifact: composition must see exactly what a
+   separate build persists, nothing more. *)
+let link_summaries (mods : W2.Ast.modul list) : Analysis.Modan.module_summary list =
+  List.rev
+    (List.fold_left
+       (fun acc m ->
+         let s = Analysis.Modan.summarize ~deps:acc m in
+         Analysis.Modan.of_artifact (Analysis.Modan.to_artifact s) :: acc)
+       [] mods)
+
+let link_cross_edges (link : Analysis.Modan.link) =
+  List.length
+    (List.filter
+       (fun (e : Analysis.Modan.xedge) ->
+         e.Analysis.Modan.x_from_module <> e.Analysis.Modan.x_to_module)
+       link.Analysis.Modan.lk_edges)
+
+let link_compose_sweep () : link_compose_point list =
+  List.concat_map
+    (fun shape ->
+      List.map
+        (fun n ->
+          let mods = W2.Gen.project_program ~modules:n ~seed:1 ~shape () in
+          let link = Analysis.Modan.compose (link_summaries mods) in
+          let diags =
+            List.sort compare
+              (List.fold_left
+                 (fun acc (d : W2.Diag.t) ->
+                   let c = d.W2.Diag.d_code in
+                   match List.assoc_opt c acc with
+                   | Some k -> (c, k + 1) :: List.remove_assoc c acc
+                   | None -> (c, 1) :: acc)
+                 [] link.Analysis.Modan.lk_diags)
+          in
+          {
+            lc_shape = W2.Gen.shape_name shape;
+            lc_modules = n;
+            lc_functions = List.length link.Analysis.Modan.lk_funcs;
+            lc_edges = List.length link.Analysis.Modan.lk_edges;
+            lc_cross_edges = link_cross_edges link;
+            lc_levels = List.length link.Analysis.Modan.lk_levels;
+            lc_module_levels = List.length link.Analysis.Modan.lk_module_levels;
+            lc_licensed = link.Analysis.Modan.lk_licensed;
+            lc_missing = List.length link.Analysis.Modan.lk_missing;
+            lc_diags = diags;
+          })
+        link_compose_sizes)
+    W2.Gen.all_shapes
+
+let link_cache :
+    (string, Driver.Compile.module_work * Analysis.Modan.link) Hashtbl.t =
+  Hashtbl.create 8
+
+let link_program_work ?(level = 2) ~shape ~modules () :
+    Driver.Compile.module_work * Analysis.Modan.link =
+  let key =
+    Printf.sprintf "link:%s:%d:%d" (W2.Gen.shape_name shape) modules level
+  in
+  match Hashtbl.find_opt link_cache key with
+  | Some r -> r
+  | None ->
+    let mods = W2.Gen.project_program ~modules ~seed:1 ~shape () in
+    let link = Analysis.Modan.compose (link_summaries mods) in
+    let merged = Analysis.Modan.inline_project mods in
+    let mw =
+      Driver.Compile.compile_source ~level (W2.Pretty.module_to_string merged)
+    in
+    Hashtbl.replace link_cache key (mw, link);
+    (mw, link)
+
+(* The project plan: one master per function over the inlined program,
+   with the whole-program DAG replaced by the composed one.  The
+   composed edge set is a superset of what the whole-program analyzer
+   finds (the modan soundness theorem), so gating on it stays
+   conservative; hot edges keep the merged analysis's proof of real
+   sharing, restricted to pairs the composed DAG still speculates
+   past. *)
+let link_plan (mw : Driver.Compile.module_work) (link : Analysis.Modan.link) :
+    Plan.t =
+  let plan = Plan.one_per_station mw in
+  let deps = Analysis.Modan.func_deps link in
+  let specs = Analysis.Modan.spec_deps link in
+  let spec_set = Hashtbl.create (1 + List.length specs) in
+  List.iter (fun p -> Hashtbl.replace spec_set p ()) specs;
+  let hot =
+    List.map
+      (fun (s, es) -> (s, List.filter (Hashtbl.mem spec_set) es))
+      plan.Plan.hot_edges
+  in
+  {
+    plan with
+    Plan.func_deps = List.map (fun (s, _) -> (s, deps)) plan.Plan.func_deps;
+    spec_edges = List.map (fun (s, _) -> (s, specs)) plan.Plan.spec_edges;
+    hot_edges = hot;
+  }
+
+let link_sched_sweep ?(cfg = Config.default) () : link_sched_point list =
+  List.concat_map
+    (fun shape ->
+      List.concat_map
+        (fun modules ->
+          let mw, link =
+            link_program_work ~level:cfg.Config.opt_level ~shape ~modules ()
+          in
+          let plan = link_plan mw link in
+          let pool = link_pool in
+          let play policy =
+            let tr = Trace.create () in
+            let cfg_run =
+              {
+                cfg with
+                Config.stations = pool + 1;
+                noise_seed = 3;
+                sched_policy = policy;
+                trace = tr;
+              }
+            in
+            let r = (Parrun.run cfg_run mw plan).Parrun.run in
+            let violations =
+              if policy = Sched.Fcfs then 0
+                (* FCFS ignores the DAG; the oracle only judges the
+                   DAG-gated policies *)
+              else
+                let scheduled =
+                  Sched.schedule ~static:cfg.Config.static_cost ~policy
+                    ~cost:cfg.Config.cost ~threshold:cfg.Config.batch_threshold
+                    ~stations:(pool + 1) plan
+                in
+                if policy = Sched.Dag_spec then
+                  List.length (Traceview.race_check_spec tr ~plan:scheduled)
+                else List.length (Traceview.race_check tr ~plan:scheduled)
+            in
+            (r, violations)
+          in
+          let fcfs, _ = play Sched.Fcfs in
+          let spec_edge_count =
+            List.fold_left
+              (fun n (_, es) -> n + List.length es)
+              0 plan.Plan.spec_edges
+          in
+          List.map
+            (fun policy ->
+              let r, violations =
+                if policy = Sched.Fcfs then (fcfs, 0) else play policy
+              in
+              {
+                lp_shape = W2.Gen.shape_name shape;
+                lp_modules = modules;
+                lp_functions = List.length (Driver.Compile.all_funcs mw);
+                lp_policy = policy;
+                lp_pool = pool;
+                lp_units = r.Timings.dispatch_units;
+                lp_elapsed = r.Timings.elapsed;
+                lp_speedup_vs_fcfs =
+                  fcfs.Timings.elapsed /. r.Timings.elapsed;
+                lp_cross_edges = link_cross_edges link;
+                lp_spec_edges = spec_edge_count;
+                lp_race_violations = violations;
+              })
+            [ Sched.Fcfs; Sched.Dag_lpt; Sched.Dag_spec ])
+        link_sched_sizes)
+    W2.Gen.all_shapes

@@ -315,3 +315,79 @@ val cache_sweep : ?cfg:Config.t -> unit -> cache_point list
     a single {!Cache.t}, dag+lpt on the point's pool; seeded (noise
     seed 3), so reproducible.  Warm elapsed is strictly below cold on
     every point, and the edit run recompiles exactly the closure. *)
+
+(** {1 Modular cross-module analysis (link-time composition)} *)
+
+type link_compose_point = {
+  lc_shape : string; (** {!W2.Gen.shape_name} *)
+  lc_modules : int;
+  lc_functions : int;
+  lc_edges : int; (** composed dependence edges, intra + cross *)
+  lc_cross_edges : int; (** edges whose endpoints live in different modules *)
+  lc_levels : int; (** function antichains of the composed DAG *)
+  lc_module_levels : int; (** antichains of the module condensation *)
+  lc_licensed : float; (** project-wide licensed-parallelism fraction *)
+  lc_missing : int; (** imported calls no module of the link defines *)
+  lc_diags : (string * int) list; (** cross-module lints, counted by code *)
+}
+
+type link_sched_point = {
+  lp_shape : string;
+  lp_modules : int;
+  lp_functions : int;
+  lp_policy : Sched.policy; (** [Fcfs] baseline, [Dag_lpt] or [Dag_spec] *)
+  lp_pool : int;
+  lp_units : int;
+  lp_elapsed : float;
+  lp_speedup_vs_fcfs : float; (** 1.0 for the baseline row *)
+  lp_cross_edges : int;
+  lp_spec_edges : int; (** speculative edges in the composed plan *)
+  lp_race_violations : int;
+      (** race-oracle violations on the DAG-gated policies' traces;
+          the composed DAG's superset property means this is 0 *)
+}
+
+val link_compose_sizes : int list
+(** 100, 200, 400 modules — the summary-space composition axis. *)
+
+val link_sched_sizes : int list
+(** 24, 48 modules — the end-to-end project-scheduling axis. *)
+
+val link_pool : int
+(** Stations available to function masters in the scheduling sweep
+    (8). *)
+
+val link_summaries :
+  W2.Ast.modul list -> Analysis.Modan.module_summary list
+(** Separately summarize each module (accumulating provider summaries
+    for the cross-module content keys) and round-trip every summary
+    through the [.wsi] artifact, so composition sees exactly what a
+    separate build persists. *)
+
+val link_compose_sweep : unit -> link_compose_point list
+(** Every {!W2.Gen.shape} at every {!link_compose_sizes} count,
+    composed from summaries alone — no source text or AST crosses the
+    module boundary after summarization.  Deterministic (seed 1). *)
+
+val link_program_work :
+  ?level:int ->
+  shape:W2.Gen.shape ->
+  modules:int ->
+  unit ->
+  Driver.Compile.module_work * Analysis.Modan.link
+(** The inlined whole-program compile of a generated project (cached)
+    plus its summary-composed link. *)
+
+val link_plan :
+  Driver.Compile.module_work -> Analysis.Modan.link -> Plan.t
+(** One master per function with [Plan.func_deps] / [spec_edges]
+    replaced by the composed {!Analysis.Modan.func_deps} /
+    {!Analysis.Modan.spec_deps}; hot edges keep the merged analysis's
+    proven-sharing pairs restricted to edges the composed DAG still
+    speculates past (so hot ⊆ spec is preserved). *)
+
+val link_sched_sweep : ?cfg:Config.t -> unit -> link_sched_point list
+(** Every shape at every {!link_sched_sizes} count played under FCFS,
+    dag+lpt and dag+spec on a {!link_pool}-station pool, traced, with
+    the race oracle armed on the DAG-gated policies; seeded (noise
+    seed 3), so reproducible. *)

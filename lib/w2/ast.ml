@@ -81,7 +81,47 @@ type section = {
   funcs : func list;
   secloc : Loc.t;
 }
-type modul = { mname : string; sections : section list; mloc : Loc.t }
+
+(* Cross-module interface declarations.  An [import] names another
+   module and the signatures of the functions it pulls in — the
+   signature is repeated at the import site so a module can be checked
+   (and separately analyzed) without its dependencies' sources, the
+   separate-compilation discipline {!Analysis.Modan} builds on.  An
+   [export] marks a function as part of the module's interface; only
+   exported functions may be imported elsewhere. *)
+type import_sig = {
+  is_name : string;
+  is_params : ty list;
+  is_ret : ty option;
+  is_loc : Loc.t;
+}
+
+type import_decl = {
+  im_module : string; (** the providing module *)
+  im_sigs : import_sig list;
+  im_loc : Loc.t;
+}
+
+type export_decl = { ex_name : string; ex_loc : Loc.t }
+
+type modul = {
+  mname : string;
+  imports : import_decl list;
+  exports : export_decl list;
+  sections : section list;
+  mloc : Loc.t;
+}
+
+let imported_sigs (m : modul) : import_sig list =
+  List.concat_map (fun im -> im.im_sigs) m.imports
+
+let imports_function (m : modul) name =
+  List.exists
+    (fun im -> List.exists (fun s -> s.is_name = name) im.im_sigs)
+    m.imports
+
+let exports_function (m : modul) name =
+  List.exists (fun e -> e.ex_name = name) m.exports
 
 (* Names of the built-in functions understood by the checker, the
    interpreter and the code generator. *)
@@ -158,7 +198,10 @@ let section_lines sec =
     sec.funcs
 
 let module_lines m =
-  List.fold_left (fun acc s -> acc + section_lines s) 2 m.sections
+  List.fold_left
+    (fun acc s -> acc + section_lines s)
+    (2 + List.length m.imports + List.length m.exports)
+    m.sections
 
 let func_count m =
   List.fold_left (fun acc s -> acc + List.length s.funcs) 0 m.sections

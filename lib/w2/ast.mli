@@ -81,7 +81,38 @@ type section = {
   funcs : func list;
   secloc : Loc.t;
 }
-type modul = { mname : string; sections : section list; mloc : Loc.t }
+
+(** One imported-function signature, restated at the import site so the
+    module can be checked — and separately analyzed — without its
+    dependencies' sources ({!module:Analysis.Modan} builds on this). *)
+type import_sig = {
+  is_name : string;
+  is_params : ty list;
+  is_ret : ty option;
+  is_loc : Loc.t;
+}
+
+type import_decl = {
+  im_module : string;  (** the providing module *)
+  im_sigs : import_sig list;
+  im_loc : Loc.t;
+}
+
+type export_decl = { ex_name : string; ex_loc : Loc.t }
+
+type modul = {
+  mname : string;
+  imports : import_decl list;
+  exports : export_decl list;
+  sections : section list;
+  mloc : Loc.t;
+}
+
+val imported_sigs : modul -> import_sig list
+(** Every imported signature, in declaration order. *)
+
+val imports_function : modul -> string -> bool
+val exports_function : modul -> string -> bool
 
 val builtins : (string * (ty list * ty)) list
 (** Built-in functions with their signatures: [sqrt], [abs], [iabs],

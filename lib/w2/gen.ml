@@ -259,6 +259,8 @@ let s_program ?(name = "S") ~size ~count () =
   {
     Ast.mname = Printf.sprintf "%s%d_%s" name count (size_name size);
     sections = [ { Ast.sname = "sec1"; cells = 10; globals = []; funcs; secloc = dummy } ];
+    imports = [];
+    exports = [];
     mloc = dummy;
   }
 
@@ -281,6 +283,8 @@ let user_program () =
   {
     Ast.mname = "mech_eng_app";
     sections = [ section 1; section 2; section 3 ];
+    imports = [];
+    exports = [];
     mloc = dummy;
   }
 
@@ -369,6 +373,8 @@ let module_of_function f =
   {
     Ast.mname = "m_" ^ f.Ast.fname;
     sections = [ { Ast.sname = "sec1"; cells = 1; globals = []; funcs = [ f ]; secloc = dummy } ];
+    imports = [];
+    exports = [];
     mloc = dummy;
   }
 
@@ -408,6 +414,8 @@ let helper_program ?(drivers = 6) ?(helpers_per = 3) ?(helper_lines = 8) () =
   {
     Ast.mname = "many_small_functions";
     sections = [ { Ast.sname = "sec1"; cells = 4; globals = []; funcs; secloc = dummy } ];
+    imports = [];
+    exports = [];
     mloc = dummy;
   }
 
@@ -485,6 +493,8 @@ let partitioned_program ?(workers = 4) ?(seg = 4) () =
           secloc = dummy;
         };
       ];
+    imports = [];
+    exports = [];
     mloc = dummy;
   }
 
@@ -538,6 +548,8 @@ let histogram_program ?(drivers = 4) () =
           secloc = dummy;
         };
       ];
+    imports = [];
+    exports = [];
     mloc = dummy;
   }
 
@@ -597,6 +609,8 @@ let speculative_program ?(workers = 4) ?(fanout = 24) () =
           secloc = dummy;
         };
       ];
+    imports = [];
+    exports = [];
     mloc = dummy;
   }
 
@@ -649,6 +663,8 @@ let racy_program ?(scatters = 3) () =
           secloc = dummy;
         };
       ];
+    imports = [];
+    exports = [];
     mloc = dummy;
   }
 
@@ -712,8 +728,292 @@ let deadchan_program () =
           secloc = dummy;
         };
       ];
+    imports = [];
+    exports = [];
     mloc = dummy;
   }
+
+(* --- multi-module projects for the modular cross-module analysis --- *)
+
+type shape = Layered | Diamond | Clustered
+
+let all_shapes = [ Layered; Diamond; Clustered ]
+
+let shape_name = function
+  | Layered -> "layered"
+  | Diamond -> "diamond"
+  | Clustered -> "clustered"
+
+let shape_of_string = function
+  | "layered" -> Some Layered
+  | "diamond" -> Some Diamond
+  | "clustered" -> Some Clustered
+  | _ -> None
+
+(* A worker function of roughly [lines] lines that uses both parameters
+   (unlike [function_of_lines], whose small skeletons leave [n] unused
+   and would trip W002 in a -Werror project gate).  Every kernel
+   statement reads the variable it assigns, so there are no dead
+   stores either: the workers are lint-clean by construction. *)
+let project_worker ~name ~lines rng =
+  let fill = max 0 (lines - 7) in
+  let fillers =
+    List.init fill (fun _ -> scalar_kernel_stmt rng ~floats:[ "x"; "y" ])
+  in
+  {
+    Ast.fname = name;
+    params = [ param "seed" Ast.Tint; param "n" Ast.Tint ];
+    ret = Some Ast.Tfloat;
+    locals = [ decl "x" Ast.Tfloat; decl "y" Ast.Tfloat ];
+    body =
+      assign "x"
+        (bin Ast.Mul
+           (call "float" [ bin Ast.Add (var "seed") (bin Ast.Mod (var "n") (int 5)) ])
+           (flt 0.0625))
+      :: assign "y" (flt 0.5)
+      :: fillers
+      @ [ return_ (bin Ast.Add (var "x") (var "y")) ];
+    floc = dummy;
+  }
+
+(* The entry function of a project module: folds every local worker and
+   every imported function into an accumulator (damped, so interpreted
+   values stay bounded).  [extra] statements run after the calls —
+   hooks for the private-global and channel couplings below. *)
+let project_main ~name ~callees ~extra ~extra_locals =
+  let calls =
+    List.mapi
+      (fun k callee ->
+        assign "acc"
+          (bin Ast.Mul
+             (bin Ast.Add (var "acc")
+                (call callee [ bin Ast.Add (var "seed") (int k); var "n" ]))
+             (flt 0.5)))
+      callees
+  in
+  {
+    Ast.fname = name;
+    params = [ param "seed" Ast.Tint; param "n" Ast.Tint ];
+    ret = Some Ast.Tfloat;
+    locals = decl "acc" Ast.Tfloat :: extra_locals;
+    body =
+      (assign "acc" (bin Ast.Mul (call "float" [ var "seed" ]) (flt 0.25)) :: calls)
+      @ extra
+      @ [ return_ (var "acc") ];
+    floc = dummy;
+  }
+
+(* A synthetic multi-module W2 project: [modules] single-section
+   modules wired by [import]/[export] declarations, deterministic in
+   (shape, modules, seed).
+
+   Conventions (what [Analysis.Modan] and the link experiments rely
+   on): module [i] is named "m<i>", its section "sec_m<i>"; function
+   [j] of module [i] is "m<i>_f<j>" (globally unique); "m<i>_f0" is the
+   module's entry and calls every local sibling and every import, so
+   W007 never fires; a module exports exactly the functions some other
+   module imports, so W012 never fires; every import restates the
+   actual (int, int) : float signature, so W010 never fires.  The list
+   is returned in dependency order: imports only point at
+   earlier modules.
+
+   - [Layered]: four layers; each module of layer L > 0 imports the
+     worker of one or two modules of layer L-1.  Lint-clean.
+   - [Diamond]: one root; middles import the root's worker; the last
+     module imports up to 32 middle workers (and the root directly
+     when there are no middles).  Lint-clean.
+   - [Clustered]: clusters of eight.  Each cluster's hub owns a
+     cluster global [cg_c<c>] behind a single accessor function that
+     three client members import and call, so their composed summaries
+     really couple on the hub's state; the first client also localizes
+     a private global of the {e same name}, the W011 witness.  Every
+     fourth cluster routes one client through channel X (matched
+     send/receive, so W009 stays quiet).  Trips W011 by design;
+     otherwise clean. *)
+let project_program ?(modules = 100) ?(seed = 1) ~shape () : Ast.modul list =
+  if modules < 2 then
+    invalid_arg "Gen.project_program: need at least 2 modules";
+  let n = modules in
+  let rng = rng_make (Hashtbl.hash (shape_name shape, n, seed)) in
+  let mname i = Printf.sprintf "m%d" i in
+  let fname i j = Printf.sprintf "m%d_f%d" i j in
+  let worker_lines () =
+    [| 4; 6; 10; 18; 35 |].(rng_next rng 5)
+  in
+  let cluster = 8 in
+  (* Imports of module [i], as (provider index, provider function
+     index) pairs; computed for every module in order so the rng
+     stream is deterministic. *)
+  let layer i = i * 4 / n in
+  let layer_range l =
+    (* first (inclusive) and last (exclusive) module index of layer l *)
+    let lo = (l * n + 3) / 4 in
+    (* invert [layer]: smallest i with i*4/n = l *)
+    let lo = if layer lo = l then lo else lo + 1 in
+    let rec first j = if j > 0 && layer (j - 1) = l then first (j - 1) else j in
+    let lo = first lo in
+    let rec last j = if j < n && layer j = l then last (j + 1) else j in
+    (lo, last lo)
+  in
+  let imports_of i =
+    match shape with
+    | Layered ->
+      let l = layer i in
+      if l = 0 then []
+      else begin
+        let lo, hi = layer_range (l - 1) in
+        let width = hi - lo in
+        let p1 = lo + rng_next rng width in
+        let two = width > 1 && rng_next rng 2 = 0 in
+        if two then begin
+          let p2 = lo + rng_next rng width in
+          if p2 = p1 then [ (p1, 1) ] else [ (p1, 1); (p2, 1) ]
+        end
+        else [ (p1, 1) ]
+      end
+    | Diamond ->
+      if i = 0 then []
+      else if i < n - 1 then [ (0, 1) ]
+      else if n = 2 then [ (0, 1) ]
+      else List.init (min 32 (n - 2)) (fun k -> (1 + k, 1))
+    | Clustered ->
+      let c = i / cluster and pos = i mod cluster in
+      let hub = c * cluster in
+      if pos = 0 then []
+      else if pos <= 3 then [ (hub, 0) ] (* the hub's accessor *)
+      else [ (i - 1, 1) ] (* chain through the previous member *)
+  in
+  let imports = Array.init n imports_of in
+  (* Exports: exactly the functions somebody imports. *)
+  let exported = Hashtbl.create 64 in
+  Array.iter
+    (List.iter (fun (p, j) -> Hashtbl.replace exported (fname p j) ()))
+    imports;
+  let modul_of i =
+    let is_clustered_hub = shape = Clustered && i mod cluster = 0 in
+    let c = i / cluster and pos = i mod cluster in
+    let cg = Printf.sprintf "cg_c%d" c in
+    let funcs, globals =
+      if is_clustered_hub then begin
+        (* Single accessor owning the cluster global: reads and writes
+           it, and is the section's first function, so neither W007 nor
+           W008 fires. *)
+        let acc =
+          {
+            Ast.fname = fname i 0;
+            params = [ param "seed" Ast.Tint; param "n" Ast.Tint ];
+            ret = Some Ast.Tfloat;
+            locals = [ decl "x" Ast.Tfloat ];
+            body =
+              [
+                assign "x"
+                  (bin Ast.Mul
+                     (call "float"
+                        [ bin Ast.Add (var "seed") (bin Ast.Mod (var "n") (int 3)) ])
+                     (flt 0.125));
+                assign cg (bin Ast.Add (bin Ast.Mul (var cg) (flt 0.5)) (var "x"));
+                return_ (var cg);
+              ];
+            floc = dummy;
+          }
+        in
+        ([ acc ], [ decl cg Ast.Tfloat ])
+      end
+      else begin
+        let w1 = project_worker ~name:(fname i 1) ~lines:(worker_lines ()) rng in
+        let w2 = project_worker ~name:(fname i 2) ~lines:(worker_lines ()) rng in
+        let g = Printf.sprintf "g_m%d" i in
+        (* The first clustered client localizes a global of the same
+           name as the hub's cluster global — the W011 witness; every
+           fourth cluster's second client exercises channel X. *)
+        let w011_witness = shape = Clustered && pos = 1 in
+        let channels = shape = Clustered && pos = 2 && c mod 4 = 3 in
+        let private_global = if w011_witness then cg else g in
+        let extra =
+          [
+            assign private_global (bin Ast.Mul (var "acc") (flt 0.5));
+            assign "acc"
+              (bin Ast.Mul
+                 (bin Ast.Add (var "acc") (var private_global))
+                 (flt 0.5));
+          ]
+          @
+          if channels then
+            [
+              st (Ast.Send (Ast.Chan_x, bin Ast.Mul (var "acc") (flt 0.5)));
+              st (Ast.Receive (Ast.Chan_x, Ast.Lvar "tmp"));
+              assign "acc"
+                (bin Ast.Mul (bin Ast.Add (var "acc") (var "tmp")) (flt 0.5));
+            ]
+          else []
+        in
+        let extra_locals = if channels then [ decl "tmp" Ast.Tfloat ] else [] in
+        let callees =
+          [ fname i 1; fname i 2 ]
+          @ List.map (fun (p, j) -> fname p j) imports.(i)
+        in
+        let main =
+          project_main ~name:(fname i 0) ~callees ~extra ~extra_locals
+        in
+        ([ main; w1; w2 ], [ decl private_global Ast.Tfloat ])
+      end
+    in
+    let import_decls =
+      (* One declaration per provider, in provider order. *)
+      let by_provider = Hashtbl.create 4 in
+      let providers = ref [] in
+      List.iter
+        (fun (p, j) ->
+          if not (Hashtbl.mem by_provider p) then begin
+            Hashtbl.replace by_provider p [];
+            providers := p :: !providers
+          end;
+          Hashtbl.replace by_provider p (j :: Hashtbl.find by_provider p))
+        imports.(i);
+      List.rev_map
+        (fun p ->
+          {
+            Ast.im_module = mname p;
+            im_sigs =
+              List.rev_map
+                (fun j ->
+                  {
+                    Ast.is_name = fname p j;
+                    is_params = [ Ast.Tint; Ast.Tint ];
+                    is_ret = Some Ast.Tfloat;
+                    is_loc = dummy;
+                  })
+                (Hashtbl.find by_provider p);
+            im_loc = dummy;
+          })
+        !providers
+    in
+    let export_decls =
+      List.filter_map
+        (fun (f : Ast.func) ->
+          if Hashtbl.mem exported f.Ast.fname then
+            Some { Ast.ex_name = f.Ast.fname; ex_loc = dummy }
+          else None)
+        funcs
+    in
+    {
+      Ast.mname = mname i;
+      imports = import_decls;
+      exports = export_decls;
+      sections =
+        [
+          {
+            Ast.sname = Printf.sprintf "sec_m%d" i;
+            cells = 1;
+            globals;
+            funcs;
+            secloc = dummy;
+          };
+        ];
+      mloc = dummy;
+    }
+  in
+  List.init n modul_of
 
 (* --- the compile-cache experiments' "programmer edit" --- *)
 

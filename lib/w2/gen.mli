@@ -94,6 +94,36 @@ val racy_program : ?scatters:int -> unit -> Ast.modul
     overlapped dag+spec attempts are guaranteed to roll back, while the
     compiled artifact stays bit-identical to a sequential build. *)
 
+(** {1 Multi-module projects (cross-module analysis)} *)
+
+type shape = Layered | Diamond | Clustered
+
+val all_shapes : shape list
+
+val shape_name : shape -> string
+(** ["layered"] / ["diamond"] / ["clustered"]. *)
+
+val shape_of_string : string -> shape option
+
+val project_program :
+  ?modules:int -> ?seed:int -> shape:shape -> unit -> Ast.modul list
+(** A synthetic [modules]-module W2 project wired by [import]/[export]
+    declarations, deterministic in its arguments and returned in
+    dependency order (imports only point at earlier modules).  Module
+    [i] is ["m<i>"] with the single section ["sec_m<i>"]; its functions
+    are ["m<i>_f<j>"] with [f0] the entry; every exported function has
+    the signature [(int, int) : float]; a module exports exactly what
+    some other module imports.
+
+    [Layered] and [Diamond] projects are lint-clean (safe under
+    [--Werror]).  [Clustered] projects group modules into clusters of
+    eight around a hub whose single accessor function owns a cluster
+    global: the three importing clients really couple on the hub's
+    state ([xmodule_global] edges), one client localizes a
+    same-named global (the W011 witness — so clustered projects warn
+    by design), and every fourth cluster exercises channel X.
+    @raise Invalid_argument below 2 modules. *)
+
 (** {1 Random programs for property-based testing} *)
 
 val random_function :

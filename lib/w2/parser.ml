@@ -2,7 +2,10 @@
 
    Grammar (informally):
 
-     module   ::= "module" ID section+ "end"
+     module   ::= "module" ID import* export* section+ "end"
+     import   ::= "import" ID "(" importsig ("," importsig)* ")" ";"
+     importsig::= ID "(" [type ("," type)*] ")" [":" type]
+     export   ::= "export" ID ("," ID)* ";"
      section  ::= "section" ID "cells" INT function+ "end"
      function ::= "function" ID "(" params? ")" [":" type]
                   decl* "begin" stmt* "end"
@@ -441,10 +444,83 @@ let parse_section p =
   if funcs = [] then error p ("section '" ^ name ^ "' declares no function");
   { Ast.sname = name; cells; globals; funcs; secloc = loc }
 
+(* One imported-function signature: name, parameter types, optional
+   return type.  The signature is restated at the import site so the
+   module checks without its dependencies' sources. *)
+let parse_import_sig p =
+  let loc = p.loc in
+  let name = expect_ident p in
+  expect p Token.LPAREN;
+  let tys =
+    if p.tok = Token.RPAREN then []
+    else
+      let rec loop acc =
+        let ty = parse_type p in
+        if p.tok = Token.COMMA then begin
+          advance p;
+          loop (ty :: acc)
+        end
+        else List.rev (ty :: acc)
+      in
+      loop []
+  in
+  expect p Token.RPAREN;
+  let ret =
+    if p.tok = Token.COLON then begin
+      advance p;
+      Some (parse_type p)
+    end
+    else None
+  in
+  { Ast.is_name = name; is_params = tys; is_ret = ret; is_loc = loc }
+
+let parse_import p =
+  let loc = p.loc in
+  expect p Token.IMPORT;
+  let from = expect_ident p in
+  expect p Token.LPAREN;
+  let rec loop acc =
+    let s = parse_import_sig p in
+    if p.tok = Token.COMMA then begin
+      advance p;
+      loop (s :: acc)
+    end
+    else List.rev (s :: acc)
+  in
+  let sigs = loop [] in
+  expect p Token.RPAREN;
+  expect p Token.SEMI;
+  { Ast.im_module = from; im_sigs = sigs; im_loc = loc }
+
+let parse_export p =
+  expect p Token.EXPORT;
+  let rec loop acc =
+    let loc = p.loc in
+    let name = expect_ident p in
+    if p.tok = Token.COMMA then begin
+      advance p;
+      loop ({ Ast.ex_name = name; ex_loc = loc } :: acc)
+    end
+    else List.rev ({ Ast.ex_name = name; ex_loc = loc } :: acc)
+  in
+  let exports = loop [] in
+  expect p Token.SEMI;
+  exports
+
 let parse_module p =
   let loc = p.loc in
   expect p Token.MODULE;
   let name = expect_ident p in
+  let rec imports acc =
+    if p.tok = Token.IMPORT then imports (parse_import p :: acc)
+    else List.rev acc
+  in
+  let imports = imports [] in
+  let rec exports acc =
+    if p.tok = Token.EXPORT then exports (List.rev_append (parse_export p) acc)
+    else List.rev acc
+  in
+  let exports = exports [] in
   let rec loop acc =
     if p.tok = Token.SECTION then loop (parse_section p :: acc)
     else List.rev acc
@@ -453,7 +529,7 @@ let parse_module p =
   expect p Token.END;
   expect p Token.EOF;
   if sections = [] then error p ("module '" ^ name ^ "' declares no section");
-  { Ast.mname = name; sections; mloc = loc }
+  { Ast.mname = name; imports; exports; sections; mloc = loc }
 
 (* Entry points. *)
 

@@ -106,8 +106,25 @@ let pp_section fmt (sec : Ast.section) =
   List.iter (fun f -> pp_func ~indent:2 fmt f) sec.funcs;
   fprintf fmt "  end\n"
 
+let pp_import_sig fmt (s : Ast.import_sig) =
+  fprintf fmt "%s(%a)" s.is_name
+    (pp_print_list ~pp_sep:(fun fmt () -> pp_print_string fmt ", ") pp_ty)
+    s.is_params;
+  match s.is_ret with
+  | None -> ()
+  | Some ty -> fprintf fmt " : %a" pp_ty ty
+
+let pp_import fmt (im : Ast.import_decl) =
+  fprintf fmt "  import %s (%a);\n" im.im_module
+    (pp_print_list ~pp_sep:(fun fmt () -> pp_print_string fmt ", ") pp_import_sig)
+    im.im_sigs
+
 let pp_module fmt (m : Ast.modul) =
   fprintf fmt "module %s\n" m.mname;
+  List.iter (pp_import fmt) m.imports;
+  List.iter
+    (fun (e : Ast.export_decl) -> fprintf fmt "  export %s;\n" e.ex_name)
+    m.exports;
   List.iter (pp_section fmt) m.sections;
   fprintf fmt "end\n"
 

@@ -318,14 +318,27 @@ let check_globals env (sec : Ast.section) =
       | Ast.Tint | Ast.Tfloat | Ast.Tbool -> ())
     sec.globals
 
-let check_section env (sec : Ast.section) =
+let check_section env ?(imported : Ast.import_sig list = []) (sec : Ast.section)
+    =
   if sec.cells < 1 then
     add_error env "a section needs at least one cell" sec.secloc;
   check_globals env sec;
   Hashtbl.reset env.funcs;
+  (* Imported signatures are callable from every section of the module;
+     the bodies live elsewhere, so only the restated signature is
+     available for call typing. *)
+  List.iter
+    (fun (s : Ast.import_sig) ->
+      Hashtbl.replace env.funcs s.is_name (s.is_params, s.is_ret))
+    imported;
   List.iter
     (fun (f : Ast.func) ->
-      if Hashtbl.mem env.funcs f.fname then
+      if List.exists (fun (s : Ast.import_sig) -> s.is_name = f.fname) imported
+      then
+        add_error env
+          ("function '" ^ f.fname ^ "' is also imported")
+          f.floc
+      else if Hashtbl.mem env.funcs f.fname then
         add_error env ("duplicate function '" ^ f.fname ^ "'") f.floc
       else if Ast.is_builtin f.fname then
         add_error env ("function '" ^ f.fname ^ "' shadows a builtin") f.floc
@@ -334,6 +347,50 @@ let check_section env (sec : Ast.section) =
           (List.map (fun (p : Ast.param) -> p.pty) f.params, f.ret))
     sec.funcs;
   List.iter (check_function env ~globals:sec.globals) sec.funcs
+
+(* Cross-module interface hygiene: imports may not name the module
+   itself or restate a name twice, exports must name locally defined
+   functions, and neither may collide with the builtins. *)
+let check_interface env (m : Ast.modul) =
+  let defined name =
+    List.exists
+      (fun (sec : Ast.section) ->
+        List.exists (fun (f : Ast.func) -> f.fname = name) sec.funcs)
+      m.sections
+  in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (im : Ast.import_decl) ->
+      if im.im_module = m.mname then
+        add_error env
+          ("module '" ^ m.mname ^ "' imports itself")
+          im.im_loc;
+      List.iter
+        (fun (s : Ast.import_sig) ->
+          if Ast.is_builtin s.is_name then
+            add_error env
+              ("import '" ^ s.is_name ^ "' shadows a builtin")
+              s.is_loc
+          else if Hashtbl.mem seen s.is_name then
+            add_error env
+              ("function '" ^ s.is_name ^ "' is imported twice")
+              s.is_loc
+          else Hashtbl.add seen s.is_name ())
+        im.im_sigs)
+    m.imports;
+  let exported = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Ast.export_decl) ->
+      if Hashtbl.mem exported e.ex_name then
+        add_error env
+          ("function '" ^ e.ex_name ^ "' is exported twice")
+          e.ex_loc
+      else Hashtbl.add exported e.ex_name ();
+      if not (defined e.ex_name) then
+        add_error env
+          ("exported function '" ^ e.ex_name ^ "' is not defined in this module")
+          e.ex_loc)
+    m.exports
 
 (* Check a whole module; returns the list of errors, oldest first. *)
 let check_module (m : Ast.modul) : error list =
@@ -346,13 +403,15 @@ let check_module (m : Ast.modul) : error list =
       loop_vars = [];
     }
   in
+  check_interface env m;
+  let imported = Ast.imported_sigs m in
   let seen = Hashtbl.create 8 in
   List.iter
     (fun (sec : Ast.section) ->
       if Hashtbl.mem seen sec.sname then
         add_error env ("duplicate section '" ^ sec.sname ^ "'") sec.secloc
       else Hashtbl.add seen sec.sname ();
-      check_section env sec)
+      check_section env ~imported sec)
     m.sections;
   List.rev env.errors
 

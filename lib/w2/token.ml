@@ -6,6 +6,8 @@ type t =
   | IDENT of string
   (* keywords *)
   | MODULE
+  | IMPORT
+  | EXPORT
   | SECTION
   | CELLS
   | FUNCTION
@@ -57,6 +59,8 @@ type t =
 let keyword_table =
   [
     ("module", MODULE);
+    ("import", IMPORT);
+    ("export", EXPORT);
     ("section", SECTION);
     ("cells", CELLS);
     ("function", FUNCTION);
@@ -91,6 +95,8 @@ let to_string = function
   | FLOAT f -> string_of_float f
   | IDENT s -> s
   | MODULE -> "module"
+  | IMPORT -> "import"
+  | EXPORT -> "export"
   | SECTION -> "section"
   | CELLS -> "cells"
   | FUNCTION -> "function"

@@ -5,6 +5,8 @@ type t =
   | FLOAT of float
   | IDENT of string
   | MODULE
+  | IMPORT
+  | EXPORT
   | SECTION
   | CELLS
   | FUNCTION

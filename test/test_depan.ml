@@ -108,6 +108,24 @@ let test_analysis_deterministic () =
   let b = Analysis.Depan.to_json (analyze edges_src) in
   Alcotest.(check string) "two analyses serialize identically" a b
 
+(* warpcc-analyze/3 keeps the document shape fixed across knobs: with
+   the refinement off the absint-backed fields stay present — [pruned]
+   and [disjoint_globals] as empty arrays, purity and cost as null —
+   so schema consumers never need a feature probe. *)
+let test_json_shape_stable_without_absint () =
+  let j = Analysis.Depan.to_json (analyze ~absint:false edges_src) in
+  let has s = Tutil.contains j s in
+  Alcotest.(check bool) "schema /3" true
+    (has "\"schema\": \"warpcc-analyze/3\"");
+  Alcotest.(check bool) "kind module" true (has "\"kind\": \"module\"");
+  Alcotest.(check bool) "pruned present" true (has "\"pruned\": [");
+  Alcotest.(check bool) "disjoint_globals present and empty" true
+    (has "\"disjoint_globals\": []");
+  Alcotest.(check bool) "purity null" true (has "\"purity\": null");
+  Alcotest.(check bool) "cost null" true (has "\"cost\": null");
+  (* and nothing was pruned without the refinement *)
+  Alcotest.(check bool) "pruned empty" true (has "\"pruned\": [\n\n      ]")
+
 (* --- SCC fixpoint on mutual recursion --- *)
 
 let mrec_src =
@@ -477,6 +495,8 @@ let suites =
         Alcotest.test_case "edge reasons pinned" `Quick test_edge_reasons;
         Alcotest.test_case "analysis deterministic" `Quick
           test_analysis_deterministic;
+        Alcotest.test_case "json shape stable without absint" `Quick
+          test_json_shape_stable_without_absint;
         Alcotest.test_case "mutual recursion fixpoint" `Quick
           test_mutual_recursion;
         Alcotest.test_case "summary-limit soundness" `Quick test_summary_limit;

@@ -240,6 +240,8 @@ end
     {
       Ast.mname = "m";
       sections = [ { Ast.sname = "s"; cells = 1; globals = []; funcs = [ callee; main ]; secloc = Loc.dummy } ];
+      imports = [];
+      exports = [];
       mloc = Loc.dummy;
     }
   in
@@ -276,6 +278,8 @@ end
           Ast.mname = "m";
           sections =
             [ { Ast.sname = "s"; cells = 1; globals = []; funcs = [ callee; main ]; secloc = Loc.dummy } ];
+          imports = [];
+          exports = [];
           mloc = Loc.dummy;
         }
       in

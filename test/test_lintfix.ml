@@ -1,0 +1,106 @@
+(* Table-driven lint fixture suite.
+
+   Every shipped example program is pinned to its exact diagnostic
+   multiset under the full single-module pipeline — the same
+   [Depan.lint t @ Lint.lint_module m] stream `warpcc check --lint`
+   and `warpcc compile` emit — so adding a lint (or changing a
+   judgment call) shows up as a table diff, not as a silently drifting
+   ad-hoc test.  The [lint_w0NN.w2] fixtures are minimal witnesses:
+   each triggers exactly its own code.
+
+   W005 (assignment to a for-loop variable) is a semantic error in
+   W2, so no semantically valid fixture file can witness it; it is
+   covered in-source on the raw (unchecked) AST, the only place the
+   linter can still see one. *)
+
+let example_dir () =
+  (* [dune runtest] runs in _build/default/test (examples are a sibling
+     via the dune deps); [dune exec] runs from the project root. *)
+  List.find Sys.file_exists [ Filename.concat ".." "examples"; "examples" ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* The fixture table: file → exact expected code multiset (sorted). *)
+let fixtures =
+  [
+    ("lint_clean.w2", []);
+    ("lint_w001.w2", [ "W001" ]);
+    ("lint_w002.w2", [ "W002" ]);
+    ("lint_w003.w2", [ "W003" ]);
+    ("lint_w004.w2", [ "W004" ]);
+    ("lint_w006.w2", [ "W006" ]);
+    ("lint_w007.w2", [ "W007" ]);
+    ("lint_w008.w2", [ "W008" ]);
+    ("lint_w009.w2", [ "W009" ]);
+    ("coupled.w2", [ "W007"; "W008"; "W009" ]);
+    ("fir.w2", []);
+    ("matvec.w2", []);
+    ("partitioned.w2", [ "W008" ]);
+    ("primes.w2", []);
+    ("racy.w2", [ "W002"; "W002"; "W002"; "W007"; "W007"; "W008" ]);
+  ]
+
+let codes_of_file file =
+  let path = Filename.concat (example_dir ()) file in
+  let m = W2.Parser.module_of_string ~file:path (read_file path) in
+  W2.Semcheck.check_module_exn m;
+  let t = Analysis.Depan.analyze m in
+  W2.Diag.sort (Analysis.Depan.lint t @ W2.Lint.lint_module m)
+  |> List.map (fun d -> d.W2.Diag.d_code)
+  |> List.sort compare
+
+let test_fixture (file, expected) () =
+  Alcotest.(check (list string)) file expected (codes_of_file file)
+
+(* every committed example appears in the table: a new .w2 file must
+   declare its expected lints or this fails *)
+let test_table_is_total () =
+  let on_disk =
+    Sys.readdir (example_dir ())
+    |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".w2")
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "fixture table covers examples/"
+    (List.sort compare (List.map fst fixtures))
+    on_disk
+
+(* W005 on the raw AST: the parser accepts it, semcheck rejects it,
+   and the linter still warns for tools that lint before checking. *)
+let test_w005_raw_ast () =
+  let m =
+    W2.Parser.module_of_string
+      {|module m
+  section s cells 1
+  function f(n: int)
+    var i : int;
+  begin
+    for i := 0 to n do
+      i := 0;
+    end;
+  end
+  end
+end
+|}
+  in
+  Alcotest.(check bool) "semcheck rejects" true
+    (W2.Semcheck.check_module m <> []);
+  Alcotest.(check bool) "linter warns W005" true
+    (List.exists
+       (fun d -> d.W2.Diag.d_code = "W005")
+       (W2.Lint.lint_module m))
+
+let suites =
+  [
+    ( "w2.lintfix",
+      Alcotest.test_case "table covers examples/" `Quick test_table_is_total
+      :: Alcotest.test_case "W005 on the raw AST" `Quick test_w005_raw_ast
+      :: List.map
+           (fun ((file, _) as fx) ->
+             Alcotest.test_case file `Quick (test_fixture fx))
+           fixtures );
+  ]

@@ -5,4 +5,5 @@ let () =
     @ Test_driver.suites @ Test_parallel.suites @ Test_faults.suites
     @ Test_sched.suites @ Test_spec.suites @ Test_depan.suites
     @ Test_absint.suites @ Test_fuzz.suites @ Test_stats.suites
-    @ Test_trace.suites @ Test_critpath.suites @ Test_cache.suites)
+    @ Test_trace.suites @ Test_critpath.suites @ Test_cache.suites
+    @ Test_modan.suites @ Test_lintfix.suites)

@@ -474,89 +474,6 @@ end
 |}
     body
 
-let check_code code src =
-  let codes = lint_codes (wrap src) in
-  Alcotest.(check bool)
-    (Printf.sprintf "%s in [%s]" code (String.concat "; " codes))
-    true (List.mem code codes)
-
-let test_lint_unused_variable () =
-  check_code "W001"
-    {|
-  function f(x: int) : int
-    var unused : int;
-  begin
-    return x;
-  end
-|}
-
-let test_lint_unused_parameter () =
-  check_code "W002"
-    {|
-  function f(x: int) : int
-  begin
-    return 1;
-  end
-|}
-
-let test_lint_dead_store () =
-  check_code "W003"
-    {|
-  function f(x: int) : int
-    var a : int;
-  begin
-    a := x;
-    a := x + 1;
-    return a;
-  end
-|}
-
-let test_lint_unreachable_after_return () =
-  check_code "W004"
-    {|
-  function f(x: int) : int
-  begin
-    return x;
-    return x + 1;
-  end
-|}
-
-let test_lint_for_var_assignment () =
-  check_code "W005"
-    {|
-  function f(n: int)
-    var i : int;
-  begin
-    for i := 0 to n do
-      i := 0;
-    end;
-  end
-|}
-
-let test_lint_constant_condition () =
-  check_code "W006"
-    {|
-  function f(n: int)
-  begin
-    while false do
-      send(X, n);
-    end;
-  end
-|}
-
-let test_lint_never_called () =
-  check_code "W007"
-    {|
-  function main(n: int)
-  begin
-    send(X, n);
-  end
-  function helper(n: int) : int
-  begin
-    return n;
-  end
-|}
-
 let test_lint_clean () =
   let codes =
     lint_codes
@@ -653,16 +570,7 @@ let suites =
       ] );
     ( "w2.lint",
       [
-        Alcotest.test_case "unused variable" `Quick test_lint_unused_variable;
-        Alcotest.test_case "unused parameter" `Quick test_lint_unused_parameter;
-        Alcotest.test_case "dead store" `Quick test_lint_dead_store;
-        Alcotest.test_case "unreachable after return" `Quick
-          test_lint_unreachable_after_return;
-        Alcotest.test_case "for-var assignment" `Quick
-          test_lint_for_var_assignment;
-        Alcotest.test_case "constant condition" `Quick
-          test_lint_constant_condition;
-        Alcotest.test_case "never called" `Quick test_lint_never_called;
+        (* per-code witnesses live in the fixture table (test_lintfix) *)
         Alcotest.test_case "clean program" `Quick test_lint_clean;
         Alcotest.test_case "diag plumbing" `Quick
           test_lint_diags_sorted_and_promotable;

@@ -1,0 +1,35 @@
+(* Emit a generated multi-module W2 project as one .w2 file per module
+   — the on-disk input `warpcc analyze --project` consumes.  Used by
+   the CI link smoke job and handy for poking at the cross-module
+   analysis by hand.
+
+     emit_project DIR SHAPE MODULES [SEED]
+
+   SHAPE is layered | diamond | clustered (W2.Gen.shape_of_string);
+   SEED defaults to 1, matching the benchmark sweeps. *)
+
+let usage () =
+  prerr_endline "usage: emit_project DIR layered|diamond|clustered MODULES [SEED]";
+  exit 2
+
+let () =
+  if Array.length Sys.argv < 4 then usage ();
+  let dir = Sys.argv.(1) in
+  let shape =
+    match W2.Gen.shape_of_string Sys.argv.(2) with
+    | Some s -> s
+    | None -> usage ()
+  in
+  let modules = int_of_string Sys.argv.(3) in
+  let seed =
+    if Array.length Sys.argv > 4 then int_of_string Sys.argv.(4) else 1
+  in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun (m : W2.Ast.modul) ->
+      let path = Filename.concat dir (m.W2.Ast.mname ^ ".w2") in
+      let oc = open_out path in
+      output_string oc (W2.Pretty.module_to_string m);
+      close_out oc)
+    (W2.Gen.project_program ~modules ~seed ~shape ());
+  Printf.printf "wrote %d modules to %s\n" modules dir
